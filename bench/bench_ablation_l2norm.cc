@@ -1,0 +1,62 @@
+// Ablation: Eq. 13's l2-normalization + temperature rescaling.
+//
+// The paper states that l2-normalizing the tower outputs and rescaling by
+// 1/tau "leads to better and robust results". This ablation trains bbcNCE
+// with and without the normalization (and across temperatures) on a
+// trend-rich and a dense dataset.
+
+#include <iostream>
+
+#include "bench/common.h"
+
+using namespace unimatch;
+
+int main(int argc, char** argv) {
+  const double scale = bench::ParseScale(argc, argv);
+
+  TablePrinter table(
+      "Ablation: l2-normalization + temperature (Eq. 13), bbcNCE\n"
+      "NDCG (%) on IR / UT");
+  table.SetHeader({"dataset", "variant", "IR", "UT", "AVG"});
+
+  for (const auto& name : {std::string("books"), std::string("w_comp")}) {
+    auto env = bench::MakeEnv(name, scale);
+    const bench::Hyperparams hp = bench::HyperparamsFor(name, true);
+
+    struct Variant {
+      std::string label;
+      bool l2;
+      float tau;
+    };
+    const std::vector<Variant> variants = {
+        {"l2 + tau=" + FixedDigits(hp.temperature, 3), true, hp.temperature},
+        {"l2 + tau=1 (no rescale)", true, 1.0f},
+        {"raw dot product (no l2)", false, 1.0f},
+    };
+    for (const auto& v : variants) {
+      train::TrainConfig tc;
+      tc.loss = loss::LossKind::kBbcNce;
+      tc.batch_size = hp.batch_size;
+      tc.epochs_per_month = hp.epochs;
+      model::TwoTowerConfig mc = bench::DefaultModelConfig(*env, true);
+      mc.l2_normalize = v.l2;
+      mc.temperature = v.tau;
+      const auto run = bench::TrainAndEvaluate(*env, tc, mc);
+      table.AddRow({name, v.label, bench::Pct(run.metrics.ir.ndcg),
+                    bench::Pct(run.metrics.ut.ndcg),
+                    bench::Pct(run.metrics.avg_ndcg())});
+      std::fprintf(stderr, "[ablation-l2] %s %s done (%.1fs)\n", name.c_str(),
+                   v.label.c_str(), run.train_seconds);
+    }
+    table.AddSeparator();
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected: keeping l2 but dropping the temperature rescale (tau=1) "
+      "clearly costs accuracy — the logit scale must exceed the [-1, 1] "
+      "cosine range for the softmax to sharpen. Raw dot products are "
+      "competitive on this clean simulator; the paper reports l2+tau as the "
+      "more ROBUST choice on production data (magnitude outliers), which a "
+      "well-conditioned synthetic log cannot exhibit.\n");
+  return 0;
+}

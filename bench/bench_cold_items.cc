@@ -1,0 +1,104 @@
+// Extension bench: cold-item breakdown of IR quality.
+//
+// Stratifies the IR test cases by the age of the positive item (months since
+// its first appearance in the log) and compares a fully-refreshed model with
+// one whose training stopped 3 months early. The stale model's deficit
+// should concentrate on recently launched items — the mechanism behind the
+// Fig. 3 incremental-training gains.
+
+#include <iostream>
+
+#include "bench/common.h"
+#include "src/train/trainer.h"
+
+using namespace unimatch;
+
+namespace {
+
+// First month each item appears in the log (-1 = never).
+std::vector<int32_t> ItemFirstMonth(const data::InteractionLog& log) {
+  std::vector<int32_t> first(log.num_items(), -1);
+  for (const auto& r : log.records()) {
+    const int32_t mo = data::MonthOfDay(r.day);
+    if (first[r.item] < 0 || mo < first[r.item]) first[r.item] = mo;
+  }
+  return first;
+}
+
+struct Strata {
+  double cold_ndcg = 0.0;
+  double warm_ndcg = 0.0;
+  int64_t cold_n = 0;
+  int64_t warm_n = 0;
+};
+
+Strata Stratify(const bench::Env& env, const eval::PerCaseMetrics& per_case,
+                const std::vector<int32_t>& first_month, int32_t cold_after) {
+  Strata s;
+  const auto& cases = env.protocol->ir_cases();
+  UM_CHECK_EQ(cases.size(), per_case.ir_ndcg.size());
+  for (size_t k = 0; k < cases.size(); ++k) {
+    if (first_month[cases[k].positive] >= cold_after) {
+      s.cold_ndcg += per_case.ir_ndcg[k];
+      ++s.cold_n;
+    } else {
+      s.warm_ndcg += per_case.ir_ndcg[k];
+      ++s.warm_n;
+    }
+  }
+  if (s.cold_n) s.cold_ndcg /= s.cold_n;
+  if (s.warm_n) s.warm_ndcg /= s.warm_n;
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = bench::ParseScale(argc, argv);
+  auto env = bench::MakeEnv("books", scale);  // item births are frequent here
+  const auto first_month = ItemFirstMonth(env->log);
+  // "Cold" = first appeared within 4 months of the test month.
+  const int32_t cold_after = env->splits.test_month - 4;
+
+  const bench::Hyperparams hp = bench::HyperparamsFor("books", true);
+  auto train_until = [&](int32_t last_month, eval::PerCaseMetrics* pc) {
+    model::TwoTowerConfig mc = bench::DefaultModelConfig(*env, true);
+    model::TwoTowerModel model(mc);
+    train::TrainConfig tc;
+    tc.loss = loss::LossKind::kBbcNce;
+    tc.batch_size = hp.batch_size;
+    tc.epochs_per_month = hp.epochs;
+    train::Trainer trainer(&model, &env->splits, tc);
+    Status st = trainer.TrainMonths(0, last_month);
+    UM_CHECK(st.ok()) << st.ToString();
+    return env->evaluator->Evaluate(model, nullptr, pc);
+  };
+
+  eval::PerCaseMetrics fresh_pc, stale_pc;
+  train_until(env->splits.test_month - 1, &fresh_pc);
+  train_until(env->splits.test_month - 4, &stale_pc);
+  const Strata fresh = Stratify(*env, fresh_pc, first_month, cold_after);
+  const Strata stale = Stratify(*env, stale_pc, first_month, cold_after);
+
+  TablePrinter table(
+      "Cold-item breakdown of IR NDCG (books): where the incremental "
+      "refresh earns its keep");
+  table.SetHeader({"model horizon", "cold items (<=4 mo old)",
+                   "warm items", "cold cases", "warm cases"});
+  table.AddRow({"fresh (1 mo before test)", bench::Pct(fresh.cold_ndcg),
+                bench::Pct(fresh.warm_ndcg), WithCommas(fresh.cold_n),
+                WithCommas(fresh.warm_n)});
+  table.AddRow({"stale (4 mo before test)", bench::Pct(stale.cold_ndcg),
+                bench::Pct(stale.warm_ndcg), WithCommas(stale.cold_n),
+                WithCommas(stale.warm_n)});
+  table.Print(std::cout);
+
+  const double cold_gain = fresh.cold_ndcg - stale.cold_ndcg;
+  const double warm_gain = fresh.warm_ndcg - stale.warm_ndcg;
+  std::printf(
+      "\nFreshness gain: %+0.2f NDCG points on cold items vs %+0.2f on warm "
+      "items.\nExpected: the cold-item gain dominates — stale models have "
+      "never seen the new releases the test month buys.\n",
+      100 * cold_gain, 100 * warm_gain);
+  return cold_gain > warm_gain ? 0 : 1;
+}

@@ -1,0 +1,81 @@
+// Extension bench: incremental refresh vs conventional from-scratch
+// retraining (the operational comparison behind saving (iv) of Sec. IV-B5).
+//
+// Conventional practice: every month, train a NEW model from scratch on the
+// last 12 months of shuffled data. UniMatch practice: continue from the
+// previous checkpoint with only the newest month. We simulate the final
+// refresh before the test month under both regimes and compare quality and
+// the training cost of that refresh.
+
+#include <iostream>
+
+#include "bench/common.h"
+
+using namespace unimatch;
+
+int main(int argc, char** argv) {
+  const double scale = bench::ParseScale(argc, argv);
+
+  TablePrinter table(
+      "Incremental refresh vs from-scratch retrain (bbcNCE)\n"
+      "'refresh cost' = records consumed by the final monthly refresh");
+  table.SetHeader({"dataset", "regime", "IR NDCG", "UT NDCG", "refresh sec",
+                   "refresh records"});
+
+  for (const auto& name : {std::string("books"), std::string("e_comp")}) {
+    auto env = bench::MakeEnv(name, scale);
+    const bench::Hyperparams hp = bench::HyperparamsFor(name, true);
+    const int32_t last = env->splits.test_month - 1;
+    model::TwoTowerConfig mc = bench::DefaultModelConfig(*env, true);
+
+    // --- incremental: months 0..last-1 are the "existing checkpoint";
+    //     the final refresh consumes only month `last`. ---
+    {
+      train::TrainConfig tc;
+      tc.loss = loss::LossKind::kBbcNce;
+      tc.batch_size = hp.batch_size;
+      tc.epochs_per_month = hp.epochs;
+      model::TwoTowerModel model(mc);
+      train::Trainer trainer(&model, &env->splits, tc);
+      Status st = trainer.TrainMonths(0, last - 1);
+      UM_CHECK(st.ok()) << st.ToString();
+      const int64_t before_records = trainer.records_processed();
+      WallTimer timer;
+      st = trainer.TrainMonth(last);
+      UM_CHECK(st.ok()) << st.ToString();
+      const auto ev = env->evaluator->Evaluate(model);
+      table.AddRow({name, "incremental (1-month refresh)",
+                    bench::Pct(ev.ir.ndcg), bench::Pct(ev.ut.ndcg),
+                    FixedDigits(timer.ElapsedSeconds(), 2),
+                    WithCommas(trainer.records_processed() - before_records)});
+    }
+
+    // --- from scratch on a shuffled 12-month window. ---
+    {
+      train::TrainConfig tc;
+      tc.loss = loss::LossKind::kBbcNce;
+      tc.batch_size = hp.batch_size;
+      tc.epochs_per_month = hp.epochs;
+      model::TwoTowerModel model(mc);
+      train::Trainer trainer(&model, &env->splits, tc);
+      const int32_t first = std::max(0, last - 11);
+      const auto window =
+          env->splits.train.IndicesOfMonthRange(first, last);
+      WallTimer timer;
+      Status st = trainer.TrainIndices(window, hp.epochs);
+      UM_CHECK(st.ok()) << st.ToString();
+      const auto ev = env->evaluator->Evaluate(model);
+      table.AddRow({name, "from scratch (12-month shuffle)",
+                    bench::Pct(ev.ir.ndcg), bench::Pct(ev.ut.ndcg),
+                    FixedDigits(timer.ElapsedSeconds(), 2),
+                    WithCommas(trainer.records_processed())});
+    }
+    table.AddSeparator();
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected: comparable (or better) accuracy from the incremental\n"
+      "refresh at roughly 1/12 of the monthly retraining cost — saving (iv)\n"
+      "of the paper's cost analysis, measured rather than assumed.\n");
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Kernel microbenchmarks (google-benchmark): the hot paths behind training
+// and serving — gemm, embedding gather/scatter, the loss forward+backward,
+// and ANN queries.
+
+#include <benchmark/benchmark.h>
+
+#include "src/ann/hnsw.h"
+#include "src/ann/index.h"
+#include "src/loss/losses.h"
+#include "src/model/two_tower.h"
+#include "src/nn/ops.h"
+#include "src/nn/seq_ops.h"
+#include "src/tensor/tensor_ops.h"
+
+namespace unimatch {
+namespace {
+
+void BM_Gemm(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, 1.0f, &rng);
+  Tensor b = Tensor::Randn({n, n}, 1.0f, &rng);
+  for (auto _ : state) {
+    Tensor c = MatMul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_EmbeddingLookupBackward(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  Rng rng(2);
+  nn::Variable table(Tensor::Randn({10000, 16}, 0.1f, &rng), true);
+  std::vector<int64_t> ids(batch * 20);
+  for (auto& id : ids) id = static_cast<int64_t>(rng.Uniform(10000));
+  for (auto _ : state) {
+    nn::Variable out = nn::EmbeddingLookupSeq(table, ids, batch, 20);
+    nn::Variable loss = nn::Mean(out);
+    nn::Backward(loss);
+    table.ZeroGrad();
+  }
+  state.SetItemsProcessed(state.iterations() * batch * 20);
+}
+BENCHMARK(BM_EmbeddingLookupBackward)->Arg(64)->Arg(256);
+
+void BM_BbcNceStep(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  model::TwoTowerConfig mc;
+  mc.num_items = 5000;
+  mc.embedding_dim = 16;
+  model::TwoTowerModel model(mc);
+  Rng rng(3);
+  std::vector<int64_t> hist(batch * 20);
+  std::vector<int64_t> lengths(batch, 20);
+  std::vector<int64_t> targets(batch);
+  for (auto& id : hist) id = static_cast<int64_t>(rng.Uniform(5000));
+  for (auto& id : targets) id = static_cast<int64_t>(rng.Uniform(5000));
+  Tensor log_pu({batch}), log_pi({batch});
+  log_pu.Fill(-8.0f);
+  log_pi.Fill(-8.0f);
+  for (auto _ : state) {
+    nn::Variable u = model.EncodeUsers(hist, lengths);
+    nn::Variable i = model.EncodeItems(targets);
+    nn::Variable scores = model.ScoreMatrix(u, i);
+    nn::Variable l = loss::NceFamilyLoss(
+        scores, log_pu, log_pi, loss::SettingsFor(loss::LossKind::kBbcNce));
+    nn::Backward(l);
+    model.ZeroGrad();
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_BbcNceStep)->Arg(64)->Arg(128);
+
+void BM_GruEncode(benchmark::State& state) {
+  model::TwoTowerConfig mc;
+  mc.num_items = 2000;
+  mc.embedding_dim = 16;
+  mc.extractor = model::ContextExtractor::kGru;
+  model::TwoTowerModel model(mc);
+  Rng rng(4);
+  const int64_t batch = 64;
+  std::vector<int64_t> hist(batch * 20);
+  std::vector<int64_t> lengths(batch, 20);
+  for (auto& id : hist) id = static_cast<int64_t>(rng.Uniform(2000));
+  for (auto _ : state) {
+    nn::Variable u = model.EncodeUsers(hist, lengths);
+    benchmark::DoNotOptimize(u.value().data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_GruEncode);
+
+void BM_BruteForceSearch(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(5);
+  Tensor vecs = Tensor::Randn({n, 16}, 1.0f, &rng);
+  ann::BruteForceIndex index;
+  UM_CHECK(index.Build(vecs).ok());
+  Tensor q = Tensor::Randn({16}, 1.0f, &rng);
+  for (auto _ : state) {
+    auto r = index.Search(q.data(), 10);
+    benchmark::DoNotOptimize(r.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BruteForceSearch)->Arg(10000)->Arg(100000);
+
+void BM_HnswSearch(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(7);
+  Tensor raw = Tensor::Randn({n, 16}, 1.0f, &rng);
+  Tensor vecs(raw.shape());
+  L2NormalizeRows(raw, &vecs, nullptr);
+  ann::HnswIndex index;
+  UM_CHECK(index.Build(vecs).ok());
+  Tensor q = Tensor::Randn({16}, 1.0f, &rng);
+  for (auto _ : state) {
+    auto r = index.Search(q.data(), 10);
+    benchmark::DoNotOptimize(r.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_HnswSearch)->Arg(10000)->Arg(50000);
+
+void BM_IvfSearch(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(6);
+  Tensor raw = Tensor::Randn({n, 16}, 1.0f, &rng);
+  Tensor vecs(raw.shape());
+  L2NormalizeRows(raw, &vecs, nullptr);
+  ann::IvfConfig cfg;
+  cfg.nprobe = 8;
+  ann::IvfIndex index(cfg);
+  UM_CHECK(index.Build(vecs).ok());
+  Tensor q = Tensor::Randn({16}, 1.0f, &rng);
+  for (auto _ : state) {
+    auto r = index.Search(q.data(), 10);
+    benchmark::DoNotOptimize(r.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_IvfSearch)->Arg(10000)->Arg(100000);
+
+}  // namespace
+}  // namespace unimatch
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Table I reproduction: optima of the BCE loss under the four negative
+// sampling distributions p_n(u, i).
+//
+// On an enumerable 8x8 universe we fit an unconstrained score table with
+// BCE + each sampling strategy and report the correlation and centered max
+// error against all four candidate optima. The diagonal (bold in the
+// printed table) must be the best match, confirming the paper's derivation:
+//
+//   p_n ∝ p̂(u)        -> phi ~ log p̂(i|u)
+//   p_n ∝ p̂(i)        -> phi ~ log p̂(u|i)
+//   p_n ∝ p̂(u)p̂(i)   -> phi ~ PMI
+//   p_n = 1/MK         -> phi ~ log p̂(u,i)
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.h"
+#include "src/loss/tabular_study.h"
+
+using namespace unimatch;
+using loss::TabularStudy;
+
+int main() {
+  loss::TabularStudyConfig cfg;
+  cfg.num_users = 8;
+  cfg.num_items = 8;
+  cfg.num_pairs = 8000;
+  cfg.epochs = 250;
+  cfg.seed = 5;
+  TabularStudy study(cfg);
+
+  const std::vector<std::pair<data::NegSampling, std::string>> samplings = {
+      {data::NegSampling::kUserFreq, "p(u)"},
+      {data::NegSampling::kItemFreq, "p(i)"},
+      {data::NegSampling::kUserItemFreq, "p(u)p(i)"},
+      {data::NegSampling::kUniform, "1/MK"},
+  };
+  const std::vector<std::pair<TabularStudy::Target, std::string>> targets = {
+      {TabularStudy::Target::kLogItemGivenUser, "log p(i|u)"},
+      {TabularStudy::Target::kLogUserGivenItem, "log p(u|i)"},
+      {TabularStudy::Target::kPmi, "PMI"},
+      {TabularStudy::Target::kLogJoint, "log p(u,i)"},
+  };
+
+  TablePrinter table(
+      "Table I: BCE optima by negative-sampling distribution p_n(u,i)\n"
+      "cells: correlation of fitted phi with each candidate optimum\n"
+      "(paper derivation: the diagonal must win; '*' marks the best match)");
+  table.SetHeader({"NS: p_n(u,i)", "paper optimum", "log p(i|u)",
+                   "log p(u|i)", "PMI", "log p(u,i)"});
+
+  bool all_diagonal = true;
+  for (size_t row = 0; row < samplings.size(); ++row) {
+    const Tensor phi = study.FitBce(samplings[row].first);
+    std::vector<std::string> cells = {samplings[row].second,
+                                      targets[row].second};
+    double best = -2.0;
+    size_t best_col = 0;
+    std::vector<double> corr(targets.size());
+    for (size_t col = 0; col < targets.size(); ++col) {
+      corr[col] = TabularStudy::Correlation(
+          phi, study.TargetMatrix(targets[col].first));
+      if (corr[col] > best) {
+        best = corr[col];
+        best_col = col;
+      }
+    }
+    for (size_t col = 0; col < targets.size(); ++col) {
+      std::string cell = FixedDigits(corr[col], 4);
+      if (col == best_col) cell += " *";
+      cells.push_back(cell);
+    }
+    if (best_col != row) all_diagonal = false;
+    table.AddRow(cells);
+  }
+  table.Print(std::cout);
+  std::printf("\nDiagonal dominance (every sampling matches its derived "
+              "optimum): %s\n",
+              all_diagonal ? "YES — Table I reproduced" : "NO");
+  return all_diagonal ? 0 : 1;
+}

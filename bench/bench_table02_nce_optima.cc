@@ -1,0 +1,110 @@
+// Table II reproduction: optima of the multinomial-family losses.
+//
+// Fits an unconstrained score table with each loss configuration of Eq. 10
+// (plus SSM) and verifies convergence to the derived optimum:
+//
+//   SSM            -> log p̂(i|u)        (up to per-user shift)
+//   InfoNCE        -> PMI                (up to per-user shift)
+//   SimCLR         -> PMI                (global constant)
+//   row-bcNCE      -> log p̂(i|u)        (up to per-user shift)
+//   col-bcNCE      -> log p̂(u|i)        (up to per-item shift)
+//   bbcNCE         -> log p̂(u,i)        (global constant)  <- the paper's loss
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.h"
+#include "src/loss/tabular_study.h"
+
+using namespace unimatch;
+using loss::LossKind;
+using loss::TabularStudy;
+
+namespace {
+
+enum class Centering { kGlobal, kRow, kCol };
+
+double CenteredError(Centering c, const Tensor& phi, const Tensor& target) {
+  switch (c) {
+    case Centering::kGlobal:
+      return TabularStudy::GlobalCenteredMaxError(phi, target);
+    case Centering::kRow:
+      return TabularStudy::RowCenteredMaxError(phi, target);
+    case Centering::kCol:
+      return TabularStudy::ColCenteredMaxError(phi, target);
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+int main() {
+  loss::TabularStudyConfig cfg;
+  cfg.num_users = 8;
+  cfg.num_items = 8;
+  cfg.num_pairs = 8000;
+  cfg.epochs = 300;
+  cfg.seed = 5;
+  TabularStudy study(cfg);
+
+  struct Row {
+    std::string name;
+    std::string settings;
+    Tensor phi;
+    TabularStudy::Target target;
+    std::string target_name;
+    Centering centering;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"SSM", "full-vocab negatives + bias corr.", study.FitSsm(),
+                  TabularStudy::Target::kLogItemGivenUser, "log p(i|u)",
+                  Centering::kRow});
+  rows.push_back({"InfoNCE", "a=1, da=b=db=0",
+                  study.FitNce(SettingsFor(LossKind::kInfoNce)),
+                  TabularStudy::Target::kPmi, "PMI", Centering::kRow});
+  rows.push_back({"SimCLR", "a=b=1, da=db=0",
+                  study.FitNce(SettingsFor(LossKind::kSimClr)),
+                  TabularStudy::Target::kPmi, "PMI", Centering::kGlobal});
+  rows.push_back({"row-bcNCE", "a=da=1, b=db=0",
+                  study.FitNce(SettingsFor(LossKind::kRowBcNce)),
+                  TabularStudy::Target::kLogItemGivenUser, "log p(i|u)",
+                  Centering::kRow});
+  rows.push_back({"col-bcNCE", "a=da=0, b=db=1",
+                  study.FitNce(SettingsFor(LossKind::kColBcNce)),
+                  TabularStudy::Target::kLogUserGivenItem, "log p(u|i)",
+                  Centering::kCol});
+  rows.push_back({"bbcNCE", "a=da=b=db=1",
+                  study.FitNce(SettingsFor(LossKind::kBbcNce)),
+                  TabularStudy::Target::kLogJoint, "log p(u,i)",
+                  Centering::kGlobal});
+
+  TablePrinter table(
+      "Table II: optima of the multinomial-family losses (Eq. 10 settings)\n"
+      "corr = correlation with the derived optimum; err = centered max "
+      "|phi - optimum| in log space");
+  table.SetHeader({"loss", "settings", "phi converges to", "corr", "err"});
+  bool all_ok = true;
+  for (const auto& r : rows) {
+    const Tensor target = study.TargetMatrix(r.target);
+    const double corr = TabularStudy::Correlation(r.phi, target);
+    const double err = CenteredError(r.centering, r.phi, target);
+    const bool ok = err < 0.4;
+    all_ok = all_ok && ok;
+    table.AddRow({r.name, r.settings, r.target_name, FixedDigits(corr, 4),
+                  FixedDigits(err, 3) + (ok ? "" : " !")});
+  }
+  table.Print(std::cout);
+
+  // The headline claim: only bbcNCE matches the JOINT globally — that is
+  // what makes one model serve both IR and UT.
+  const Tensor joint = study.TargetMatrix(TabularStudy::Target::kLogJoint);
+  std::printf("\nGlobal-centered error vs log p(u,i):\n");
+  for (const auto& r : rows) {
+    std::printf("  %-10s %.3f\n", r.name.c_str(),
+                TabularStudy::GlobalCenteredMaxError(r.phi, joint));
+  }
+  std::printf("\nTable II %s\n",
+              all_ok ? "reproduced: every loss reaches its derived optimum"
+                     : "NOT fully reproduced");
+  return all_ok ? 0 : 1;
+}

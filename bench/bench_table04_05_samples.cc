@@ -1,0 +1,77 @@
+// Tables IV & V reproduction: the training-record formats of the two
+// modeling families.
+//
+// Table IV (multinomial / bbcNCE): positive (pseudo-user, item) pairs with
+// pre-computed log-marginals for the bias correction, negatives taken
+// in-batch.
+// Table V (Bernoulli / BCE): explicit positive and sampled-negative rows
+// with binary labels.
+
+#include <iostream>
+#include <sstream>
+
+#include "bench/common.h"
+#include "src/data/negative_sampler.h"
+
+using namespace unimatch;
+
+namespace {
+
+std::string SeqToString(const std::vector<int64_t>& ids, int64_t row,
+                        int64_t seq_len, int64_t len) {
+  std::ostringstream os;
+  for (int64_t t = 0; t < len; ++t) {
+    if (t) os << ' ';
+    os << ids[row * seq_len + t];
+  }
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto env = bench::MakeEnv("books", bench::ParseScale(argc, argv));
+  const auto& splits = env->splits;
+  const int max_len = splits.config.window.max_seq_len;
+
+  // --- Table IV ---
+  Rng rng(11);
+  data::BatchIterator it(&splits.train, &splits.train_marginals,
+                         splits.train.AllIndices(), 5, max_len, &rng);
+  data::Batch batch;
+  UM_CHECK(it.Next(&batch));
+  TablePrinter t4(
+      "Table IV: training samples for the multinomial losses (SSM, InfoNCE, "
+      "bbcNCE, ...)\nnegatives come from the other rows of the same batch");
+  t4.SetHeader({"user_id", "item_seq", "item_id", "log(p(u))", "log(p(i))"});
+  for (int64_t r = 0; r < batch.batch_size; ++r) {
+    t4.AddRow({StrFormat("%lld", (long long)batch.users[r]),
+               SeqToString(batch.history_ids, r, batch.seq_len,
+                           batch.lengths[r]),
+               StrFormat("%lld", (long long)batch.targets[r]),
+               FixedDigits(batch.log_pu.at(r), 5),
+               FixedDigits(batch.log_pi.at(r), 5)});
+  }
+  t4.Print(std::cout);
+
+  // --- Table V ---
+  data::BceNegativeSampler sampler(splits.train, splits.train_marginals,
+                                   splits.histories,
+                                   data::NegSampling::kUniform);
+  Tensor labels;
+  data::Batch bce = AssembleBceBatch(splits.train, {0, 1, 2},
+                                     splits.train_marginals, max_len, sampler,
+                                     &rng, &labels);
+  TablePrinter t5(
+      "\nTable V: training samples for the BCE loss (Bernoulli modeling)\n"
+      "label-0 rows are sampled negatives (1:1 with positives)");
+  t5.SetHeader({"user_id", "item_seq", "item_id", "label"});
+  for (int64_t r = 0; r < bce.batch_size; ++r) {
+    t5.AddRow({StrFormat("%lld", (long long)bce.users[r]),
+               SeqToString(bce.history_ids, r, bce.seq_len, bce.lengths[r]),
+               StrFormat("%lld", (long long)bce.targets[r]),
+               StrFormat("%d", labels.at(r) > 0.5f ? 1 : 0)});
+  }
+  t5.Print(std::cout);
+  return 0;
+}

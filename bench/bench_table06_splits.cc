@@ -1,0 +1,59 @@
+// Table VI reproduction: train/test statistics of the four datasets after
+// splitting and filtering, including the candidate-pool construction of the
+// evaluation protocol (1 positive + sampled negatives per test case).
+
+#include <iostream>
+
+#include "bench/common.h"
+
+using namespace unimatch;
+
+int main(int argc, char** argv) {
+  const double scale = bench::ParseScale(argc, argv);
+  TablePrinter table(
+      "Table VI: statistics of the datasets after train/test splitting");
+  table.SetHeader({"", "metric", "books", "electronics", "e_comp", "w_comp"});
+
+  std::vector<std::unique_ptr<bench::Env>> envs;
+  for (const auto& name : bench::DatasetNames()) {
+    envs.push_back(bench::MakeEnv(name, scale));
+  }
+  auto row = [&](const char* section, const char* metric,
+                 auto value_fn) {
+    std::vector<std::string> cells = {section, metric};
+    for (auto& env : envs) cells.push_back(value_fn(*env));
+    table.AddRow(cells);
+  };
+
+  row("", "train data", [](const bench::Env& e) {
+    return WithCommas(e.splits.train.size());
+  });
+  table.AddSeparator();
+  row("IR", "# test users", [](const bench::Env& e) {
+    return WithCommas(static_cast<int64_t>(e.protocol->ir_cases().size()));
+  });
+  row("IR", "# item pool", [](const bench::Env& e) {
+    return WithCommas(static_cast<int64_t>(e.protocol->item_pool().size()));
+  });
+  row("IR", "# top-n items", [](const bench::Env& e) {
+    return StrFormat("%d", e.protocol_config.top_n);
+  });
+  row("IR", "# negatives", [](const bench::Env& e) {
+    return StrFormat("%d", e.protocol_config.num_negatives);
+  });
+  table.AddSeparator();
+  row("UT", "# test items", [](const bench::Env& e) {
+    return WithCommas(static_cast<int64_t>(e.protocol->ut_cases().size()));
+  });
+  row("UT", "# user pool", [](const bench::Env& e) {
+    return WithCommas(static_cast<int64_t>(e.protocol->user_pool().size()));
+  });
+  row("UT", "# top-n users", [](const bench::Env& e) {
+    return StrFormat("%d", e.protocol_config.top_n);
+  });
+  row("UT", "# negatives", [](const bench::Env& e) {
+    return StrFormat("%d", e.protocol_config.num_negatives);
+  });
+  table.Print(std::cout);
+  return 0;
+}

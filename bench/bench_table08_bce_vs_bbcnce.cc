@@ -1,0 +1,95 @@
+// Table VIII reproduction: bbcNCE vs the BCE loss under the four Table-I
+// negative-sampling strategies, NDCG on IR and UT across all four datasets.
+//
+// Expected shape (paper): BCE+p(u) strong on IR only, BCE+p(i) strong on UT
+// only, uniform BCE decent on both, bbcNCE best-or-second on BOTH tasks
+// everywhere — the unification argument.
+
+#include <iostream>
+
+#include "bench/common.h"
+
+using namespace unimatch;
+
+int main(int argc, char** argv) {
+  const double scale = bench::ParseScale(argc, argv);
+
+  struct RowSpec {
+    std::string label;
+    loss::LossKind loss;
+    data::NegSampling sampling;
+  };
+  const std::vector<RowSpec> rows = {
+      {"BCE  NS:p(u)", loss::LossKind::kBce, data::NegSampling::kUserFreq},
+      {"BCE  NS:p(i)", loss::LossKind::kBce, data::NegSampling::kItemFreq},
+      {"BCE  NS:p(u)p(i)", loss::LossKind::kBce,
+       data::NegSampling::kUserItemFreq},
+      {"BCE  NS:1/MK", loss::LossKind::kBce, data::NegSampling::kUniform},
+      {"bbcNCE", loss::LossKind::kBbcNce, data::NegSampling::kUniform},
+  };
+
+  TablePrinter table(
+      "Table VIII: BCE (4 negative-sampling strategies) vs bbcNCE\n"
+      "NDCG@10 (%), NDCG@5 for w_comp");
+  std::vector<std::string> header = {"loss"};
+  for (const auto& name : bench::DatasetNames()) {
+    header.push_back(name + " IR");
+    header.push_back(name + " UT");
+    header.push_back(name + " AVG");
+  }
+  table.SetHeader(header);
+
+  // metrics[row][dataset] = (ir, ut)
+  std::vector<std::vector<std::pair<double, double>>> metrics(
+      rows.size(),
+      std::vector<std::pair<double, double>>(bench::DatasetNames().size()));
+
+  for (size_t d = 0; d < bench::DatasetNames().size(); ++d) {
+    auto env = bench::MakeEnv(bench::DatasetNames()[d], scale);
+    for (size_t r = 0; r < rows.size(); ++r) {
+      const auto result = bench::RunLoss(*env, rows[r].loss,
+                                         rows[r].sampling);
+      metrics[r][d] = {result.metrics.ir.ndcg, result.metrics.ut.ndcg};
+      std::fprintf(stderr, "[table08] %-18s %-12s IR %.2f UT %.2f (%.1fs)\n",
+                   rows[r].label.c_str(), bench::DatasetNames()[d].c_str(),
+                   100 * result.metrics.ir.ndcg, 100 * result.metrics.ut.ndcg,
+                   result.train_seconds);
+    }
+  }
+
+  for (size_t r = 0; r < rows.size(); ++r) {
+    std::vector<std::string> cells = {rows[r].label};
+    for (size_t d = 0; d < bench::DatasetNames().size(); ++d) {
+      const auto [ir, ut] = metrics[r][d];
+      cells.push_back(bench::Pct(ir));
+      cells.push_back(bench::Pct(ut));
+      cells.push_back(bench::Pct((ir + ut) / 2));
+    }
+    table.AddRow(cells);
+  }
+  table.Print(std::cout);
+
+  // Shape verdicts.
+  int bbcnce_top2_avg = 0;
+  for (size_t d = 0; d < bench::DatasetNames().size(); ++d) {
+    std::vector<double> avgs;
+    for (size_t r = 0; r < rows.size(); ++r) {
+      avgs.push_back((metrics[r][d].first + metrics[r][d].second) / 2);
+    }
+    const double bbc = avgs.back();
+    int rank = 1;
+    for (size_t r = 0; r + 1 < rows.size(); ++r) {
+      if (avgs[r] > bbc) ++rank;
+    }
+    if (rank <= 2) ++bbcnce_top2_avg;
+    std::printf("%s: bbcNCE AVG rank %d of 5; BCE p(u) IR-vs-UT gap %+0.2f, "
+                "BCE p(i) gap %+0.2f\n",
+                bench::DatasetNames()[d].c_str(), rank,
+                100 * (metrics[0][d].first - metrics[0][d].second),
+                100 * (metrics[1][d].first - metrics[1][d].second));
+  }
+  std::printf("\nbbcNCE in top-2 by AVG on %d/4 datasets (paper: 4/4 best "
+              "or 2nd best)\n",
+              bbcnce_top2_avg);
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Table IX reproduction: bbcNCE vs the other multinomial-scope losses on
+// the Amazon-style datasets (books, electronics).
+//
+// Expected shape (paper): row-bcNCE/SSM lead IR, col-bcNCE leads UT,
+// InfoNCE ~ SimCLR on both, bbcNCE best-or-second on both tasks.
+
+#include "bench/common.h"
+
+int main(int argc, char** argv) {
+  return unimatch::bench::RunLossComparisonTable(
+      {"books", "electronics"},
+      "Table IX: multinomial-scope losses on the Amazon-style datasets\n"
+      "R = Recall@10 (%), N = NDCG@10 (%)",
+      unimatch::bench::ParseScale(argc, argv));
+}

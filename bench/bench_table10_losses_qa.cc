@@ -1,0 +1,12 @@
+// Table X reproduction: bbcNCE vs the other multinomial-scope losses on the
+// QuickAudience-style datasets (e_comp, w_comp).
+
+#include "bench/common.h"
+
+int main(int argc, char** argv) {
+  return unimatch::bench::RunLossComparisonTable(
+      {"e_comp", "w_comp"},
+      "Table X: multinomial-scope losses on the QuickAudience-style "
+      "datasets\nR/N = Recall/NDCG@10 (%) for e_comp, @5 for w_comp",
+      unimatch::bench::ParseScale(argc, argv));
+}

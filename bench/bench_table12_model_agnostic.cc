@@ -1,0 +1,112 @@
+// Table XII reproduction: the model-agnostic sweep on w_comp.
+//
+// 5 context extractors (YoutubeDNN / CNN / GRU / LSTM / Transformer) x 3
+// aggregators (mean / last / attention; max omitted as in the paper) x 6
+// losses, NDCG@5 on IR and UT.
+//
+// Expected shape (paper): results vary little across architectures under
+// the same loss (justifying the cheap YoutubeDNN+mean default), while the
+// loss ordering (bbcNCE/row-bcNCE top IR, bbcNCE/col-bcNCE top UT) holds
+// for every architecture.
+
+#include <iostream>
+
+#include "bench/common.h"
+
+using namespace unimatch;
+
+int main(int argc, char** argv) {
+  const double scale = bench::ParseScale(argc, argv);
+  auto env = bench::MakeEnv("w_comp", scale);
+
+  const std::vector<model::ContextExtractor> extractors = {
+      model::ContextExtractor::kNone, model::ContextExtractor::kCnn,
+      model::ContextExtractor::kGru, model::ContextExtractor::kLstm,
+      model::ContextExtractor::kTransformer};
+  const std::vector<model::Aggregator> aggregators = {
+      model::Aggregator::kMean, model::Aggregator::kLast,
+      model::Aggregator::kAttention};
+  const auto& losses = bench::MultinomialLosses();
+
+  // results[task][loss][model_column]
+  const size_t ncols = extractors.size() * aggregators.size();
+  std::vector<std::vector<double>> ir(losses.size(),
+                                      std::vector<double>(ncols));
+  std::vector<std::vector<double>> ut(losses.size(),
+                                      std::vector<double>(ncols));
+
+  size_t col = 0;
+  std::vector<std::string> col_names;
+  for (auto ex : extractors) {
+    for (auto agg : aggregators) {
+      col_names.push_back(StrFormat("%s/%s", ContextExtractorToString(ex),
+                                    AggregatorToString(agg)));
+      for (size_t l = 0; l < losses.size(); ++l) {
+        const bool multinomial = true;
+        const bench::Hyperparams hp =
+            bench::HyperparamsFor(env->name, multinomial);
+        train::TrainConfig tc;
+        tc.loss = losses[l];
+        tc.batch_size = hp.batch_size;
+        tc.epochs_per_month = hp.epochs;
+        model::TwoTowerConfig mc = bench::DefaultModelConfig(*env, true);
+        mc.extractor = ex;
+        mc.aggregator = agg;
+        const auto run = bench::TrainAndEvaluate(*env, tc, mc);
+        ir[l][col] = run.metrics.ir.ndcg;
+        ut[l][col] = run.metrics.ut.ndcg;
+        std::fprintf(stderr, "[table12] %-24s %-10s IR %.2f UT %.2f (%.1fs)\n",
+                     col_names.back().c_str(),
+                     loss::LossKindToString(losses[l]),
+                     100 * run.metrics.ir.ndcg, 100 * run.metrics.ut.ndcg,
+                     run.train_seconds);
+      }
+      ++col;
+    }
+  }
+
+  for (const auto& [task, grid] :
+       {std::pair<std::string, std::vector<std::vector<double>>*>{
+            "IR", &ir},
+        {"UT", &ut}}) {
+    TablePrinter table(StrFormat(
+        "Table XII (%s): NDCG@5 (%%) on w_comp across architectures x losses",
+        task.c_str()));
+    std::vector<std::string> header = {"loss"};
+    for (const auto& c : col_names) header.push_back(c);
+    table.SetHeader(header);
+    for (size_t l = 0; l < losses.size(); ++l) {
+      std::vector<std::string> cells = {loss::LossKindToString(losses[l])};
+      for (size_t c = 0; c < ncols; ++c) {
+        cells.push_back(bench::Pct((*grid)[l][c]));
+      }
+      table.AddRow(cells);
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+
+  // Shape verdicts: (1) architecture spread under bbcNCE is small;
+  // (2) bbcNCE top-2 on both tasks for most architectures.
+  const size_t bbc = losses.size() - 1;
+  double mn = 1.0, mx = 0.0;
+  for (size_t c = 0; c < ncols; ++c) {
+    mn = std::min(mn, ir[bbc][c]);
+    mx = std::max(mx, ir[bbc][c]);
+  }
+  std::printf("bbcNCE IR spread across 15 architectures: %.2f .. %.2f "
+              "(paper: architectures differ little)\n",
+              100 * mn, 100 * mx);
+  int top2 = 0;
+  for (size_t c = 0; c < ncols; ++c) {
+    int rank_ir = 1, rank_ut = 1;
+    for (size_t l = 0; l + 1 < losses.size(); ++l) {
+      if (ir[l][c] > ir[bbc][c]) ++rank_ir;
+      if (ut[l][c] > ut[bbc][c]) ++rank_ut;
+    }
+    if (rank_ir <= 2 && rank_ut <= 2) ++top2;
+  }
+  std::printf("bbcNCE top-2 on BOTH tasks for %d/%zu architectures\n", top2,
+              ncols);
+  return 0;
+}

@@ -1,0 +1,91 @@
+// ANN serving: the deployment story of the two-tower architecture.
+//
+// Because UniMatch never crosses user and item features before the final
+// dot product (Fig. 2), embeddings can be exported once per refresh and
+// served with approximate nearest-neighbor search. This example trains an
+// engine, exports both embedding matrices, and compares exact brute-force
+// retrieval against the IVF index on latency and recall.
+
+#include <cstdio>
+
+#include "src/ann/index.h"
+#include "src/core/unimatch.h"
+#include "src/data/synthetic.h"
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+#include "src/util/table_printer.h"
+#include "src/util/timer.h"
+
+using namespace unimatch;
+
+int main() {
+  data::SyntheticConfig dc = data::BooksPreset();
+  dc.num_users = 6000;
+  dc.target_interactions = 60000;
+  dc.num_months = 10;
+  const data::InteractionLog log = data::GenerateSynthetic(dc);
+
+  core::EngineConfig config;
+  config.model.temperature = 0.1667f;
+  core::UniMatchEngine engine(config);
+  Status st = engine.Fit(log);
+  UM_CHECK(st.ok()) << st.ToString();
+
+  const Tensor& items = engine.item_embeddings();
+  const Tensor& users = engine.user_embeddings();
+  std::printf("exported embeddings: items %s, users %s\n",
+              ShapeToString(items.shape()).c_str(),
+              ShapeToString(users.shape()).c_str());
+
+  // Build the two index flavors over the item side (IR serving).
+  ann::BruteForceIndex exact;
+  UM_CHECK(exact.Build(items).ok());
+
+  TablePrinter table("IR serving: exact scan vs IVF, 500 user queries");
+  table.SetHeader({"index", "nprobe", "recall@10 vs exact", "us / query"});
+
+  const int64_t num_queries = 500;
+  const int64_t d = engine.model()->config().embedding_dim;
+
+  // Exact timing.
+  {
+    WallTimer timer;
+    for (int64_t q = 0; q < num_queries; ++q) {
+      auto r = exact.Search(users.data() + (q % users.dim(0)) * d, 10);
+      UM_CHECK(!r.empty());
+    }
+    table.AddRow({"brute force", "-", "1.000",
+                  FixedDigits(timer.ElapsedSeconds() * 1e6 / num_queries, 1)});
+  }
+
+  for (int64_t nprobe : {1, 2, 4, 8}) {
+    ann::IvfConfig ic;
+    ic.nlist = 32;
+    ic.nprobe = nprobe;
+    ann::IvfIndex ivf(ic);
+    UM_CHECK(ivf.Build(items).ok());
+    // Recall measured over a query sample.
+    Tensor queries({100, d});
+    for (int64_t q = 0; q < 100; ++q) {
+      std::copy(users.data() + q * d, users.data() + (q + 1) * d,
+                queries.data() + q * d);
+    }
+    const double recall = ann::MeasureRecallAtK(ivf, exact, queries, 10);
+    WallTimer timer;
+    for (int64_t q = 0; q < num_queries; ++q) {
+      auto r = ivf.Search(users.data() + (q % users.dim(0)) * d, 10);
+      UM_CHECK(!r.empty());
+    }
+    table.AddRow({"IVF", StrFormat("%lld", (long long)nprobe),
+                  FixedDigits(recall, 3),
+                  FixedDigits(timer.ElapsedSeconds() * 1e6 / num_queries, 1)});
+  }
+  table.Print(std::cout);
+
+  std::printf(
+      "\nUT serving works identically over the user matrix (%lld rows) —\n"
+      "same embeddings, opposite direction. That symmetry is the point of\n"
+      "learning the joint p(u,i).\n",
+      (long long)users.dim(0));
+  return 0;
+}

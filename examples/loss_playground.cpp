@@ -1,0 +1,90 @@
+// Loss playground: watch the theory of Tables I & II happen.
+//
+// Fits an unconstrained 6x6 score table with several losses on the same
+// enumerable dataset and prints the fitted scores next to their theoretical
+// optima, so you can SEE bbcNCE recover log p(u,i) while InfoNCE recovers
+// pointwise mutual information. This is the fastest way to understand why
+// only bbcNCE serves item recommendation and user targeting at once.
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/loss/tabular_study.h"
+#include "src/util/string_util.h"
+#include "src/util/table_printer.h"
+
+using namespace unimatch;
+using loss::LossKind;
+using loss::TabularStudy;
+
+namespace {
+
+void PrintMatrixComparison(const std::string& name, const Tensor& phi,
+                           const Tensor& target,
+                           const std::string& target_name) {
+  // Align phi to the target with a global shift, then print side by side.
+  const double shift = target.Mean() - phi.Mean();
+  TablePrinter table(name + ": fitted phi (globally shifted) vs " +
+                     target_name);
+  std::vector<std::string> header = {"user \\ item"};
+  for (int64_t i = 0; i < phi.dim(1); ++i) {
+    header.push_back(StrFormat("i%lld fit", (long long)i));
+    header.push_back("thy");
+  }
+  table.SetHeader(header);
+  for (int64_t u = 0; u < phi.dim(0); ++u) {
+    std::vector<std::string> row = {StrFormat("u%lld", (long long)u)};
+    for (int64_t i = 0; i < phi.dim(1); ++i) {
+      row.push_back(FixedDigits(phi.at(u, i) + shift, 2));
+      row.push_back(FixedDigits(target.at(u, i), 2));
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+  std::printf("correlation %.4f, centered max error %.3f\n\n",
+              TabularStudy::Correlation(phi, target),
+              TabularStudy::GlobalCenteredMaxError(phi, target));
+}
+
+}  // namespace
+
+int main() {
+  loss::TabularStudyConfig cfg;
+  cfg.num_users = 6;
+  cfg.num_items = 6;
+  cfg.num_pairs = 6000;
+  cfg.epochs = 250;
+  TabularStudy study(cfg);
+
+  std::printf("dataset: %lld pairs over a 6x6 universe; empirical counts:\n",
+              (long long)cfg.num_pairs);
+  for (int64_t u = 0; u < 6; ++u) {
+    std::printf("  ");
+    for (int64_t i = 0; i < 6; ++i) {
+      std::printf("%5lld", (long long)study.count(u, i));
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+
+  PrintMatrixComparison(
+      "bbcNCE (the paper's loss)",
+      study.FitNce(SettingsFor(LossKind::kBbcNce)),
+      study.TargetMatrix(TabularStudy::Target::kLogJoint), "log p(u,i)");
+
+  PrintMatrixComparison(
+      "InfoNCE (no bias correction)",
+      study.FitNce(SettingsFor(LossKind::kInfoNce)),
+      study.TargetMatrix(TabularStudy::Target::kPmi), "PMI(u,i)");
+
+  PrintMatrixComparison(
+      "BCE with uniform negative sampling (Bernoulli-family equivalent)",
+      study.FitBce(data::NegSampling::kUniform),
+      study.TargetMatrix(TabularStudy::Target::kLogJoint), "log p(u,i)");
+
+  std::printf(
+      "Take-away: bbcNCE and uniform-BCE both land on log p(u,i) — the\n"
+      "equivalence of Sec. III-A — but bbcNCE gets there with a fraction of\n"
+      "the records (see bench_cost_saving).\n");
+  return 0;
+}

@@ -1,0 +1,180 @@
+#include "src/ann/hnsw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_set>
+
+#include "src/util/logging.h"
+
+namespace unimatch::ann {
+
+float HnswIndex::Score(const float* query, int64_t node) const {
+  const int64_t d = dim();
+  const float* v = vectors_.data() + node * d;
+  float acc = 0.0f;
+  for (int64_t j = 0; j < d; ++j) acc += query[j] * v[j];
+  return acc;
+}
+
+Status HnswIndex::Build(const Tensor& vectors) {
+  if (vectors.rank() != 2) {
+    return Status::InvalidArgument("index expects a [N, d] matrix");
+  }
+  if (vectors.dim(0) == 0) {
+    return Status::InvalidArgument("empty index");
+  }
+  vectors_ = vectors.Clone();
+  const int64_t n = vectors_.dim(0);
+  Rng rng(config_.seed);
+
+  // Level assignment: geometric with p = 1/e scaled by 1/ln(M).
+  const double ml = 1.0 / std::log(std::max(2.0, double(config_.m)));
+  node_level_.assign(n, 0);
+  int max_level = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    double u;
+    do {
+      u = rng.NextDouble();
+    } while (u <= 1e-300);
+    const int level = static_cast<int>(-std::log(u) * ml);
+    node_level_[i] = level;
+    max_level = std::max(max_level, level);
+  }
+
+  layers_.assign(max_level + 1, Adjacency(n));
+  entry_point_ = -1;
+  int entry_level = -1;
+
+  for (int64_t i = 0; i < n; ++i) {
+    const int level = node_level_[i];
+    if (entry_point_ < 0) {
+      entry_point_ = i;
+      entry_level = level;
+      continue;
+    }
+    const float* q = vectors_.data() + i * dim();
+    int64_t entry = entry_point_;
+    // Greedy descent through layers above this node's level.
+    for (int l = entry_level; l > level; --l) {
+      entry = GreedyStep(q, entry, l);
+    }
+    // Insert with beam search on each layer from min(level, entry_level)
+    // down to 0.
+    for (int l = std::min(level, entry_level); l >= 0; --l) {
+      auto candidates = SearchLayer(q, entry, config_.ef_construction, l);
+      Connect(i, l, candidates);
+      entry = candidates.empty() ? entry : candidates.front().second;
+    }
+    if (level > entry_level) {
+      entry_point_ = i;
+      entry_level = level;
+    }
+  }
+  return Status::OK();
+}
+
+int64_t HnswIndex::GreedyStep(const float* query, int64_t entry,
+                              int layer) const {
+  int64_t current = entry;
+  float best = Score(query, current);
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (int64_t nb : layers_[layer][current]) {
+      const float s = Score(query, nb);
+      if (s > best) {
+        best = s;
+        current = nb;
+        improved = true;
+      }
+    }
+  }
+  return current;
+}
+
+std::vector<std::pair<float, int64_t>> HnswIndex::SearchLayer(
+    const float* query, int64_t entry, int ef, int layer) const {
+  // Max-heap of candidates to expand; min-heap of current best `ef`.
+  using Entry = std::pair<float, int64_t>;
+  std::priority_queue<Entry> candidates;                 // best first
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> best;
+  std::unordered_set<int64_t> visited;
+
+  const float es = Score(query, entry);
+  candidates.push({es, entry});
+  best.push({es, entry});
+  visited.insert(entry);
+
+  while (!candidates.empty()) {
+    const auto [cs, cn] = candidates.top();
+    candidates.pop();
+    if (static_cast<int>(best.size()) >= ef && cs < best.top().first) break;
+    for (int64_t nb : layers_[layer][cn]) {
+      if (!visited.insert(nb).second) continue;
+      const float s = Score(query, nb);
+      if (static_cast<int>(best.size()) < ef || s > best.top().first) {
+        candidates.push({s, nb});
+        best.push({s, nb});
+        if (static_cast<int>(best.size()) > ef) best.pop();
+      }
+    }
+  }
+  std::vector<Entry> out;
+  out.reserve(best.size());
+  while (!best.empty()) {
+    out.push_back(best.top());
+    best.pop();
+  }
+  std::reverse(out.begin(), out.end());  // best first
+  return out;
+}
+
+void HnswIndex::Connect(
+    int64_t node, int layer,
+    const std::vector<std::pair<float, int64_t>>& candidates) {
+  const int max_links = layer == 0 ? 2 * config_.m : config_.m;
+  auto& adj = layers_[layer];
+  const int take = std::min<int>(max_links, candidates.size());
+  for (int k = 0; k < take; ++k) {
+    const int64_t nb = candidates[k].second;
+    if (nb == node) continue;
+    adj[node].push_back(nb);
+    adj[nb].push_back(node);
+    if (static_cast<int>(adj[nb].size()) > max_links) Prune(nb, layer);
+  }
+}
+
+void HnswIndex::Prune(int64_t node, int layer) {
+  const int max_links = layer == 0 ? 2 * config_.m : config_.m;
+  auto& links = layers_[layer][node];
+  if (static_cast<int>(links.size()) <= max_links) return;
+  const float* v = vectors_.data() + node * dim();
+  // Dedupe by id first, then keep the best-scoring neighbors.
+  std::sort(links.begin(), links.end());
+  links.erase(std::unique(links.begin(), links.end()), links.end());
+  std::sort(links.begin(), links.end(), [&](int64_t a, int64_t b) {
+    return Score(v, a) > Score(v, b);
+  });
+  if (static_cast<int>(links.size()) > max_links) links.resize(max_links);
+}
+
+std::vector<SearchResult> HnswIndex::Search(const float* query, int k) const {
+  UM_CHECK_GT(k, 0);
+  UM_CHECK_GE(entry_point_, 0);
+  int64_t entry = entry_point_;
+  for (int l = static_cast<int>(layers_.size()) - 1; l > 0; --l) {
+    entry = GreedyStep(query, entry, l);
+  }
+  const int ef = std::max(config_.ef_search, k);
+  auto found = SearchLayer(query, entry, ef, 0);
+  std::vector<SearchResult> out;
+  out.reserve(std::min<size_t>(k, found.size()));
+  for (const auto& [score, id] : found) {
+    if (static_cast<int>(out.size()) >= k) break;
+    out.push_back({id, score});
+  }
+  return out;
+}
+
+}  // namespace unimatch::ann

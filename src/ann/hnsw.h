@@ -1,0 +1,76 @@
+// HNSW (Hierarchical Navigable Small World) approximate top-k index.
+//
+// The third serving backend next to the exact scan and IVF. HNSW gives
+// logarithmic-ish query time on large catalogs at high recall — the standard
+// choice for two-tower retrieval at the user-matrix scale of user targeting
+// (millions of rows in the paper's deployment).
+//
+// Implementation follows Malkov & Yashunin (2016): multi-layer proximity
+// graph, greedy descent through the upper layers, beam search (ef) on the
+// bottom layer, neighbor selection by simple best-M pruning. Similarity is
+// inner product (cosine on l2-normalized embeddings).
+
+#ifndef UNIMATCH_ANN_HNSW_H_
+#define UNIMATCH_ANN_HNSW_H_
+
+#include <vector>
+
+#include "src/ann/index.h"
+#include "src/util/random.h"
+
+namespace unimatch::ann {
+
+struct HnswConfig {
+  /// Max neighbors per node on layers > 0 (bottom layer gets 2M).
+  int m = 16;
+  /// Beam width during construction.
+  int ef_construction = 100;
+  /// Beam width during search (>= k for good recall).
+  int ef_search = 64;
+  uint64_t seed = 17;
+};
+
+class HnswIndex : public Index {
+ public:
+  explicit HnswIndex(HnswConfig config = {}) : config_(config) {}
+
+  Status Build(const Tensor& vectors) override;
+  std::vector<SearchResult> Search(const float* query, int k) const override;
+  int64_t size() const override {
+    return vectors_.rank() == 2 ? vectors_.dim(0) : 0;
+  }
+  int64_t dim() const override {
+    return vectors_.rank() == 2 ? vectors_.dim(1) : 0;
+  }
+
+  const HnswConfig& config() const { return config_; }
+  /// Number of graph layers (for tests/inspection).
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+
+ private:
+  // layers_[l][node] = adjacency list of `node` on layer l. Nodes absent
+  // from a layer have an empty list.
+  using Adjacency = std::vector<std::vector<int64_t>>;
+
+  float Score(const float* query, int64_t node) const;
+  // Greedy single-entry descent on one layer.
+  int64_t GreedyStep(const float* query, int64_t entry, int layer) const;
+  // Beam search on one layer; returns up to `ef` best (score, node) pairs,
+  // best first.
+  std::vector<std::pair<float, int64_t>> SearchLayer(const float* query,
+                                                     int64_t entry, int ef,
+                                                     int layer) const;
+  void Connect(int64_t node, int layer,
+               const std::vector<std::pair<float, int64_t>>& candidates);
+  void Prune(int64_t node, int layer);
+
+  HnswConfig config_;
+  Tensor vectors_;
+  std::vector<Adjacency> layers_;
+  std::vector<int> node_level_;
+  int64_t entry_point_ = -1;
+};
+
+}  // namespace unimatch::ann
+
+#endif  // UNIMATCH_ANN_HNSW_H_

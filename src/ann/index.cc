@@ -1,0 +1,183 @@
+#include "src/ann/index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <unordered_set>
+
+#include "src/util/logging.h"
+#include "src/util/random.h"
+
+namespace unimatch::ann {
+
+namespace {
+
+float Dot(const float* a, const float* b, int64_t d) {
+  float acc = 0.0f;
+  for (int64_t j = 0; j < d; ++j) acc += a[j] * b[j];
+  return acc;
+}
+
+// Keeps the k largest (score, id) pairs using a min-heap, then returns them
+// sorted descending.
+class TopK {
+ public:
+  explicit TopK(int k) : k_(k) {}
+
+  void Offer(int64_t id, float score) {
+    if (static_cast<int>(heap_.size()) < k_) {
+      heap_.push({score, id});
+    } else if (score > heap_.top().first) {
+      heap_.pop();
+      heap_.push({score, id});
+    }
+  }
+
+  std::vector<SearchResult> Take() {
+    std::vector<SearchResult> out(heap_.size());
+    for (int64_t i = static_cast<int64_t>(heap_.size()) - 1; i >= 0; --i) {
+      out[i] = {heap_.top().second, heap_.top().first};
+      heap_.pop();
+    }
+    return out;
+  }
+
+ private:
+  using Entry = std::pair<float, int64_t>;
+  struct Cmp {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;  // larger id evicted first on ties
+    }
+  };
+  int k_;
+  std::priority_queue<Entry, std::vector<Entry>, Cmp> heap_;
+};
+
+}  // namespace
+
+Status BruteForceIndex::Build(const Tensor& vectors) {
+  if (vectors.rank() != 2) {
+    return Status::InvalidArgument("index expects a [N, d] matrix");
+  }
+  vectors_ = vectors.Clone();
+  return Status::OK();
+}
+
+std::vector<SearchResult> BruteForceIndex::Search(const float* query,
+                                                  int k) const {
+  UM_CHECK_GT(k, 0);
+  const int64_t n = size(), d = dim();
+  TopK top(k);
+  for (int64_t i = 0; i < n; ++i) {
+    top.Offer(i, Dot(query, vectors_.data() + i * d, d));
+  }
+  return top.Take();
+}
+
+Status IvfIndex::Build(const Tensor& vectors) {
+  if (vectors.rank() != 2) {
+    return Status::InvalidArgument("index expects a [N, d] matrix");
+  }
+  vectors_ = vectors.Clone();
+  const int64_t n = vectors_.dim(0), d = vectors_.dim(1);
+  if (n == 0) return Status::InvalidArgument("empty index");
+  int64_t nlist = config_.nlist;
+  if (nlist <= 0) {
+    nlist = std::max<int64_t>(
+        1, static_cast<int64_t>(std::sqrt(static_cast<double>(n))));
+  }
+  nlist = std::min(nlist, n);
+  config_.nlist = nlist;
+  config_.nprobe = std::min(config_.nprobe, nlist);
+
+  // Spherical k-means: init centroids from random distinct points.
+  Rng rng(config_.seed);
+  centroids_ = Tensor({nlist, d});
+  auto init = rng.SampleWithoutReplacement(n, nlist);
+  for (int64_t c = 0; c < nlist; ++c) {
+    const float* src = vectors_.data() + init[c] * d;
+    std::copy(src, src + d, centroids_.data() + c * d);
+  }
+  std::vector<int64_t> assign(n, 0);
+  for (int iter = 0; iter < config_.kmeans_iters; ++iter) {
+    // Assignment step (max inner product).
+    for (int64_t i = 0; i < n; ++i) {
+      const float* v = vectors_.data() + i * d;
+      float best = -std::numeric_limits<float>::infinity();
+      int64_t best_c = 0;
+      for (int64_t c = 0; c < nlist; ++c) {
+        const float s = Dot(v, centroids_.data() + c * d, d);
+        if (s > best) {
+          best = s;
+          best_c = c;
+        }
+      }
+      assign[i] = best_c;
+    }
+    // Update step: mean of members, re-normalized (empty cluster keeps its
+    // centroid).
+    Tensor sums({nlist, d});
+    std::vector<int64_t> counts(nlist, 0);
+    for (int64_t i = 0; i < n; ++i) {
+      const float* v = vectors_.data() + i * d;
+      float* s = sums.data() + assign[i] * d;
+      for (int64_t j = 0; j < d; ++j) s[j] += v[j];
+      ++counts[assign[i]];
+    }
+    for (int64_t c = 0; c < nlist; ++c) {
+      if (counts[c] == 0) continue;
+      float* ctr = centroids_.data() + c * d;
+      const float* s = sums.data() + c * d;
+      double norm = 0.0;
+      for (int64_t j = 0; j < d; ++j) norm += static_cast<double>(s[j]) * s[j];
+      const float inv =
+          norm > 0.0 ? static_cast<float>(1.0 / std::sqrt(norm)) : 0.0f;
+      for (int64_t j = 0; j < d; ++j) ctr[j] = s[j] * inv;
+    }
+  }
+  lists_.assign(nlist, {});
+  for (int64_t i = 0; i < n; ++i) lists_[assign[i]].push_back(i);
+  return Status::OK();
+}
+
+std::vector<SearchResult> IvfIndex::Search(const float* query, int k) const {
+  UM_CHECK_GT(k, 0);
+  UM_CHECK(!lists_.empty());
+  const int64_t d = dim();
+  const int64_t nlist = centroids_.dim(0);
+
+  TopK coarse(static_cast<int>(config_.nprobe));
+  for (int64_t c = 0; c < nlist; ++c) {
+    coarse.Offer(c, Dot(query, centroids_.data() + c * d, d));
+  }
+  TopK top(k);
+  for (const auto& cr : coarse.Take()) {
+    for (int64_t i : lists_[cr.id]) {
+      top.Offer(i, Dot(query, vectors_.data() + i * d, d));
+    }
+  }
+  return top.Take();
+}
+
+double MeasureRecallAtK(const Index& index, const BruteForceIndex& exact,
+                        const Tensor& queries, int k) {
+  UM_CHECK_EQ(queries.rank(), 2);
+  const int64_t nq = queries.dim(0), d = queries.dim(1);
+  UM_CHECK_EQ(d, index.dim());
+  double hits = 0.0;
+  for (int64_t q = 0; q < nq; ++q) {
+    const float* qv = queries.data() + q * d;
+    auto approx = index.Search(qv, k);
+    auto truth = exact.Search(qv, k);
+    std::unordered_set<int64_t> truth_ids;
+    for (const auto& r : truth) truth_ids.insert(r.id);
+    for (const auto& r : approx) {
+      if (truth_ids.count(r.id)) hits += 1.0;
+    }
+  }
+  return hits / (static_cast<double>(nq) * k);
+}
+
+}  // namespace unimatch::ann

@@ -1,0 +1,86 @@
+// Top-k retrieval indexes over embedding matrices.
+//
+// The two-tower architecture exists precisely so embeddings can be indexed
+// and served with (approximate) nearest-neighbor search (Sec. III-B1). Both
+// indexes score by inner product, which on l2-normalized embeddings equals
+// cosine similarity.
+
+#ifndef UNIMATCH_ANN_INDEX_H_
+#define UNIMATCH_ANN_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+#include "src/util/status.h"
+
+namespace unimatch::ann {
+
+struct SearchResult {
+  int64_t id = -1;
+  float score = 0.0f;
+};
+
+class Index {
+ public:
+  virtual ~Index() = default;
+
+  /// Indexes the rows of `vectors` ([N, d]); row index = id.
+  virtual Status Build(const Tensor& vectors) = 0;
+
+  /// Top-k ids by inner product with `query` ([d]), descending.
+  virtual std::vector<SearchResult> Search(const float* query,
+                                           int k) const = 0;
+
+  virtual int64_t size() const = 0;
+  virtual int64_t dim() const = 0;
+};
+
+/// Exact scan; multi-threaded over rows for large catalogs.
+class BruteForceIndex : public Index {
+ public:
+  Status Build(const Tensor& vectors) override;
+  std::vector<SearchResult> Search(const float* query, int k) const override;
+  int64_t size() const override { return vectors_.rank() == 2 ? vectors_.dim(0) : 0; }
+  int64_t dim() const override { return vectors_.rank() == 2 ? vectors_.dim(1) : 0; }
+
+ private:
+  Tensor vectors_;
+};
+
+struct IvfConfig {
+  /// Number of coarse clusters; defaults to ~sqrt(N) when 0.
+  int64_t nlist = 0;
+  /// Clusters scanned per query.
+  int64_t nprobe = 8;
+  int kmeans_iters = 10;
+  uint64_t seed = 31;
+};
+
+/// Inverted-file index: spherical k-means coarse quantizer + per-cluster
+/// exact scan of `nprobe` nearest clusters.
+class IvfIndex : public Index {
+ public:
+  explicit IvfIndex(IvfConfig config = {}) : config_(config) {}
+
+  Status Build(const Tensor& vectors) override;
+  std::vector<SearchResult> Search(const float* query, int k) const override;
+  int64_t size() const override { return vectors_.rank() == 2 ? vectors_.dim(0) : 0; }
+  int64_t dim() const override { return vectors_.rank() == 2 ? vectors_.dim(1) : 0; }
+
+  const IvfConfig& config() const { return config_; }
+
+ private:
+  IvfConfig config_;
+  Tensor vectors_;
+  Tensor centroids_;  // [nlist, d]
+  std::vector<std::vector<int64_t>> lists_;
+};
+
+/// Measured recall of `index` against an exact scan over `queries` rows.
+double MeasureRecallAtK(const Index& index, const BruteForceIndex& exact,
+                        const Tensor& queries, int k);
+
+}  // namespace unimatch::ann
+
+#endif  // UNIMATCH_ANN_INDEX_H_

@@ -1,0 +1,85 @@
+#include "src/baselines/item_knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/util/logging.h"
+
+namespace unimatch::baselines {
+
+ItemKnn::ItemKnn(const data::DatasetSplits& splits,
+                 const data::InteractionLog& log, ItemKnnConfig config)
+    : config_(config), splits_(&splits) {
+  const int64_t num_items = log.num_items();
+  neighbors_.assign(num_items, {});
+
+  // Binary user->item sets over the training window (before the test
+  // month).
+  const data::Day cutoff = splits.test_month * data::kDaysPerMonth;
+  std::vector<std::vector<data::ItemId>> user_items(log.num_users());
+  for (const auto& r : log.records()) {
+    if (r.day >= cutoff) continue;
+    user_items[r.user].push_back(r.item);
+  }
+  std::vector<int64_t> item_users(num_items, 0);
+  // Co-occurrence counts via per-user pairs. Dedup each user's items first.
+  std::unordered_map<int64_t, int64_t> co;  // key = a * num_items + b, a < b
+  for (auto& items : user_items) {
+    std::sort(items.begin(), items.end());
+    items.erase(std::unique(items.begin(), items.end()), items.end());
+    for (auto i : items) ++item_users[i];
+    // Skip pathological power users: a user who bought half the catalog
+    // contributes O(K^2) pairs and no signal.
+    if (items.size() > 500) continue;
+    for (size_t a = 0; a < items.size(); ++a) {
+      for (size_t b = a + 1; b < items.size(); ++b) {
+        ++co[items[a] * num_items + items[b]];
+      }
+    }
+  }
+
+  // Cosine with shrinkage: sim = c_ab / (sqrt(n_a * n_b) + shrink).
+  std::vector<std::vector<std::pair<data::ItemId, float>>> raw(num_items);
+  for (const auto& [key, count] : co) {
+    const int64_t a = key / num_items;
+    const int64_t b = key % num_items;
+    const double denom =
+        std::sqrt(static_cast<double>(item_users[a]) * item_users[b]) +
+        config_.shrinkage;
+    const float sim = static_cast<float>(count / denom);
+    raw[a].push_back({b, sim});
+    raw[b].push_back({a, sim});
+  }
+  for (int64_t i = 0; i < num_items; ++i) {
+    auto& list = raw[i];
+    std::sort(list.begin(), list.end(),
+              [](const auto& x, const auto& y) { return x.second > y.second; });
+    if (config_.top_k_neighbors > 0 &&
+        static_cast<int>(list.size()) > config_.top_k_neighbors) {
+      list.resize(config_.top_k_neighbors);
+    }
+    neighbors_[i] = std::move(list);
+  }
+}
+
+double ItemKnn::Similarity(data::ItemId a, data::ItemId b) const {
+  for (const auto& [nb, sim] : neighbors_[a]) {
+    if (nb == b) return sim;
+  }
+  return 0.0;
+}
+
+double ItemKnn::Score(data::UserId u, data::ItemId i) const {
+  const auto& history = splits_->histories[u];
+  if (history.empty()) return 0.0;
+  std::unordered_set<data::ItemId> hist(history.begin(), history.end());
+  double score = 0.0;
+  for (const auto& [nb, sim] : neighbors_[i]) {
+    if (hist.count(nb)) score += sim;
+  }
+  return score;
+}
+
+}  // namespace unimatch::baselines

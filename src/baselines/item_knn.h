@@ -1,0 +1,46 @@
+// Item-kNN collaborative filtering (classic neighborhood CF, Su &
+// Khoshgoftaar 2009 lineage).
+//
+// Item-item cosine similarity over the binary user-item training matrix;
+// score(u, i) = sum over the user's history of sim(i, j). Works identically
+// for UT (score the candidate user's history against the promoted item),
+// giving a fair non-neural comparator for both tasks.
+
+#ifndef UNIMATCH_BASELINES_ITEM_KNN_H_
+#define UNIMATCH_BASELINES_ITEM_KNN_H_
+
+#include <vector>
+
+#include "src/data/splits.h"
+
+namespace unimatch::baselines {
+
+struct ItemKnnConfig {
+  /// Keep only the top-k most similar items per item (0 = keep all).
+  int top_k_neighbors = 50;
+  /// Shrinkage added to the cosine denominator (damps rare-item noise).
+  double shrinkage = 5.0;
+};
+
+class ItemKnn {
+ public:
+  /// Builds item-item similarities from the training interactions.
+  ItemKnn(const data::DatasetSplits& splits, const data::InteractionLog& log,
+          ItemKnnConfig config = {});
+
+  /// sum_{j in history(u)} sim(i, j); history is the canonical pseudo-user.
+  double Score(data::UserId u, data::ItemId i) const;
+
+  /// Similarity of an item pair (0 when not neighbors).
+  double Similarity(data::ItemId a, data::ItemId b) const;
+
+ private:
+  ItemKnnConfig config_;
+  const data::DatasetSplits* splits_;
+  // CSR-ish neighbor lists: per item, (neighbor, similarity).
+  std::vector<std::vector<std::pair<data::ItemId, float>>> neighbors_;
+};
+
+}  // namespace unimatch::baselines
+
+#endif  // UNIMATCH_BASELINES_ITEM_KNN_H_

@@ -1,0 +1,82 @@
+#include "src/baselines/mf.h"
+
+#include <cmath>
+
+#include "src/nn/init.h"
+#include "src/nn/ops.h"
+#include "src/nn/optimizer.h"
+#include "src/nn/seq_ops.h"
+
+namespace unimatch::baselines {
+
+MatrixFactorization::MatrixFactorization(int64_t num_users,
+                                         int64_t num_items,
+                                         const MfConfig& config)
+    : config_(config) {
+  Rng rng(config_.seed);
+  user_embeddings_ = RegisterParameter(
+      "user_embeddings",
+      nn::NormalInit({num_users, config_.embedding_dim}, 0.1f, &rng));
+  item_embeddings_ = RegisterParameter(
+      "item_embeddings",
+      nn::NormalInit({num_items, config_.embedding_dim}, 0.1f, &rng));
+}
+
+Status MatrixFactorization::Train(const data::DatasetSplits& splits) {
+  if (splits.train.empty()) {
+    return Status::InvalidArgument("no training samples");
+  }
+  Rng rng(config_.seed + 1);
+  nn::Adam opt(Parameters(), config_.learning_rate);
+  auto indices = splits.train.AllIndices();
+  const auto settings = loss::SettingsFor(config_.loss);
+
+  for (int e = 0; e < config_.epochs; ++e) {
+    rng.Shuffle(&indices);
+    for (size_t begin = 0; begin < indices.size();
+         begin += config_.batch_size) {
+      const size_t end =
+          std::min(indices.size(), begin + config_.batch_size);
+      const int64_t b = static_cast<int64_t>(end - begin);
+      if (b < 2) break;
+      std::vector<int64_t> users(b), items(b);
+      Tensor log_pu({b}), log_pi({b});
+      for (int64_t r = 0; r < b; ++r) {
+        const data::Sample& s = splits.train[indices[begin + r]];
+        users[r] = s.user;
+        items[r] = s.target;
+        log_pu.at(r) =
+            static_cast<float>(splits.train_marginals.log_pu(s.user));
+        log_pi.at(r) =
+            static_cast<float>(splits.train_marginals.log_pi(s.target));
+      }
+      nn::Variable u =
+          nn::L2NormalizeRows(nn::EmbeddingLookup(user_embeddings_, users));
+      nn::Variable i =
+          nn::L2NormalizeRows(nn::EmbeddingLookup(item_embeddings_, items));
+      nn::Variable scores = nn::ScalarMul(nn::MatMul(u, i, false, true),
+                                          1.0f / config_.temperature);
+      nn::Variable l = loss::NceFamilyLoss(scores, log_pu, log_pi, settings);
+      nn::Backward(l);
+      opt.Step();
+      opt.ZeroGrad();
+    }
+  }
+  return Status::OK();
+}
+
+double MatrixFactorization::Score(data::UserId u, data::ItemId i) const {
+  const int64_t d = config_.embedding_dim;
+  const float* pu = user_embeddings_.value().data() + u * d;
+  const float* pi = item_embeddings_.value().data() + i * d;
+  double dot = 0.0, nu = 0.0, ni = 0.0;
+  for (int64_t j = 0; j < d; ++j) {
+    dot += static_cast<double>(pu[j]) * pi[j];
+    nu += static_cast<double>(pu[j]) * pu[j];
+    ni += static_cast<double>(pi[j]) * pi[j];
+  }
+  if (nu == 0.0 || ni == 0.0) return 0.0;
+  return dot / std::sqrt(nu * ni);
+}
+
+}  // namespace unimatch::baselines

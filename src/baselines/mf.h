@@ -1,0 +1,49 @@
+// Classic matrix factorization baseline (Funk-style id embeddings).
+//
+// Unlike the UniMatch user tower — which encodes the *behavior sequence*
+// and therefore generalizes to unseen pseudo-users — this learns one free
+// vector per user id and one per item id, trained with the same bbcNCE
+// in-batch objective. Comparing the two isolates the value of the
+// sequence-based pseudo-user representation.
+
+#ifndef UNIMATCH_BASELINES_MF_H_
+#define UNIMATCH_BASELINES_MF_H_
+
+#include "src/data/splits.h"
+#include "src/loss/losses.h"
+#include "src/nn/module.h"
+
+namespace unimatch::baselines {
+
+struct MfConfig {
+  int64_t embedding_dim = 16;
+  float temperature = 0.15f;
+  float learning_rate = 0.005f;
+  int batch_size = 64;
+  int epochs = 4;
+  loss::LossKind loss = loss::LossKind::kBbcNce;
+  uint64_t seed = 13;
+};
+
+class MatrixFactorization : public nn::Module {
+ public:
+  MatrixFactorization(int64_t num_users, int64_t num_items,
+                      const MfConfig& config);
+
+  /// Trains on the splits' training samples (shuffled, `epochs` passes).
+  Status Train(const data::DatasetSplits& splits);
+
+  /// Cosine/temperature score like Eq. 13, on the id embeddings.
+  double Score(data::UserId u, data::ItemId i) const;
+
+  const MfConfig& config() const { return config_; }
+
+ private:
+  MfConfig config_;
+  nn::Variable user_embeddings_;  // [M, d]
+  nn::Variable item_embeddings_;  // [K, d]
+};
+
+}  // namespace unimatch::baselines
+
+#endif  // UNIMATCH_BASELINES_MF_H_

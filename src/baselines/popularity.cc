@@ -1,0 +1,23 @@
+#include "src/baselines/popularity.h"
+
+#include <algorithm>
+
+namespace unimatch::baselines {
+
+PopularityRecommender::PopularityRecommender(
+    const data::DatasetSplits& splits) {
+  item_count_ = splits.train_marginals.item_counts();
+  user_count_ = splits.train_marginals.user_counts();
+  int64_t mx = 1;
+  for (int64_t c : user_count_) mx = std::max(mx, c);
+  max_user_count_ = static_cast<double>(mx);
+}
+
+double PopularityRecommender::Score(data::UserId u, data::ItemId i) const {
+  // Item popularity dominates (IR ranking); the user term breaks UT ties —
+  // for a fixed item, candidates are ordered by activeness.
+  return static_cast<double>(item_count_[i]) +
+         static_cast<double>(user_count_[u]) / (max_user_count_ + 1.0);
+}
+
+}  // namespace unimatch::baselines

@@ -1,0 +1,36 @@
+// Non-personalized popularity baseline.
+//
+// IR: every user gets the globally most-purchased items; UT: every item gets
+// the most active users. The floor every personalized model must clear —
+// and, on heavily skewed catalogs, a surprisingly strong one.
+
+#ifndef UNIMATCH_BASELINES_POPULARITY_H_
+#define UNIMATCH_BASELINES_POPULARITY_H_
+
+#include <vector>
+
+#include "src/data/splits.h"
+
+namespace unimatch::baselines {
+
+class PopularityRecommender {
+ public:
+  /// Counts training-sample frequencies (same support as the marginals).
+  explicit PopularityRecommender(const data::DatasetSplits& splits);
+
+  /// score(u, i) for the evaluation protocol: item count + a small
+  /// user-activeness tiebreak so UT ranks active users first.
+  double Score(data::UserId u, data::ItemId i) const;
+
+  int64_t item_count(data::ItemId i) const { return item_count_[i]; }
+  int64_t user_count(data::UserId u) const { return user_count_[u]; }
+
+ private:
+  std::vector<int64_t> item_count_;
+  std::vector<int64_t> user_count_;
+  double max_user_count_ = 1.0;
+};
+
+}  // namespace unimatch::baselines
+
+#endif  // UNIMATCH_BASELINES_POPULARITY_H_

@@ -1,0 +1,53 @@
+// CSV ingestion: turns a merchant's raw purchase export into an
+// InteractionLog plus the string<->dense id maps.
+//
+// Accepted shapes (configurable columns/delimiter):
+//   user_id,item_id,timestamp
+//   U123,SKU-9,2023-08-14        (ISO dates)
+//   U123,SKU-9,1692000000        (unix seconds)
+//   U123,SKU-9,17                (day index)
+// Days are re-based so the earliest event lands on day 0.
+
+#ifndef UNIMATCH_DATA_CSV_LOADER_H_
+#define UNIMATCH_DATA_CSV_LOADER_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/data/event_log.h"
+#include "src/data/id_map.h"
+
+namespace unimatch::data {
+
+struct CsvFormat {
+  char delimiter = ',';
+  int user_column = 0;
+  int item_column = 1;
+  int time_column = 2;
+  bool has_header = true;
+  enum class TimeUnit {
+    kDayIndex,     // integer day number
+    kUnixSeconds,  // POSIX seconds
+    kIsoDate,      // YYYY-MM-DD
+  };
+  TimeUnit time_unit = TimeUnit::kDayIndex;
+  /// Skip rows that fail to parse instead of failing the load.
+  bool skip_bad_rows = false;
+};
+
+struct LoadedLog {
+  InteractionLog log;
+  IdMap users;
+  IdMap items;
+  int64_t skipped_rows = 0;
+};
+
+/// Parses from any stream (testable without touching the filesystem).
+Result<LoadedLog> ParseCsvLog(std::istream& in, const CsvFormat& format);
+
+/// Loads from a file path.
+Result<LoadedLog> LoadCsvLog(const std::string& path, const CsvFormat& format);
+
+}  // namespace unimatch::data
+
+#endif  // UNIMATCH_DATA_CSV_LOADER_H_

@@ -1,0 +1,91 @@
+#include "src/data/dataset.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace unimatch::data {
+
+SampleSet::SampleSet(std::vector<Sample> samples)
+    : samples_(std::move(samples)) {}
+
+std::vector<int32_t> SampleSet::Months() const {
+  std::vector<int32_t> months;
+  for (const auto& s : samples_) months.push_back(MonthOfDay(s.day));
+  std::sort(months.begin(), months.end());
+  months.erase(std::unique(months.begin(), months.end()), months.end());
+  return months;
+}
+
+std::vector<int64_t> SampleSet::IndicesOfMonth(int32_t month) const {
+  return IndicesOfMonthRange(month, month);
+}
+
+std::vector<int64_t> SampleSet::IndicesOfMonthRange(int32_t first,
+                                                    int32_t last) const {
+  std::vector<int64_t> out;
+  for (int64_t i = 0; i < size(); ++i) {
+    const int32_t mo = MonthOfDay(samples_[i].day);
+    if (mo >= first && mo <= last) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<int64_t> SampleSet::AllIndices() const {
+  std::vector<int64_t> out(size());
+  for (int64_t i = 0; i < size(); ++i) out[i] = i;
+  return out;
+}
+
+SampleSet BuildSamples(const InteractionLog& log, const WindowConfig& config,
+                       Day from_day, Day to_day) {
+  UM_CHECK_GE(config.max_seq_len, 1);
+  UM_CHECK_GE(config.min_history, 1);
+  std::vector<Sample> samples;
+  const auto& recs = log.records();
+  size_t start = 0;
+  while (start < recs.size()) {
+    size_t end = start;
+    while (end < recs.size() && recs[end].user == recs[start].user) ++end;
+    // recs[start..end) is one user's chronologically sorted history.
+    for (size_t j = start; j < end; ++j) {
+      const auto& target = recs[j];
+      if (target.day < from_day || target.day >= to_day) continue;
+      // History: events strictly before the target day.
+      size_t h_end = j;
+      while (h_end > start && recs[h_end - 1].day >= target.day) --h_end;
+      const int64_t available = static_cast<int64_t>(h_end - start);
+      if (available < config.min_history) continue;
+      const int64_t take =
+          std::min<int64_t>(available, config.max_seq_len);
+      Sample s;
+      s.user = target.user;
+      s.target = target.item;
+      s.day = target.day;
+      s.history.reserve(take);
+      for (size_t p = h_end - take; p < h_end; ++p) {
+        s.history.push_back(recs[p].item);
+      }
+      samples.push_back(std::move(s));
+    }
+    start = end;
+  }
+  return SampleSet(std::move(samples));
+}
+
+std::vector<std::vector<ItemId>> UserHistoriesBefore(
+    const InteractionLog& log, Day before_day, int max_seq_len) {
+  std::vector<std::vector<ItemId>> hist(log.num_users());
+  for (const auto& r : log.records()) {
+    if (r.day >= before_day) continue;
+    hist[r.user].push_back(r.item);
+  }
+  for (auto& h : hist) {
+    if (static_cast<int>(h.size()) > max_seq_len) {
+      h.erase(h.begin(), h.end() - max_seq_len);
+    }
+  }
+  return hist;
+}
+
+}  // namespace unimatch::data

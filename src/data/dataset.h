@@ -1,0 +1,65 @@
+// Next-n-day windowing: turns the raw (u, i, t) log into supervised samples
+// (pseudo-user history -> target item), the construction of Sec. II-A.
+
+#ifndef UNIMATCH_DATA_DATASET_H_
+#define UNIMATCH_DATA_DATASET_H_
+
+#include <vector>
+
+#include "src/data/event_log.h"
+#include "src/data/types.h"
+
+namespace unimatch::data {
+
+struct WindowConfig {
+  /// Maximum history length (paper: 20 for Books, 36 for Electronics, ...).
+  int max_seq_len = 20;
+  /// Minimum history length for a sample to be kept.
+  int min_history = 1;
+};
+
+/// A set of windowed samples, grouped by the month of the target event so
+/// the incremental trainer can feed them chronologically.
+class SampleSet {
+ public:
+  SampleSet() = default;
+  explicit SampleSet(std::vector<Sample> samples);
+
+  const std::vector<Sample>& samples() const { return samples_; }
+  int64_t size() const { return static_cast<int64_t>(samples_.size()); }
+  bool empty() const { return samples_.empty(); }
+  const Sample& operator[](int64_t i) const { return samples_[i]; }
+
+  /// Months (ascending) that contain at least one sample.
+  std::vector<int32_t> Months() const;
+
+  /// Indices of samples whose target falls in `month`.
+  std::vector<int64_t> IndicesOfMonth(int32_t month) const;
+
+  /// Indices of samples with target month in [first, last].
+  std::vector<int64_t> IndicesOfMonthRange(int32_t first, int32_t last) const;
+
+  /// All indices.
+  std::vector<int64_t> AllIndices() const;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+/// Builds samples for target events with day in [from_day, to_day). The
+/// history of each sample is the user's purchases on days strictly before
+/// the target day (from the whole log, not just the slice), most recent
+/// last, truncated to max_seq_len. The log must be sorted by (user, day).
+SampleSet BuildSamples(const InteractionLog& log, const WindowConfig& config,
+                       Day from_day, Day to_day);
+
+/// The full history (up to max_seq_len most recent items) of every user,
+/// considering only events before `before_day`. Entry u is empty when the
+/// user has no events. This is the pseudo-user representation used at
+/// serving time and for user-targeting candidates.
+std::vector<std::vector<ItemId>> UserHistoriesBefore(
+    const InteractionLog& log, Day before_day, int max_seq_len);
+
+}  // namespace unimatch::data
+
+#endif  // UNIMATCH_DATA_DATASET_H_

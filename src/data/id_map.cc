@@ -1,0 +1,28 @@
+#include "src/data/id_map.h"
+
+#include "src/util/logging.h"
+
+namespace unimatch::data {
+
+int64_t IdMap::GetOrAdd(std::string_view name) {
+  auto [it, inserted] =
+      index_.try_emplace(std::string(name), static_cast<int64_t>(names_.size()));
+  if (inserted) names_.emplace_back(name);
+  return it->second;
+}
+
+Result<int64_t> IdMap::Get(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  if (it == index_.end()) {
+    return Status::NotFound("unknown id: " + std::string(name));
+  }
+  return it->second;
+}
+
+const std::string& IdMap::Name(int64_t id) const {
+  UM_CHECK_GE(id, 0);
+  UM_CHECK_LT(id, size());
+  return names_[id];
+}
+
+}  // namespace unimatch::data

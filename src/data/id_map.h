@@ -1,0 +1,45 @@
+// Bidirectional mapping between external string ids and the dense integer
+// id space used internally. Real merchant logs key users/items by opaque
+// strings ("U_8f3a...", SKUs); every loader funnels through this.
+
+#ifndef UNIMATCH_DATA_ID_MAP_H_
+#define UNIMATCH_DATA_ID_MAP_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace unimatch::data {
+
+class IdMap {
+ public:
+  IdMap() = default;
+
+  /// Returns the dense id for `name`, assigning the next free one on first
+  /// sight.
+  int64_t GetOrAdd(std::string_view name);
+
+  /// Dense id for a known name, or NotFound.
+  Result<int64_t> Get(std::string_view name) const;
+
+  bool Contains(std::string_view name) const {
+    return index_.count(std::string(name)) > 0;
+  }
+
+  /// External name of a dense id (must be < size()).
+  const std::string& Name(int64_t id) const;
+
+  int64_t size() const { return static_cast<int64_t>(names_.size()); }
+  bool empty() const { return names_.empty(); }
+
+ private:
+  std::unordered_map<std::string, int64_t> index_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace unimatch::data
+
+#endif  // UNIMATCH_DATA_ID_MAP_H_

@@ -1,0 +1,34 @@
+#include "src/data/marginals.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace unimatch::data {
+
+Marginals::Marginals(const SampleSet& samples, int64_t num_users,
+                     int64_t num_items, double smoothing) {
+  UM_CHECK_GT(num_users, 0);
+  UM_CHECK_GT(num_items, 0);
+  user_count_.assign(num_users, 0);
+  item_count_.assign(num_items, 0);
+  for (const auto& s : samples.samples()) {
+    UM_CHECK_LT(s.user, num_users);
+    UM_CHECK_LT(s.target, num_items);
+    ++user_count_[s.user];
+    ++item_count_[s.target];
+  }
+  const double total = static_cast<double>(samples.size());
+  const double zu = total + smoothing * static_cast<double>(num_users);
+  const double zi = total + smoothing * static_cast<double>(num_items);
+  log_pu_.resize(num_users);
+  log_pi_.resize(num_items);
+  for (int64_t u = 0; u < num_users; ++u) {
+    log_pu_[u] = std::log((user_count_[u] + smoothing) / zu);
+  }
+  for (int64_t i = 0; i < num_items; ++i) {
+    log_pi_[i] = std::log((item_count_[i] + smoothing) / zi);
+  }
+}
+
+}  // namespace unimatch::data

@@ -1,0 +1,47 @@
+// Empirical marginal distributions p̂(u) and p̂(i) over the training samples.
+//
+// These feed two places: (1) the bias-correction terms of the bcNCE losses
+// (Eq. 10) — each training record carries log p̂(u) and log p̂(i) exactly as
+// in the paper's Table IV — and (2) the frequency-proportional negative
+// samplers of the BCE baselines (Table I).
+
+#ifndef UNIMATCH_DATA_MARGINALS_H_
+#define UNIMATCH_DATA_MARGINALS_H_
+
+#include <vector>
+
+#include "src/data/dataset.h"
+
+namespace unimatch::data {
+
+class Marginals {
+ public:
+  Marginals() = default;
+
+  /// Counts user and item occurrences over the sample set. `num_users` /
+  /// `num_items` fix the support; unseen ids receive the smoothing floor.
+  Marginals(const SampleSet& samples, int64_t num_users, int64_t num_items,
+            double smoothing = 0.5);
+
+  double log_pu(UserId u) const { return log_pu_[u]; }
+  double log_pi(ItemId i) const { return log_pi_[i]; }
+
+  int64_t user_count(UserId u) const { return user_count_[u]; }
+  int64_t item_count(ItemId i) const { return item_count_[i]; }
+
+  int64_t num_users() const { return static_cast<int64_t>(log_pu_.size()); }
+  int64_t num_items() const { return static_cast<int64_t>(log_pi_.size()); }
+
+  const std::vector<int64_t>& user_counts() const { return user_count_; }
+  const std::vector<int64_t>& item_counts() const { return item_count_; }
+
+ private:
+  std::vector<int64_t> user_count_;
+  std::vector<int64_t> item_count_;
+  std::vector<double> log_pu_;
+  std::vector<double> log_pi_;
+};
+
+}  // namespace unimatch::data
+
+#endif  // UNIMATCH_DATA_MARGINALS_H_

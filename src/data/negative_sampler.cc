@@ -1,0 +1,126 @@
+#include "src/data/negative_sampler.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace unimatch::data {
+
+const char* NegSamplingToString(NegSampling kind) {
+  switch (kind) {
+    case NegSampling::kUserFreq:
+      return "p(u)";
+    case NegSampling::kItemFreq:
+      return "p(i)";
+    case NegSampling::kUserItemFreq:
+      return "p(u)p(i)";
+    case NegSampling::kUniform:
+      return "1/MK";
+  }
+  return "?";
+}
+
+BceNegativeSampler::BceNegativeSampler(
+    const SampleSet& train, const Marginals& marginals,
+    std::vector<std::vector<ItemId>> histories, NegSampling kind)
+    : train_(&train), kind_(kind), histories_(std::move(histories)) {
+  UM_CHECK(!train.empty());
+  for (UserId u = 0; u < static_cast<UserId>(histories_.size()); ++u) {
+    if (!histories_[u].empty()) distinct_users_.push_back(u);
+  }
+  std::vector<double> freq;
+  for (ItemId i = 0; i < marginals.num_items(); ++i) {
+    if (marginals.item_count(i) > 0) {
+      distinct_items_.push_back(i);
+      freq.push_back(static_cast<double>(marginals.item_count(i)));
+    }
+  }
+  UM_CHECK(!distinct_users_.empty());
+  UM_CHECK(!distinct_items_.empty());
+  item_freq_.Build(freq);
+}
+
+void BceNegativeSampler::SampleNegative(const Sample& positive, Rng* rng,
+                                        PseudoUser* neg_user,
+                                        ItemId* neg_item) const {
+  auto uniform_item = [&]() {
+    return distinct_items_[rng->Uniform(distinct_items_.size())];
+  };
+  auto freq_item = [&]() { return distinct_items_[item_freq_.Sample(rng)]; };
+  auto uniform_user = [&]() {
+    const UserId u = distinct_users_[rng->Uniform(distinct_users_.size())];
+    return PseudoUser{u, histories_[u]};
+  };
+  auto freq_user = [&]() {
+    // A uniform draw over training samples is a draw from p̂(u) over
+    // pseudo-users.
+    const Sample& s = (*train_)[rng->Uniform(train_->size())];
+    return PseudoUser{s.user, s.history};
+  };
+
+  switch (kind_) {
+    case NegSampling::kUserFreq:
+      *neg_user = PseudoUser{positive.user, positive.history};
+      *neg_item = uniform_item();
+      break;
+    case NegSampling::kItemFreq:
+      *neg_user = uniform_user();
+      *neg_item = positive.target;
+      break;
+    case NegSampling::kUserItemFreq:
+      *neg_user = freq_user();
+      *neg_item = freq_item();
+      break;
+    case NegSampling::kUniform:
+      *neg_user = uniform_user();
+      *neg_item = uniform_item();
+      break;
+  }
+}
+
+Batch AssembleBceBatch(const SampleSet& samples,
+                       const std::vector<int64_t>& indices,
+                       const Marginals& marginals, int max_seq_len,
+                       const BceNegativeSampler& sampler, Rng* rng,
+                       Tensor* labels) {
+  const int64_t n_pos = static_cast<int64_t>(indices.size());
+  Batch b;
+  b.batch_size = 2 * n_pos;
+  b.seq_len = max_seq_len;
+  b.history_ids.assign(b.batch_size * b.seq_len, nn::kPadId);
+  b.lengths.resize(b.batch_size);
+  b.targets.resize(b.batch_size);
+  b.users.resize(b.batch_size);
+  b.log_pu = Tensor({b.batch_size});
+  b.log_pi = Tensor({b.batch_size});
+  *labels = Tensor({b.batch_size});
+
+  auto fill_row = [&](int64_t r, UserId user,
+                      const std::vector<ItemId>& history, ItemId target,
+                      float label) {
+    const int64_t len =
+        std::min<int64_t>(static_cast<int64_t>(history.size()), max_seq_len);
+    const int64_t offset = static_cast<int64_t>(history.size()) - len;
+    for (int64_t t = 0; t < len; ++t) {
+      b.history_ids[r * b.seq_len + t] = history[offset + t];
+    }
+    b.lengths[r] = len;
+    b.targets[r] = target;
+    b.users[r] = user;
+    b.log_pu.at(r) = static_cast<float>(marginals.log_pu(user));
+    b.log_pi.at(r) = static_cast<float>(marginals.log_pi(target));
+    labels->at(r) = label;
+  };
+
+  for (int64_t r = 0; r < n_pos; ++r) {
+    const Sample& s = samples[indices[r]];
+    fill_row(r, s.user, s.history, s.target, 1.0f);
+    PseudoUser neg_user;
+    ItemId neg_item = 0;
+    sampler.SampleNegative(s, rng, &neg_user, &neg_item);
+    fill_row(n_pos + r, neg_user.user, neg_user.history, neg_item, 0.0f);
+  }
+  return b;
+}
+
+}  // namespace unimatch::data

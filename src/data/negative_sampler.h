@@ -1,0 +1,79 @@
+// Negative sampling for the Bernoulli (BCE) modeling strategy.
+//
+// Implements the four p_n(u, i) distributions of the paper's Table I:
+//
+//   p_n ∝ p̂(u)         : keep the positive's pseudo-user, uniform item
+//   p_n ∝ p̂(i)         : keep the positive's item, uniform user
+//   p_n ∝ p̂(u)·p̂(i)    : frequency-weighted user x frequency-weighted item
+//   p_n ∝ 1/(MK)        : uniform user x uniform item
+//
+// A "uniform user" draw picks a distinct user id uniformly and represents it
+// by that user's training-time history (the canonical pseudo-user), while a
+// frequency-weighted draw picks a random positive sample's pseudo-user,
+// which is exactly a draw from p̂(u).
+
+#ifndef UNIMATCH_DATA_NEGATIVE_SAMPLER_H_
+#define UNIMATCH_DATA_NEGATIVE_SAMPLER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/data/batcher.h"
+#include "src/data/dataset.h"
+#include "src/data/marginals.h"
+#include "src/util/random.h"
+
+namespace unimatch::data {
+
+/// Table I negative-sampling strategies.
+enum class NegSampling {
+  kUserFreq,      // p_n(u,i) ∝ p̂(u)    -> optimum log p̂(i|u)
+  kItemFreq,      // p_n(u,i) ∝ p̂(i)    -> optimum log p̂(u|i)
+  kUserItemFreq,  // p_n(u,i) ∝ p̂(u)p̂(i) -> optimum PMI
+  kUniform,       // p_n(u,i) = 1/(MK)   -> optimum log p̂(u,i)
+};
+
+const char* NegSamplingToString(NegSampling kind);
+
+/// A pseudo-user drawn as a negative: a history plus its owner id.
+struct PseudoUser {
+  UserId user = 0;
+  std::vector<ItemId> history;
+};
+
+class BceNegativeSampler {
+ public:
+  /// `train` provides the empirical distributions; `histories[u]` is user
+  /// u's canonical pseudo-user (from UserHistoriesBefore). Users with empty
+  /// histories are excluded from the uniform-user pool.
+  BceNegativeSampler(const SampleSet& train, const Marginals& marginals,
+                     std::vector<std::vector<ItemId>> histories,
+                     NegSampling kind);
+
+  /// Draws one negative (pseudo-user, item) pair given the positive sample.
+  void SampleNegative(const Sample& positive, Rng* rng, PseudoUser* neg_user,
+                      ItemId* neg_item) const;
+
+  NegSampling kind() const { return kind_; }
+
+ private:
+  const SampleSet* train_;
+  NegSampling kind_;
+  std::vector<std::vector<ItemId>> histories_;
+  std::vector<UserId> distinct_users_;  // users with non-empty history
+  std::vector<ItemId> distinct_items_;  // items appearing as train targets
+  AliasSampler item_freq_;              // over distinct_items_
+};
+
+/// Assembles a BCE training batch: the positives given by `indices` plus an
+/// equal number of sampled negatives (the paper's 1:1 ratio). Labels are
+/// returned in `labels` (1 for positive rows, 0 for negatives).
+Batch AssembleBceBatch(const SampleSet& samples,
+                       const std::vector<int64_t>& indices,
+                       const Marginals& marginals, int max_seq_len,
+                       const BceNegativeSampler& sampler, Rng* rng,
+                       Tensor* labels);
+
+}  // namespace unimatch::data
+
+#endif  // UNIMATCH_DATA_NEGATIVE_SAMPLER_H_

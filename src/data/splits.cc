@@ -1,0 +1,32 @@
+#include "src/data/splits.h"
+
+#include "src/util/logging.h"
+
+namespace unimatch::data {
+
+DatasetSplits MakeSplits(const InteractionLog& log,
+                         const SplitConfig& config) {
+  const int32_t num_months = log.NumMonths();
+  UM_CHECK_GE(num_months, 3);
+  const int32_t test_month = num_months - 1;
+  const Day test_start = test_month * kDaysPerMonth;
+  const Day valid_start = (test_month - 1) * kDaysPerMonth;
+
+  DatasetSplits out;
+  out.config = config;
+  out.num_months = num_months;
+  out.test_month = test_month;
+  out.num_users = log.num_users();
+  out.num_items = log.num_items();
+  out.train = BuildSamples(log, config.window, /*from_day=*/0, test_start);
+  out.valid = BuildSamples(log, config.window, valid_start, test_start);
+  out.test = BuildSamples(log, config.window, test_start,
+                          (test_month + 1) * kDaysPerMonth);
+  out.train_marginals =
+      Marginals(out.train, log.num_users(), log.num_items());
+  out.histories =
+      UserHistoriesBefore(log, test_start, config.window.max_seq_len);
+  return out;
+}
+
+}  // namespace unimatch::data

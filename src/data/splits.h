@@ -1,0 +1,45 @@
+// Chronological train/validation/test splitting (Sec. IV-A1).
+//
+// With the log spanning months [0, T), targets are split as:
+//   train: months [0, T-2]   — the paper's (0, T-1]
+//   valid: month  T-2        — the paper's (T-2, T-1]
+//   test:  month  T-1        — the paper's (T-1, T]
+// The validation month is the last training month, matching the paper.
+
+#ifndef UNIMATCH_DATA_SPLITS_H_
+#define UNIMATCH_DATA_SPLITS_H_
+
+#include "src/data/dataset.h"
+#include "src/data/marginals.h"
+
+namespace unimatch::data {
+
+struct SplitConfig {
+  WindowConfig window;
+  /// Users/items with fewer training interactions are excluded from the
+  /// evaluation pools (the paper's "filter out ... less than 3").
+  int min_user_interactions = 3;
+  int min_item_interactions = 3;
+};
+
+struct DatasetSplits {
+  SampleSet train;
+  SampleSet valid;
+  SampleSet test;
+  Marginals train_marginals;
+  /// Canonical pseudo-user of every user as of the start of the test month
+  /// (empty vector = user unseen before then).
+  std::vector<std::vector<ItemId>> histories;
+  int32_t num_months = 0;
+  int32_t test_month = 0;
+  int64_t num_users = 0;
+  int64_t num_items = 0;
+  SplitConfig config;
+};
+
+/// Builds the three sample sets and supporting statistics from a sorted log.
+DatasetSplits MakeSplits(const InteractionLog& log, const SplitConfig& config);
+
+}  // namespace unimatch::data
+
+#endif  // UNIMATCH_DATA_SPLITS_H_

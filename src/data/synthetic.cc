@@ -1,0 +1,241 @@
+#include "src/data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "src/util/logging.h"
+
+namespace unimatch::data {
+
+namespace {
+
+// Unnormalized Zipf weights over n ranks with a random rank assignment.
+std::vector<double> ZipfWeights(int64_t n, double exponent, Rng* rng) {
+  std::vector<double> w(n);
+  std::vector<int64_t> ranks(n);
+  std::iota(ranks.begin(), ranks.end(), 0);
+  rng->Shuffle(&ranks);
+  for (int64_t i = 0; i < n; ++i) {
+    w[i] = 1.0 / std::pow(static_cast<double>(ranks[i] + 1), exponent);
+  }
+  return w;
+}
+
+}  // namespace
+
+InteractionLog GenerateSynthetic(const SyntheticConfig& config) {
+  UM_CHECK_GT(config.num_users, 0);
+  UM_CHECK_GT(config.num_items, 0);
+  UM_CHECK_GT(config.num_months, 0);
+  UM_CHECK_GT(config.num_topics, 0);
+  Rng rng(config.seed);
+
+  const int64_t k = config.num_items;
+  const int64_t m = config.num_users;
+  const int32_t months = config.num_months;
+  const int topics = config.num_topics;
+
+  // --- item side: topic, base popularity, per-month trend multiplier ---
+  std::vector<int> item_topic(k);
+  for (int64_t i = 0; i < k; ++i) {
+    item_topic[i] = static_cast<int>(rng.Uniform(topics));
+  }
+  std::vector<double> base_pop = ZipfWeights(k, config.popularity_zipf, &rng);
+
+  // Random-walk in log space: trend[i][mo].
+  std::vector<std::vector<double>> trend(k, std::vector<double>(months, 0.0));
+  if (config.trend_drift > 0.0) {
+    for (int64_t i = 0; i < k; ++i) {
+      double w = 0.0;
+      for (int32_t mo = 0; mo < months; ++mo) {
+        w += rng.Gaussian(0.0, config.trend_drift);
+        trend[i][mo] = w;
+      }
+    }
+  }
+
+  // Launch months: a new_item_fraction of the catalog appears after month 0.
+  std::vector<int32_t> launch(k, 0);
+  if (config.new_item_fraction > 0.0 && months > 1) {
+    for (int64_t i = 0; i < k; ++i) {
+      if (rng.Bernoulli(config.new_item_fraction)) {
+        launch[i] = 1 + static_cast<int32_t>(rng.Uniform(months - 1));
+      }
+    }
+  }
+  // Launched-item prefix lists per month (for uniform noise purchases).
+  std::vector<int64_t> items_by_launch(k);
+  std::iota(items_by_launch.begin(), items_by_launch.end(), 0);
+  std::sort(items_by_launch.begin(), items_by_launch.end(),
+            [&](int64_t a, int64_t b) { return launch[a] < launch[b]; });
+  std::vector<int64_t> launched_count(months, 0);
+  {
+    int64_t idx = 0;
+    for (int32_t mo = 0; mo < months; ++mo) {
+      while (idx < k && launch[items_by_launch[idx]] <= mo) ++idx;
+      launched_count[mo] = idx;
+    }
+  }
+
+  // Per (topic, month) alias samplers over that topic's launched items.
+  std::vector<std::vector<int64_t>> topic_items(topics);
+  for (int64_t i = 0; i < k; ++i) topic_items[item_topic[i]].push_back(i);
+  // Guard against empty topics on tiny catalogs: re-home empty topics' users
+  // by treating them as uniform over all items (noise path handles it).
+  std::vector<std::vector<AliasSampler>> samplers(
+      topics, std::vector<AliasSampler>(months));
+  for (int t = 0; t < topics; ++t) {
+    if (topic_items[t].empty()) continue;
+    for (int32_t mo = 0; mo < months; ++mo) {
+      std::vector<double> w(topic_items[t].size());
+      for (size_t j = 0; j < topic_items[t].size(); ++j) {
+        const int64_t item = topic_items[t][j];
+        if (launch[item] > mo) {
+          w[j] = 0.0;  // not yet released
+          continue;
+        }
+        const double freshness =
+            1.0 + config.newness_boost *
+                      std::pow(0.5, static_cast<double>(mo - launch[item]));
+        w[j] = base_pop[item] * std::exp(trend[item][mo]) * freshness;
+      }
+      samplers[t][mo].Build(w);
+    }
+  }
+
+  // --- user side: activity level and topic preferences ---
+  std::vector<double> activity = ZipfWeights(m, config.user_activity_zipf, &rng);
+  const double activity_total =
+      std::accumulate(activity.begin(), activity.end(), 0.0);
+
+  std::vector<int> primary(m), secondary(m);
+  for (int64_t u = 0; u < m; ++u) {
+    primary[u] = static_cast<int>(rng.Uniform(topics));
+    secondary[u] = static_cast<int>(rng.Uniform(topics));
+  }
+
+  // --- event generation ---
+  InteractionLog log(m, k);
+  const Day span_days = months * kDaysPerMonth;
+  const double rest_mass =
+      1.0 - config.primary_topic_mass - config.secondary_topic_mass;
+  UM_CHECK_GE(rest_mass, 0.0);
+
+  for (int64_t u = 0; u < m; ++u) {
+    const double expected =
+        config.target_interactions * activity[u] / activity_total;
+    // Poisson-ish integer count: floor + Bernoulli remainder.
+    int64_t count = static_cast<int64_t>(expected);
+    if (rng.Bernoulli(expected - static_cast<double>(count))) ++count;
+    for (int64_t e = 0; e < count; ++e) {
+      const Day day = static_cast<Day>(rng.Uniform(span_days));
+      const int32_t mo = MonthOfDay(day);
+      ItemId item;
+      int topic;
+      const double roll = rng.NextDouble();
+      if (roll < config.noise_prob) {
+        topic = -1;  // uniform noise purchase
+      } else if (roll < config.noise_prob + config.primary_topic_mass) {
+        topic = primary[u];
+      } else if (roll <
+                 config.noise_prob + config.primary_topic_mass +
+                     config.secondary_topic_mass) {
+        topic = secondary[u];
+      } else {
+        topic = static_cast<int>(rng.Uniform(topics));
+      }
+      if (topic < 0 || samplers[topic][mo].empty()) {
+        // Uniform purchase over the items already launched by this month.
+        const int64_t available = launched_count[mo];
+        item = available > 0
+                   ? items_by_launch[rng.Uniform(available)]
+                   : static_cast<ItemId>(rng.Uniform(k));
+      } else {
+        item = topic_items[topic][samplers[topic][mo].Sample(&rng)];
+      }
+      log.Add(u, item, day);
+    }
+  }
+  log.SortByUserDay();
+  return log;
+}
+
+SyntheticConfig BooksPreset() {
+  SyntheticConfig c;
+  c.name = "books";
+  c.num_users = 9000;
+  c.num_items = 3000;
+  c.num_months = 19;
+  c.target_interactions = 100000;
+  c.num_topics = 24;
+  c.popularity_zipf = 0.85;
+  c.user_activity_zipf = 0.7;
+  c.trend_drift = 0.35;  // book trends shift quickly (Fig. 3 sensitivity)
+  c.new_item_fraction = 0.35;
+  c.newness_boost = 4.0;
+  c.seed = 1001;
+  return c;
+}
+
+SyntheticConfig ElectronicsPreset() {
+  SyntheticConfig c;
+  c.name = "electronics";
+  c.num_users = 16000;
+  c.num_items = 2500;
+  c.num_months = 19;
+  c.target_interactions = 46000;  // ~2.9 actions per user: very sparse
+  c.num_topics = 20;
+  c.popularity_zipf = 1.1;  // strong blockbuster effect (Table XI IR med 232)
+  c.user_activity_zipf = 0.5;
+  c.trend_drift = 0.04;  // stable catalog
+  c.new_item_fraction = 0.05;
+  c.newness_boost = 0.5;
+  c.seed = 1002;
+  return c;
+}
+
+SyntheticConfig QaEcompPreset() {
+  SyntheticConfig c;
+  c.name = "e_comp";
+  c.num_users = 6000;
+  c.num_items = 450;
+  c.num_months = 16;
+  c.target_interactions = 36000;  // ~80 actions per item: dense items
+  c.num_topics = 12;
+  c.popularity_zipf = 0.8;
+  c.user_activity_zipf = 0.7;
+  c.trend_drift = 0.30;  // trend-sensitive per Fig. 3
+  c.new_item_fraction = 0.35;
+  c.newness_boost = 4.0;
+  c.seed = 1003;
+  return c;
+}
+
+SyntheticConfig QaWcompPreset() {
+  SyntheticConfig c;
+  c.name = "w_comp";
+  c.num_users = 9000;
+  c.num_items = 120;
+  c.num_months = 14;
+  c.target_interactions = 30000;  // ~250 actions per item: extremely dense
+  c.num_topics = 8;
+  c.popularity_zipf = 0.7;
+  c.user_activity_zipf = 0.6;
+  c.trend_drift = 0.05;  // stable per Fig. 3
+  c.new_item_fraction = 0.03;
+  c.newness_boost = 0.0;
+  c.seed = 1004;
+  return c;
+}
+
+Result<SyntheticConfig> PresetByName(const std::string& name) {
+  if (name == "books") return BooksPreset();
+  if (name == "electronics") return ElectronicsPreset();
+  if (name == "e_comp") return QaEcompPreset();
+  if (name == "w_comp") return QaWcompPreset();
+  return Status::NotFound("unknown dataset preset: " + name);
+}
+
+}  // namespace unimatch::data

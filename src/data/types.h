@@ -1,0 +1,44 @@
+// Fundamental data types for the user-item interaction logs.
+
+#ifndef UNIMATCH_DATA_TYPES_H_
+#define UNIMATCH_DATA_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace unimatch::data {
+
+using UserId = int64_t;
+using ItemId = int64_t;
+/// Day index from the start of the dataset (day 0 = first day).
+using Day = int32_t;
+
+/// Days per calendar month in the simulator and the incremental-training
+/// schedule. The paper trains month-by-month; we use fixed 30-day months.
+inline constexpr Day kDaysPerMonth = 30;
+
+/// A raw purchase record (u, i, t) as defined in Sec. II-A of the paper.
+struct Interaction {
+  UserId user = 0;
+  ItemId item = 0;
+  Day day = 0;
+
+  friend bool operator==(const Interaction&, const Interaction&) = default;
+};
+
+/// One supervised sample after next-n-day windowing (Table IV):
+/// `history` is the user's purchase sequence strictly before the target
+/// event (most recent last, truncated), `target` the item purchased in the
+/// prediction window, `day` the target's date.
+struct Sample {
+  UserId user = 0;
+  std::vector<ItemId> history;
+  ItemId target = 0;
+  Day day = 0;
+};
+
+inline int32_t MonthOfDay(Day day) { return day / kDaysPerMonth; }
+
+}  // namespace unimatch::data
+
+#endif  // UNIMATCH_DATA_TYPES_H_

@@ -1,0 +1,167 @@
+#include "src/eval/evaluator.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/util/logging.h"
+
+namespace unimatch::eval {
+
+Evaluator::Evaluator(const data::DatasetSplits* splits,
+                     const EvalProtocol* protocol)
+    : splits_(splits), protocol_(protocol) {}
+
+EvalResult Evaluator::Evaluate(const model::TwoTowerModel& model,
+                               RetrievedLists* retrieved,
+                               PerCaseMetrics* per_case) const {
+  const int64_t d = model.config().embedding_dim;
+  const int top_n = protocol_->config().top_n;
+
+  // Users needed by either task.
+  std::unordered_set<data::UserId> needed;
+  for (const auto& c : protocol_->ir_cases()) needed.insert(c.user);
+  for (const auto& c : protocol_->ut_cases()) {
+    needed.insert(c.positive_user);
+    for (auto u : c.negative_users) needed.insert(u);
+  }
+
+  // Compact index for needed users, embeddings computed in one pass.
+  std::vector<data::UserId> user_list(needed.begin(), needed.end());
+  std::unordered_map<data::UserId, int64_t> user_slot;
+  std::vector<std::vector<int64_t>> histories;
+  histories.reserve(user_list.size());
+  for (size_t k = 0; k < user_list.size(); ++k) {
+    user_slot[user_list[k]] = static_cast<int64_t>(k);
+    histories.push_back(splits_->histories[user_list[k]]);
+  }
+  const Tensor user_emb = model.InferUserEmbeddings(histories);
+  const Tensor item_emb = model.InferItemEmbeddings();
+
+  auto dot = [&](const float* a, const float* b) {
+    float acc = 0.0f;
+    for (int64_t j = 0; j < d; ++j) acc += a[j] * b[j];
+    return acc;
+  };
+  auto uvec = [&](data::UserId u) {
+    return user_emb.data() + user_slot.at(u) * d;
+  };
+  auto ivec = [&](data::ItemId i) { return item_emb.data() + i * d; };
+
+  EvalResult out;
+  if (retrieved != nullptr) {
+    retrieved->ir_topn.clear();
+    retrieved->ut_topn.clear();
+  }
+  if (per_case != nullptr) {
+    per_case->ir_ndcg.clear();
+    per_case->ut_ndcg.clear();
+  }
+
+  MetricAccumulator ir_acc;
+  for (const auto& c : protocol_->ir_cases()) {
+    std::vector<float> scores;
+    std::vector<bool> pos;
+    std::vector<data::ItemId> cands;
+    scores.reserve(c.negatives.size() + 1);
+    cands.push_back(c.positive);
+    scores.push_back(dot(uvec(c.user), ivec(c.positive)));
+    pos.push_back(true);
+    for (auto i : c.negatives) {
+      cands.push_back(i);
+      scores.push_back(dot(uvec(c.user), ivec(i)));
+      pos.push_back(false);
+    }
+    const double case_ndcg = NdcgAtN(scores, pos, top_n);
+    ir_acc.Add(RecallAtN(scores, pos, top_n), case_ndcg);
+    if (per_case != nullptr) per_case->ir_ndcg.push_back(case_ndcg);
+    if (retrieved != nullptr) {
+      std::vector<data::ItemId> top;
+      for (int64_t idx : TopN(scores, top_n)) top.push_back(cands[idx]);
+      retrieved->ir_topn.push_back(std::move(top));
+    }
+  }
+  out.ir = {ir_acc.recall(), ir_acc.ndcg(), ir_acc.count};
+
+  MetricAccumulator ut_acc;
+  for (const auto& c : protocol_->ut_cases()) {
+    std::vector<float> scores;
+    std::vector<bool> pos;
+    std::vector<data::UserId> cands;
+    cands.push_back(c.positive_user);
+    scores.push_back(dot(uvec(c.positive_user), ivec(c.item)));
+    pos.push_back(true);
+    for (auto u : c.negative_users) {
+      cands.push_back(u);
+      scores.push_back(dot(uvec(u), ivec(c.item)));
+      pos.push_back(false);
+    }
+    const double case_ndcg = NdcgAtN(scores, pos, top_n);
+    ut_acc.Add(RecallAtN(scores, pos, top_n), case_ndcg);
+    if (per_case != nullptr) per_case->ut_ndcg.push_back(case_ndcg);
+    if (retrieved != nullptr) {
+      std::vector<data::UserId> top;
+      for (int64_t idx : TopN(scores, top_n)) top.push_back(cands[idx]);
+      retrieved->ut_topn.push_back(std::move(top));
+    }
+  }
+  out.ut = {ut_acc.recall(), ut_acc.ndcg(), ut_acc.count};
+  return out;
+}
+
+EvalResult Evaluator::EvaluateScorer(
+    const std::function<double(data::UserId, data::ItemId)>& score,
+    RetrievedLists* retrieved) const {
+  const int top_n = protocol_->config().top_n;
+  EvalResult out;
+  if (retrieved != nullptr) {
+    retrieved->ir_topn.clear();
+    retrieved->ut_topn.clear();
+  }
+
+  MetricAccumulator ir_acc;
+  for (const auto& c : protocol_->ir_cases()) {
+    std::vector<float> scores;
+    std::vector<bool> pos;
+    std::vector<data::ItemId> cands;
+    cands.push_back(c.positive);
+    scores.push_back(static_cast<float>(score(c.user, c.positive)));
+    pos.push_back(true);
+    for (auto i : c.negatives) {
+      cands.push_back(i);
+      scores.push_back(static_cast<float>(score(c.user, i)));
+      pos.push_back(false);
+    }
+    ir_acc.Add(RecallAtN(scores, pos, top_n), NdcgAtN(scores, pos, top_n));
+    if (retrieved != nullptr) {
+      std::vector<data::ItemId> top;
+      for (int64_t idx : TopN(scores, top_n)) top.push_back(cands[idx]);
+      retrieved->ir_topn.push_back(std::move(top));
+    }
+  }
+  out.ir = {ir_acc.recall(), ir_acc.ndcg(), ir_acc.count};
+
+  MetricAccumulator ut_acc;
+  for (const auto& c : protocol_->ut_cases()) {
+    std::vector<float> scores;
+    std::vector<bool> pos;
+    std::vector<data::UserId> cands;
+    cands.push_back(c.positive_user);
+    scores.push_back(static_cast<float>(score(c.positive_user, c.item)));
+    pos.push_back(true);
+    for (auto u : c.negative_users) {
+      cands.push_back(u);
+      scores.push_back(static_cast<float>(score(u, c.item)));
+      pos.push_back(false);
+    }
+    ut_acc.Add(RecallAtN(scores, pos, top_n), NdcgAtN(scores, pos, top_n));
+    if (retrieved != nullptr) {
+      std::vector<data::UserId> top;
+      for (int64_t idx : TopN(scores, top_n)) top.push_back(cands[idx]);
+      retrieved->ut_topn.push_back(std::move(top));
+    }
+  }
+  out.ut = {ut_acc.recall(), ut_acc.ndcg(), ut_acc.count};
+  return out;
+}
+
+}  // namespace unimatch::eval

@@ -1,0 +1,76 @@
+#include "src/eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/util/logging.h"
+
+namespace unimatch::eval {
+
+namespace {
+std::vector<int64_t> SortedIndices(const std::vector<float>& scores) {
+  std::vector<int64_t> idx(scores.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(), [&](int64_t a, int64_t b) {
+    return scores[a] > scores[b];
+  });
+  return idx;
+}
+}  // namespace
+
+double RecallAtN(const std::vector<float>& scores,
+                 const std::vector<bool>& is_positive, int n) {
+  UM_CHECK_EQ(scores.size(), is_positive.size());
+  const int64_t num_pos =
+      std::count(is_positive.begin(), is_positive.end(), true);
+  if (num_pos == 0) return 0.0;
+  auto idx = SortedIndices(scores);
+  int64_t hits = 0;
+  const int64_t top = std::min<int64_t>(n, static_cast<int64_t>(idx.size()));
+  for (int64_t r = 0; r < top; ++r) {
+    if (is_positive[idx[r]]) ++hits;
+  }
+  return static_cast<double>(hits) /
+         static_cast<double>(std::min<int64_t>(num_pos, n));
+}
+
+double NdcgAtN(const std::vector<float>& scores,
+               const std::vector<bool>& is_positive, int n) {
+  UM_CHECK_EQ(scores.size(), is_positive.size());
+  const int64_t num_pos =
+      std::count(is_positive.begin(), is_positive.end(), true);
+  if (num_pos == 0) return 0.0;
+  auto idx = SortedIndices(scores);
+  const int64_t top = std::min<int64_t>(n, static_cast<int64_t>(idx.size()));
+  double dcg = 0.0;
+  for (int64_t r = 0; r < top; ++r) {
+    if (is_positive[idx[r]]) dcg += 1.0 / std::log2(static_cast<double>(r) + 2);
+  }
+  double ideal = 0.0;
+  const int64_t ideal_top = std::min<int64_t>(num_pos, n);
+  for (int64_t r = 0; r < ideal_top; ++r) {
+    ideal += 1.0 / std::log2(static_cast<double>(r) + 2);
+  }
+  return dcg / ideal;
+}
+
+int64_t RankOf(const std::vector<float>& scores, int64_t index) {
+  int64_t rank = 0;
+  for (int64_t i = 0; i < static_cast<int64_t>(scores.size()); ++i) {
+    if (i == index) continue;
+    if (scores[i] > scores[index] ||
+        (scores[i] == scores[index] && i < index)) {
+      ++rank;
+    }
+  }
+  return rank;
+}
+
+std::vector<int64_t> TopN(const std::vector<float>& scores, int n) {
+  auto idx = SortedIndices(scores);
+  if (static_cast<int64_t>(idx.size()) > n) idx.resize(n);
+  return idx;
+}
+
+}  // namespace unimatch::eval

@@ -1,0 +1,58 @@
+#include "src/eval/popularity.h"
+
+#include <algorithm>
+
+namespace unimatch::eval {
+
+std::vector<int64_t> ItemPopularity(const data::InteractionLog& log,
+                                    data::Day from, data::Day to) {
+  std::vector<int64_t> pop(log.num_items(), 0);
+  for (const auto& r : log.records()) {
+    if (r.day >= from && r.day < to) ++pop[r.item];
+  }
+  return pop;
+}
+
+std::vector<int64_t> UserActiveness(const data::InteractionLog& log,
+                                    data::Day from, data::Day to) {
+  std::vector<int64_t> act(log.num_users(), 0);
+  for (const auto& r : log.records()) {
+    if (r.day >= from && r.day < to) ++act[r.user];
+  }
+  return act;
+}
+
+namespace {
+void MedianAvg(std::vector<int64_t> values, double* median, double* avg) {
+  *median = 0.0;
+  *avg = 0.0;
+  if (values.empty()) return;
+  std::sort(values.begin(), values.end());
+  const size_t n = values.size();
+  *median = n % 2 == 1 ? static_cast<double>(values[n / 2])
+                       : (static_cast<double>(values[n / 2 - 1]) +
+                          static_cast<double>(values[n / 2])) /
+                             2.0;
+  double sum = 0.0;
+  for (int64_t v : values) sum += static_cast<double>(v);
+  *avg = sum / static_cast<double>(n);
+}
+}  // namespace
+
+PopularityStats ComputePopularityStats(const RetrievedLists& retrieved,
+                                       const std::vector<int64_t>& item_pop,
+                                       const std::vector<int64_t>& user_act) {
+  PopularityStats s;
+  std::vector<int64_t> items, users;
+  for (const auto& list : retrieved.ir_topn) {
+    for (auto i : list) items.push_back(item_pop[i]);
+  }
+  for (const auto& list : retrieved.ut_topn) {
+    for (auto u : list) users.push_back(user_act[u]);
+  }
+  MedianAvg(std::move(items), &s.ir_median, &s.ir_avg);
+  MedianAvg(std::move(users), &s.ut_median, &s.ut_avg);
+  return s;
+}
+
+}  // namespace unimatch::eval

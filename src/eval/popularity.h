@@ -1,0 +1,41 @@
+// Popularity/activeness analysis of retrieved lists (Table XI).
+//
+// The paper measures, for the items a loss retrieves in IR (and the users it
+// targets in UT), the median and average number of interactions in the past
+// one year — showing that InfoNCE/SimCLR systematically prefer unpopular
+// items because they optimize pointwise mutual information.
+
+#ifndef UNIMATCH_EVAL_POPULARITY_H_
+#define UNIMATCH_EVAL_POPULARITY_H_
+
+#include <vector>
+
+#include "src/data/event_log.h"
+#include "src/eval/evaluator.h"
+
+namespace unimatch::eval {
+
+struct PopularityStats {
+  double ir_median = 0.0;
+  double ir_avg = 0.0;
+  double ut_median = 0.0;
+  double ut_avg = 0.0;
+};
+
+/// Per-item interaction counts over days [from, to) of the log.
+std::vector<int64_t> ItemPopularity(const data::InteractionLog& log,
+                                    data::Day from, data::Day to);
+
+/// Per-user interaction counts over days [from, to).
+std::vector<int64_t> UserActiveness(const data::InteractionLog& log,
+                                    data::Day from, data::Day to);
+
+/// Median/average popularity of all retrieved items and activeness of all
+/// retrieved users (flattened across test cases).
+PopularityStats ComputePopularityStats(
+    const RetrievedLists& retrieved, const std::vector<int64_t>& item_pop,
+    const std::vector<int64_t>& user_act);
+
+}  // namespace unimatch::eval
+
+#endif  // UNIMATCH_EVAL_POPULARITY_H_

@@ -1,0 +1,102 @@
+#include "src/eval/protocol.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/util/logging.h"
+
+namespace unimatch::eval {
+
+EvalProtocol EvalProtocol::Build(const data::DatasetSplits& splits,
+                                 const ProtocolConfig& config) {
+  EvalProtocol p;
+  p.config_ = config;
+  Rng rng(config.seed);
+
+  const auto& marg = splits.train_marginals;
+  for (data::ItemId i = 0; i < splits.num_items; ++i) {
+    if (marg.item_count(i) >= splits.config.min_item_interactions) {
+      p.item_pool_.push_back(i);
+    }
+  }
+  for (data::UserId u = 0; u < splits.num_users; ++u) {
+    if (marg.user_count(u) >= splits.config.min_user_interactions &&
+        !splits.histories[u].empty()) {
+      p.user_pool_.push_back(u);
+    }
+  }
+  if (p.item_pool_.size() < static_cast<size_t>(config.num_negatives + 1) ||
+      p.user_pool_.size() < static_cast<size_t>(config.num_negatives + 1)) {
+    UM_LOG(WARNING) << "candidate pools too small for "
+                    << config.num_negatives << " negatives (items="
+                    << p.item_pool_.size() << ", users="
+                    << p.user_pool_.size() << ")";
+    return p;
+  }
+
+  std::unordered_set<data::ItemId> pool_items(p.item_pool_.begin(),
+                                              p.item_pool_.end());
+  std::unordered_set<data::UserId> pool_users(p.user_pool_.begin(),
+                                              p.user_pool_.end());
+
+  // Test-month purchases per user and per item (for false-negative
+  // exclusion).
+  std::unordered_map<data::UserId, std::unordered_set<data::ItemId>> bought;
+  std::unordered_map<data::ItemId, std::unordered_set<data::UserId>> buyers;
+  for (const auto& s : splits.test.samples()) {
+    bought[s.user].insert(s.target);
+    buyers[s.target].insert(s.user);
+  }
+
+  // --- IR: one case per qualifying test user (first qualifying target) ---
+  std::unordered_set<data::UserId> ir_done;
+  for (const auto& s : splits.test.samples()) {
+    if (ir_done.count(s.user)) continue;
+    if (!pool_users.count(s.user)) continue;
+    if (!pool_items.count(s.target)) continue;
+    ir_done.insert(s.user);
+    const auto& user_bought = bought[s.user];
+    // Rejection sampling must have enough eligible candidates.
+    if (p.item_pool_.size() <=
+        user_bought.size() + static_cast<size_t>(config.num_negatives)) {
+      continue;
+    }
+    IrCase c;
+    c.user = s.user;
+    c.positive = s.target;
+    while (static_cast<int>(c.negatives.size()) < config.num_negatives) {
+      const data::ItemId cand =
+          p.item_pool_[rng.Uniform(p.item_pool_.size())];
+      if (cand == c.positive || user_bought.count(cand)) continue;
+      c.negatives.push_back(cand);
+    }
+    p.ir_cases_.push_back(std::move(c));
+  }
+
+  // --- UT: one case per qualifying test item (first qualifying buyer) ---
+  std::unordered_set<data::ItemId> ut_done;
+  for (const auto& s : splits.test.samples()) {
+    if (ut_done.count(s.target)) continue;
+    if (!pool_items.count(s.target)) continue;
+    if (!pool_users.count(s.user)) continue;
+    ut_done.insert(s.target);
+    const auto& item_buyers = buyers[s.target];
+    if (p.user_pool_.size() <=
+        item_buyers.size() + static_cast<size_t>(config.num_negatives)) {
+      continue;
+    }
+    UtCase c;
+    c.item = s.target;
+    c.positive_user = s.user;
+    while (static_cast<int>(c.negative_users.size()) < config.num_negatives) {
+      const data::UserId cand =
+          p.user_pool_[rng.Uniform(p.user_pool_.size())];
+      if (cand == c.positive_user || item_buyers.count(cand)) continue;
+      c.negative_users.push_back(cand);
+    }
+    p.ut_cases_.push_back(std::move(c));
+  }
+  return p;
+}
+
+}  // namespace unimatch::eval

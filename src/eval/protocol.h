@@ -1,0 +1,66 @@
+// The paper's sampled-candidate evaluation protocol (Table VI).
+//
+// IR: each qualifying test user gets 1 positive item (a test-month purchase)
+// plus `num_negatives` items sampled from the item pool; the model ranks the
+// candidates and Recall/NDCG@top_n is recorded.
+// UT is symmetric: each qualifying test item gets 1 positive user plus
+// sampled negative users from the user pool (users represented by their
+// training-time pseudo-user history).
+//
+// Qualification follows the paper's filtering: pools contain users/items
+// with at least `min_*_interactions` training interactions.
+
+#ifndef UNIMATCH_EVAL_PROTOCOL_H_
+#define UNIMATCH_EVAL_PROTOCOL_H_
+
+#include <vector>
+
+#include "src/data/splits.h"
+#include "src/util/random.h"
+
+namespace unimatch::eval {
+
+struct ProtocolConfig {
+  /// Rank depth (10 in the paper; 5 for w_comp).
+  int top_n = 10;
+  /// Sampled negatives per case (99 in the paper; 49 for w_comp).
+  int num_negatives = 99;
+  uint64_t seed = 123;
+};
+
+struct IrCase {
+  data::UserId user = 0;
+  data::ItemId positive = 0;
+  /// Sampled negative item ids (positive excluded).
+  std::vector<data::ItemId> negatives;
+};
+
+struct UtCase {
+  data::ItemId item = 0;
+  data::UserId positive_user = 0;
+  std::vector<data::UserId> negative_users;
+};
+
+class EvalProtocol {
+ public:
+  /// Builds both tasks' test cases from the splits.
+  static EvalProtocol Build(const data::DatasetSplits& splits,
+                            const ProtocolConfig& config);
+
+  const std::vector<IrCase>& ir_cases() const { return ir_cases_; }
+  const std::vector<UtCase>& ut_cases() const { return ut_cases_; }
+  const std::vector<data::ItemId>& item_pool() const { return item_pool_; }
+  const std::vector<data::UserId>& user_pool() const { return user_pool_; }
+  const ProtocolConfig& config() const { return config_; }
+
+ private:
+  ProtocolConfig config_;
+  std::vector<IrCase> ir_cases_;
+  std::vector<UtCase> ut_cases_;
+  std::vector<data::ItemId> item_pool_;
+  std::vector<data::UserId> user_pool_;
+};
+
+}  // namespace unimatch::eval
+
+#endif  // UNIMATCH_EVAL_PROTOCOL_H_

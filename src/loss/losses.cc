@@ -1,0 +1,132 @@
+#include "src/loss/losses.h"
+
+#include "src/util/logging.h"
+
+namespace unimatch::loss {
+
+const char* LossKindToString(LossKind kind) {
+  switch (kind) {
+    case LossKind::kBce:
+      return "BCE";
+    case LossKind::kSsm:
+      return "SSM w. n.";
+    case LossKind::kInfoNce:
+      return "InfoNCE";
+    case LossKind::kSimClr:
+      return "SimCLR";
+    case LossKind::kRowBcNce:
+      return "row-bcNCE";
+    case LossKind::kColBcNce:
+      return "col-bcNCE";
+    case LossKind::kBbcNce:
+      return "bbcNCE";
+  }
+  return "?";
+}
+
+Result<LossKind> LossKindFromString(const std::string& s) {
+  if (s == "bce") return LossKind::kBce;
+  if (s == "ssm") return LossKind::kSsm;
+  if (s == "infonce") return LossKind::kInfoNce;
+  if (s == "simclr") return LossKind::kSimClr;
+  if (s == "row_bcnce" || s == "row-bcnce") return LossKind::kRowBcNce;
+  if (s == "col_bcnce" || s == "col-bcnce") return LossKind::kColBcNce;
+  if (s == "bbcnce") return LossKind::kBbcNce;
+  return Status::InvalidArgument("unknown loss kind: " + s);
+}
+
+bool IsMultinomialLoss(LossKind kind) { return kind != LossKind::kBce; }
+
+NceSettings SettingsFor(LossKind kind) {
+  switch (kind) {
+    case LossKind::kInfoNce:
+      return {1.0f, 0.0f, false, false};
+    case LossKind::kSimClr:
+      return {1.0f, 1.0f, false, false};
+    case LossKind::kRowBcNce:
+      return {1.0f, 0.0f, true, false};
+    case LossKind::kColBcNce:
+      return {0.0f, 1.0f, false, true};
+    case LossKind::kBbcNce:
+      return {1.0f, 1.0f, true, true};
+    default:
+      UM_LOG(FATAL) << "SettingsFor called with non-NCE loss "
+                    << LossKindToString(kind);
+      return {};
+  }
+}
+
+nn::Variable NceFamilyLoss(const nn::Variable& scores, const Tensor& log_pu,
+                           const Tensor& log_pi,
+                           const NceSettings& settings) {
+  UM_CHECK_EQ(scores.rank(), 2);
+  const int64_t b = scores.dim(0);
+  UM_CHECK_EQ(scores.dim(1), b);
+  UM_CHECK_EQ(log_pu.numel(), b);
+  UM_CHECK_EQ(log_pi.numel(), b);
+  UM_CHECK(settings.alpha > 0.0f || settings.beta > 0.0f);
+
+  nn::Variable total;
+  if (settings.alpha > 0.0f) {
+    nn::Variable row_logits = scores;
+    if (settings.delta_alpha) {
+      // h(u, i') = exp(phi(u, i') - log p(i')): subtract column item's
+      // log-marginal from every row.
+      Tensor neg_log_pi = log_pi.Clone();
+      neg_log_pi.ScaleInPlace(-1.0f);
+      row_logits = nn::AddRowVector(row_logits, nn::Constant(neg_log_pi));
+    }
+    nn::Variable row_loss = nn::ScalarMul(
+        nn::Mean(nn::TakeDiagonal(nn::LogSoftmax(row_logits, /*dim=*/1))),
+        -settings.alpha);
+    total = row_loss;
+  }
+  if (settings.beta > 0.0f) {
+    nn::Variable col_logits = scores;
+    if (settings.delta_beta) {
+      // o(u', i) = exp(phi(u', i) - log p(u')): subtract row user's
+      // log-marginal from every column.
+      Tensor neg_log_pu = log_pu.Clone();
+      neg_log_pu.ScaleInPlace(-1.0f);
+      col_logits = nn::AddColVector(col_logits, nn::Constant(neg_log_pu));
+    }
+    nn::Variable col_loss = nn::ScalarMul(
+        nn::Mean(nn::TakeDiagonal(nn::LogSoftmax(col_logits, /*dim=*/0))),
+        -settings.beta);
+    total = total.defined() ? nn::Add(total, col_loss) : col_loss;
+  }
+  return total;
+}
+
+nn::Variable SampledSoftmaxLoss(const nn::Variable& pos_scores,
+                                const nn::Variable& neg_scores,
+                                const Tensor& log_q_pos,
+                                const Tensor& log_q_neg) {
+  UM_CHECK_EQ(pos_scores.rank(), 1);
+  UM_CHECK_EQ(neg_scores.rank(), 2);
+  const int64_t b = pos_scores.dim(0);
+  const int64_t s = neg_scores.dim(1);
+  UM_CHECK_EQ(neg_scores.dim(0), b);
+  UM_CHECK_EQ(log_q_pos.numel(), b);
+  UM_CHECK_EQ(log_q_neg.numel(), s);
+
+  Tensor neg_log_q_pos = log_q_pos.Clone();
+  neg_log_q_pos.ScaleInPlace(-1.0f);
+  nn::Variable pos_adj = nn::Reshape(
+      nn::Add(pos_scores, nn::Constant(neg_log_q_pos.Reshaped({b}))), {b, 1});
+
+  Tensor neg_log_q_neg = log_q_neg.Clone();
+  neg_log_q_neg.ScaleInPlace(-1.0f);
+  nn::Variable neg_adj =
+      nn::AddRowVector(neg_scores, nn::Constant(neg_log_q_neg));
+
+  nn::Variable logits = nn::ConcatCols(pos_adj, neg_adj);  // [B, 1+S]
+  nn::Variable log_probs = nn::LogSoftmax(logits, /*dim=*/1);
+  return nn::ScalarMul(nn::Mean(nn::TakeColumn(log_probs, 0)), -1.0f);
+}
+
+nn::Variable BceLoss(const nn::Variable& pair_scores, const Tensor& labels) {
+  return nn::BCEWithLogits(pair_scores, labels);
+}
+
+}  // namespace unimatch::loss

@@ -1,0 +1,319 @@
+#include "src/loss/tabular_study.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "src/nn/optimizer.h"
+#include "src/nn/seq_ops.h"
+#include "src/util/logging.h"
+
+namespace unimatch::loss {
+
+TabularStudy::TabularStudy(const TabularStudyConfig& config)
+    : config_(config) {
+  const int64_t m = config_.num_users, k = config_.num_items;
+  Rng rng(config_.seed);
+
+  // Ground-truth joint: log-normal cell weights.
+  std::vector<double> weights(m * k);
+  for (auto& w : weights) w = std::exp(config_.skew * rng.Gaussian());
+  AliasSampler cell_sampler(weights);
+
+  counts_.assign(m * k, 0);
+  user_count_.assign(m, 0);
+  item_count_.assign(k, 0);
+  users_.reserve(config_.num_pairs);
+  items_.reserve(config_.num_pairs);
+  // Seed every cell once so all empirical logs are finite, then fill the
+  // rest by sampling.
+  for (int64_t c = 0; c < m * k; ++c) {
+    users_.push_back(c / k);
+    items_.push_back(c % k);
+  }
+  while (static_cast<int64_t>(users_.size()) < config_.num_pairs) {
+    const int64_t c = cell_sampler.Sample(&rng);
+    users_.push_back(c / k);
+    items_.push_back(c % k);
+  }
+  for (size_t j = 0; j < users_.size(); ++j) {
+    ++counts_[users_[j] * k + items_[j]];
+    ++user_count_[users_[j]];
+    ++item_count_[items_[j]];
+  }
+}
+
+double TabularStudy::LogJoint(int64_t u, int64_t i) const {
+  return std::log(static_cast<double>(counts_[u * config_.num_items + i]) /
+                  static_cast<double>(users_.size()));
+}
+
+double TabularStudy::LogMarginalU(int64_t u) const {
+  return std::log(static_cast<double>(user_count_[u]) /
+                  static_cast<double>(users_.size()));
+}
+
+double TabularStudy::LogMarginalI(int64_t i) const {
+  return std::log(static_cast<double>(item_count_[i]) /
+                  static_cast<double>(users_.size()));
+}
+
+double TabularStudy::LogCondItemGivenUser(int64_t u, int64_t i) const {
+  return LogJoint(u, i) - LogMarginalU(u);
+}
+
+double TabularStudy::LogCondUserGivenItem(int64_t u, int64_t i) const {
+  return LogJoint(u, i) - LogMarginalI(i);
+}
+
+double TabularStudy::LogPmi(int64_t u, int64_t i) const {
+  return LogJoint(u, i) - LogMarginalU(u) - LogMarginalI(i);
+}
+
+Tensor TabularStudy::TargetMatrix(Target target) const {
+  const int64_t m = config_.num_users, k = config_.num_items;
+  Tensor t({m, k});
+  for (int64_t u = 0; u < m; ++u) {
+    for (int64_t i = 0; i < k; ++i) {
+      double v = 0.0;
+      switch (target) {
+        case Target::kLogJoint:
+          v = LogJoint(u, i);
+          break;
+        case Target::kLogItemGivenUser:
+          v = LogCondItemGivenUser(u, i);
+          break;
+        case Target::kLogUserGivenItem:
+          v = LogCondUserGivenItem(u, i);
+          break;
+        case Target::kPmi:
+          v = LogPmi(u, i);
+          break;
+      }
+      t.at(u, i) = static_cast<float>(v);
+    }
+  }
+  return t;
+}
+
+Tensor TabularStudy::FitNce(const NceSettings& settings) const {
+  const int64_t m = config_.num_users, k = config_.num_items;
+  Rng rng(config_.seed + 1);
+  nn::Variable phi(Tensor::Randn({m, k}, 0.01f, &rng), true);
+  nn::Adam opt({{"phi", phi}}, config_.learning_rate);
+
+  std::vector<int64_t> order(users_.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int e = 0; e < config_.epochs; ++e) {
+    rng.Shuffle(&order);
+    for (size_t begin = 0; begin < order.size();
+         begin += config_.batch_size) {
+      const size_t end =
+          std::min(order.size(), begin + config_.batch_size);
+      const int64_t b = static_cast<int64_t>(end - begin);
+      if (b < 2) break;
+      std::vector<int64_t> bu(b), bi(b);
+      Tensor log_pu({b}), log_pi({b});
+      Tensor onehot({b, k});
+      for (int64_t r = 0; r < b; ++r) {
+        bu[r] = users_[order[begin + r]];
+        bi[r] = items_[order[begin + r]];
+        log_pu.at(r) = static_cast<float>(LogMarginalU(bu[r]));
+        log_pi.at(r) = static_cast<float>(LogMarginalI(bi[r]));
+        onehot.at(r, bi[r]) = 1.0f;
+      }
+      // scores[r][c] = phi[u_r, i_c].
+      nn::Variable rows = nn::EmbeddingLookup(phi, bu);
+      nn::Variable scores =
+          nn::MatMul(rows, nn::Constant(onehot), false, true);
+      nn::Variable l = NceFamilyLoss(scores, log_pu, log_pi, settings);
+      nn::Backward(l);
+      opt.Step();
+      opt.ZeroGrad();
+    }
+  }
+  return phi.value().Clone();
+}
+
+Tensor TabularStudy::FitBce(data::NegSampling sampling) const {
+  const int64_t m = config_.num_users, k = config_.num_items;
+  Rng rng(config_.seed + 2);
+  nn::Variable phi(Tensor::Randn({m, k}, 0.01f, &rng), true);
+  nn::Adam opt({{"phi", phi}}, config_.learning_rate);
+
+  std::vector<int64_t> order(users_.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  auto sample_negative = [&](int64_t* nu, int64_t* ni) {
+    switch (sampling) {
+      case data::NegSampling::kUserFreq: {
+        const int64_t j = rng.Uniform(users_.size());
+        *nu = users_[j];
+        *ni = static_cast<int64_t>(rng.Uniform(k));
+        break;
+      }
+      case data::NegSampling::kItemFreq: {
+        const int64_t j = rng.Uniform(items_.size());
+        *nu = static_cast<int64_t>(rng.Uniform(m));
+        *ni = items_[j];
+        break;
+      }
+      case data::NegSampling::kUserItemFreq: {
+        *nu = users_[rng.Uniform(users_.size())];
+        *ni = items_[rng.Uniform(items_.size())];
+        break;
+      }
+      case data::NegSampling::kUniform:
+        *nu = static_cast<int64_t>(rng.Uniform(m));
+        *ni = static_cast<int64_t>(rng.Uniform(k));
+        break;
+    }
+  };
+
+  for (int e = 0; e < config_.epochs; ++e) {
+    rng.Shuffle(&order);
+    for (size_t begin = 0; begin < order.size();
+         begin += config_.batch_size) {
+      const size_t end =
+          std::min(order.size(), begin + config_.batch_size);
+      const int64_t npos = static_cast<int64_t>(end - begin);
+      if (npos < 1) break;
+      const int64_t b = 2 * npos;
+      std::vector<int64_t> bu(b);
+      Tensor onehot({b, k});
+      Tensor labels({b});
+      for (int64_t r = 0; r < npos; ++r) {
+        bu[r] = users_[order[begin + r]];
+        onehot.at(r, items_[order[begin + r]]) = 1.0f;
+        labels.at(r) = 1.0f;
+        int64_t nu = 0, ni = 0;
+        sample_negative(&nu, &ni);
+        bu[npos + r] = nu;
+        onehot.at(npos + r, ni) = 1.0f;
+        labels.at(npos + r) = 0.0f;
+      }
+      nn::Variable rows = nn::EmbeddingLookup(phi, bu);
+      nn::Variable scores = nn::RowwiseDot(rows, nn::Constant(onehot));
+      nn::Variable l = BceLoss(scores, labels);
+      nn::Backward(l);
+      opt.Step();
+      opt.ZeroGrad();
+    }
+  }
+  return phi.value().Clone();
+}
+
+Tensor TabularStudy::FitSsm(int num_negatives) const {
+  const int64_t m = config_.num_users, k = config_.num_items;
+  Rng rng(config_.seed + 3);
+  nn::Variable phi(Tensor::Randn({m, k}, 0.01f, &rng), true);
+  nn::Adam opt({{"phi", phi}}, config_.learning_rate);
+
+  AliasSampler item_unigram(
+      std::vector<double>(item_count_.begin(), item_count_.end()));
+
+  std::vector<int64_t> order(users_.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (int e = 0; e < config_.epochs; ++e) {
+    rng.Shuffle(&order);
+    for (size_t begin = 0; begin < order.size();
+         begin += config_.batch_size) {
+      const size_t end =
+          std::min(order.size(), begin + config_.batch_size);
+      const int64_t b = static_cast<int64_t>(end - begin);
+      if (b < 2) break;
+      std::vector<int64_t> bu(b);
+      Tensor pos_onehot({b, k});
+      Tensor log_q_pos({b});
+      for (int64_t r = 0; r < b; ++r) {
+        bu[r] = users_[order[begin + r]];
+        const int64_t i = items_[order[begin + r]];
+        pos_onehot.at(r, i) = 1.0f;
+        log_q_pos.at(r) = static_cast<float>(LogMarginalI(i));
+      }
+      Tensor neg_onehot({static_cast<int64_t>(num_negatives), k});
+      Tensor log_q_neg({num_negatives});
+      for (int s = 0; s < num_negatives; ++s) {
+        const int64_t i = item_unigram.Sample(&rng);
+        neg_onehot.at(s, i) = 1.0f;
+        log_q_neg.at(s) = static_cast<float>(LogMarginalI(i));
+      }
+      nn::Variable rows = nn::EmbeddingLookup(phi, bu);  // [B, K]
+      nn::Variable pos_scores =
+          nn::RowwiseDot(rows, nn::Constant(pos_onehot));
+      nn::Variable neg_scores =
+          nn::MatMul(rows, nn::Constant(neg_onehot), false, true);
+      nn::Variable l =
+          SampledSoftmaxLoss(pos_scores, neg_scores, log_q_pos, log_q_neg);
+      nn::Backward(l);
+      opt.Step();
+      opt.ZeroGrad();
+    }
+  }
+  return phi.value().Clone();
+}
+
+namespace {
+double MeanOf(const Tensor& t) { return t.Mean(); }
+}  // namespace
+
+double TabularStudy::GlobalCenteredMaxError(const Tensor& phi,
+                                            const Tensor& target) {
+  UM_CHECK(phi.same_shape(target));
+  const double shift = MeanOf(target) - MeanOf(phi);
+  double mx = 0.0;
+  for (int64_t j = 0; j < phi.numel(); ++j) {
+    mx = std::max(mx, std::fabs(phi.at(j) + shift - target.at(j)));
+  }
+  return mx;
+}
+
+double TabularStudy::RowCenteredMaxError(const Tensor& phi,
+                                         const Tensor& target) {
+  UM_CHECK(phi.same_shape(target));
+  const int64_t m = phi.dim(0), k = phi.dim(1);
+  double mx = 0.0;
+  for (int64_t u = 0; u < m; ++u) {
+    double shift = 0.0;
+    for (int64_t i = 0; i < k; ++i) shift += target.at(u, i) - phi.at(u, i);
+    shift /= k;
+    for (int64_t i = 0; i < k; ++i) {
+      mx = std::max(mx, std::fabs(phi.at(u, i) + shift - target.at(u, i)));
+    }
+  }
+  return mx;
+}
+
+double TabularStudy::ColCenteredMaxError(const Tensor& phi,
+                                         const Tensor& target) {
+  UM_CHECK(phi.same_shape(target));
+  const int64_t m = phi.dim(0), k = phi.dim(1);
+  double mx = 0.0;
+  for (int64_t i = 0; i < k; ++i) {
+    double shift = 0.0;
+    for (int64_t u = 0; u < m; ++u) shift += target.at(u, i) - phi.at(u, i);
+    shift /= m;
+    for (int64_t u = 0; u < m; ++u) {
+      mx = std::max(mx, std::fabs(phi.at(u, i) + shift - target.at(u, i)));
+    }
+  }
+  return mx;
+}
+
+double TabularStudy::Correlation(const Tensor& phi, const Tensor& target) {
+  UM_CHECK(phi.same_shape(target));
+  const int64_t n = phi.numel();
+  const double ma = phi.Mean(), mb = target.Mean();
+  double sab = 0.0, saa = 0.0, sbb = 0.0;
+  for (int64_t j = 0; j < n; ++j) {
+    const double a = phi.at(j) - ma;
+    const double b = target.at(j) - mb;
+    sab += a * b;
+    saa += a * a;
+    sbb += b * b;
+  }
+  if (saa == 0.0 || sbb == 0.0) return 0.0;
+  return sab / std::sqrt(saa * sbb);
+}
+
+}  // namespace unimatch::loss

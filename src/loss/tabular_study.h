@@ -1,0 +1,95 @@
+// Tabular optimum-verification lab for Tables I and II.
+//
+// On an enumerable user-item universe we learn a completely unconstrained
+// score table phi[M, K] (no towers, no sharing) with each loss, and compare
+// the fitted phi against its theoretical optimum computed from the
+// *empirical* distribution of the generated dataset:
+//
+//   Table I  (BCE, by negative-sampling p_n):  phi ~ log p̂(u,i)/p_n(u,i)
+//   Table II (NCE family, by alpha/beta/delta): phi ~ log p̂(i|u),
+//            log p̂(u|i), PMI, or log p̂(u,i)
+//
+// Because every optimum is stated up to an additive constant (and for
+// single-direction losses up to a per-row or per-column shift), comparisons
+// are made after the appropriate centering.
+
+#ifndef UNIMATCH_LOSS_TABULAR_STUDY_H_
+#define UNIMATCH_LOSS_TABULAR_STUDY_H_
+
+#include <vector>
+
+#include "src/data/negative_sampler.h"
+#include "src/loss/losses.h"
+#include "src/tensor/tensor.h"
+#include "src/util/random.h"
+
+namespace unimatch::loss {
+
+struct TabularStudyConfig {
+  int64_t num_users = 8;
+  int64_t num_items = 8;
+  /// Pairs drawn i.i.d. from the ground-truth joint.
+  int64_t num_pairs = 6000;
+  /// Log-normal skew of the ground-truth joint's cells.
+  double skew = 1.0;
+  int batch_size = 128;
+  int epochs = 300;
+  float learning_rate = 0.05f;
+  uint64_t seed = 5;
+};
+
+class TabularStudy {
+ public:
+  explicit TabularStudy(const TabularStudyConfig& config);
+
+  /// Empirical log-distributions of the generated dataset (all cells are
+  /// guaranteed non-empty).
+  double LogJoint(int64_t u, int64_t i) const;
+  double LogCondItemGivenUser(int64_t u, int64_t i) const;
+  double LogCondUserGivenItem(int64_t u, int64_t i) const;
+  double LogPmi(int64_t u, int64_t i) const;
+  double LogMarginalU(int64_t u) const;
+  double LogMarginalI(int64_t i) const;
+
+  /// Trains phi with an Eq. 10 loss; returns the fitted [M, K] table.
+  Tensor FitNce(const NceSettings& settings) const;
+
+  /// Trains phi with BCE under a Table-I sampling strategy (1:1 negatives).
+  Tensor FitBce(data::NegSampling sampling) const;
+
+  /// Trains phi with the sampled-softmax loss (negatives from the item
+  /// unigram, bias-corrected); optimum log p̂(i|u) up to a per-user shift.
+  Tensor FitSsm(int num_negatives = 16) const;
+
+  /// Target matrices for comparison.
+  enum class Target { kLogJoint, kLogItemGivenUser, kLogUserGivenItem, kPmi };
+  Tensor TargetMatrix(Target target) const;
+
+  /// Max |phi - target| after removing a global additive constant.
+  static double GlobalCenteredMaxError(const Tensor& phi,
+                                       const Tensor& target);
+  /// Same after removing a per-row constant (for row-only losses whose
+  /// optimum is defined up to f(u)).
+  static double RowCenteredMaxError(const Tensor& phi, const Tensor& target);
+  /// Per-column analogue.
+  static double ColCenteredMaxError(const Tensor& phi, const Tensor& target);
+  /// Pearson correlation of the flattened matrices.
+  static double Correlation(const Tensor& phi, const Tensor& target);
+
+  const TabularStudyConfig& config() const { return config_; }
+  int64_t count(int64_t u, int64_t i) const {
+    return counts_[u * config_.num_items + i];
+  }
+
+ private:
+  TabularStudyConfig config_;
+  std::vector<int64_t> users_;  // dataset pairs
+  std::vector<int64_t> items_;
+  std::vector<int64_t> counts_;      // [M*K] empirical counts
+  std::vector<int64_t> user_count_;  // [M]
+  std::vector<int64_t> item_count_;  // [K]
+};
+
+}  // namespace unimatch::loss
+
+#endif  // UNIMATCH_LOSS_TABULAR_STUDY_H_

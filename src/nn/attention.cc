@@ -1,0 +1,68 @@
+#include "src/nn/attention.h"
+
+#include <cmath>
+
+#include "src/nn/init.h"
+#include "src/nn/ops.h"
+
+namespace unimatch::nn {
+
+TransformerLayer::TransformerLayer(int64_t dim, int64_t ffn_dim, Rng* rng)
+    : dim_(dim) {
+  wq_ = RegisterParameter("wq", GlorotUniform(dim, dim, rng));
+  wk_ = RegisterParameter("wk", GlorotUniform(dim, dim, rng));
+  wv_ = RegisterParameter("wv", GlorotUniform(dim, dim, rng));
+  wo_ = RegisterParameter("wo", GlorotUniform(dim, dim, rng));
+  ffn1_ = std::make_unique<Linear>(dim, ffn_dim, rng);
+  ffn2_ = std::make_unique<Linear>(ffn_dim, dim, rng);
+  ln1_ = std::make_unique<LayerNormLayer>(dim);
+  ln2_ = std::make_unique<LayerNormLayer>(dim);
+  RegisterChild("ffn1", ffn1_.get());
+  RegisterChild("ffn2", ffn2_.get());
+  RegisterChild("ln1", ln1_.get());
+  RegisterChild("ln2", ln2_.get());
+}
+
+Variable TransformerLayer::Forward(const Variable& x,
+                                   const std::vector<int64_t>& lengths) const {
+  UM_CHECK_EQ(x.rank(), 3);
+  UM_CHECK_EQ(x.dim(2), dim_);
+  const int64_t b = x.dim(0), l = x.dim(1);
+  auto project = [&](const Variable& w) {
+    Variable flat = Reshape(x, {b * l, dim_});
+    return Reshape(MatMul(flat, w), {b, l, dim_});
+  };
+  Variable q = project(wq_);
+  Variable k = project(wk_);
+  Variable v = project(wv_);
+  Variable scores =
+      ScalarMul(Bmm(q, k, false, true),
+                1.0f / std::sqrt(static_cast<float>(dim_)));  // [B, L, L]
+  Variable probs = MaskedSoftmaxLastDim(scores, lengths);
+  Variable ctx = Bmm(probs, v);  // [B, L, d]
+  Variable ctx_flat = Reshape(ctx, {b * l, dim_});
+  Variable attn_out = MatMul(ctx_flat, wo_);
+  Variable x_flat = Reshape(x, {b * l, dim_});
+  Variable h1 = ln1_->Forward(Add(x_flat, attn_out));
+  Variable ffn = ffn2_->Forward(Relu(ffn1_->Forward(h1)));
+  Variable h2 = ln2_->Forward(Add(h1, ffn));
+  Variable out = Reshape(h2, {b, l, dim_});
+  return ApplySeqMask(out, lengths);
+}
+
+AttentionPoolLayer::AttentionPoolLayer(int64_t dim, Rng* rng) : dim_(dim) {
+  query_ = RegisterParameter("query", GlorotUniform(dim, 1, rng));
+}
+
+Variable AttentionPoolLayer::Forward(
+    const Variable& x, const std::vector<int64_t>& lengths) const {
+  UM_CHECK_EQ(x.rank(), 3);
+  UM_CHECK_EQ(x.dim(2), dim_);
+  const int64_t b = x.dim(0), l = x.dim(1);
+  Variable flat = Reshape(x, {b * l, dim_});
+  Variable scores = Reshape(MatMul(flat, query_), {b, l});
+  Variable weights = MaskedSoftmaxSeq(scores, lengths);
+  return WeightedPool(x, weights);
+}
+
+}  // namespace unimatch::nn

@@ -1,0 +1,53 @@
+// Self-attention context extractor (SASRec-style, 1 layer) and the
+// attention-pooling aggregator.
+
+#ifndef UNIMATCH_NN_ATTENTION_H_
+#define UNIMATCH_NN_ATTENTION_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/nn/layers.h"
+#include "src/nn/module.h"
+#include "src/nn/seq_ops.h"
+
+namespace unimatch::nn {
+
+/// One pre-of-the-mill Transformer encoder layer: single-head scaled
+/// dot-product self-attention + residual + LayerNorm, then a 2-layer
+/// position-wise FFN + residual + LayerNorm. Padded key positions are masked
+/// out of the attention softmax.
+class TransformerLayer : public Module {
+ public:
+  TransformerLayer(int64_t dim, int64_t ffn_dim, Rng* rng);
+
+  /// x: [B, L, d] -> [B, L, d], padded positions zeroed.
+  Variable Forward(const Variable& x,
+                   const std::vector<int64_t>& lengths) const;
+
+ private:
+  int64_t dim_;
+  Variable wq_, wk_, wv_, wo_;  // each [d, d]
+  std::unique_ptr<Linear> ffn1_;
+  std::unique_ptr<Linear> ffn2_;
+  std::unique_ptr<LayerNormLayer> ln1_;
+  std::unique_ptr<LayerNormLayer> ln2_;
+};
+
+/// Aggregates [B, L, d] into [B, d] with learned additive attention:
+/// score(t) = <x_t, w>, weights = masked softmax, output = weighted sum.
+class AttentionPoolLayer : public Module {
+ public:
+  explicit AttentionPoolLayer(int64_t dim, Rng* rng);
+
+  Variable Forward(const Variable& x,
+                   const std::vector<int64_t>& lengths) const;
+
+ private:
+  int64_t dim_;
+  Variable query_;  // [d, 1]
+};
+
+}  // namespace unimatch::nn
+
+#endif  // UNIMATCH_NN_ATTENTION_H_

@@ -1,0 +1,48 @@
+#include "src/nn/conv.h"
+
+#include "src/nn/init.h"
+#include "src/util/string_util.h"
+
+namespace unimatch::nn {
+
+Conv1dSame::Conv1dSame(int64_t in_channels, int64_t out_channels,
+                       int64_t kernel_size, Rng* rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_size_(kernel_size) {
+  UM_CHECK_EQ(kernel_size % 2, 1);
+  const int64_t fan_in = in_channels * kernel_size;
+  taps_.reserve(kernel_size);
+  for (int64_t k = 0; k < kernel_size; ++k) {
+    const float limit =
+        std::sqrt(6.0f / static_cast<float>(fan_in + out_channels));
+    taps_.push_back(RegisterParameter(
+        StrFormat("tap_%lld", static_cast<long long>(k)),
+        Tensor::Uniform({in_channels, out_channels}, -limit, limit, rng)));
+  }
+  bias_ = RegisterParameter("bias", Tensor({out_channels}));
+}
+
+Variable Conv1dSame::Forward(const Variable& x,
+                             const std::vector<int64_t>& lengths) const {
+  UM_CHECK_EQ(x.rank(), 3);
+  UM_CHECK_EQ(x.dim(2), in_channels_);
+  const int64_t b = x.dim(0), l = x.dim(1);
+  const int64_t half = kernel_size_ / 2;
+  Variable acc;
+  for (int64_t k = 0; k < kernel_size_; ++k) {
+    // Kernel offset k reads x[t + (k - half)]; equivalently shift x by
+    // (half - k) so position t of the shifted tensor holds that value.
+    const int64_t offset = half - k;
+    Variable shifted = offset == 0 ? x : ShiftSeq(x, offset);
+    Variable flat = Reshape(shifted, {b * l, in_channels_});
+    Variable term = MatMul(flat, taps_[k]);
+    acc = acc.defined() ? Add(acc, term) : term;
+  }
+  acc = AddRowVector(acc, bias_);
+  acc = Relu(acc);
+  Variable out = Reshape(acc, {b, l, out_channels_});
+  return ApplySeqMask(out, lengths);
+}
+
+}  // namespace unimatch::nn

@@ -1,0 +1,37 @@
+// 1-D convolutional context extractor (the Caser-style CNN tower).
+
+#ifndef UNIMATCH_NN_CONV_H_
+#define UNIMATCH_NN_CONV_H_
+
+#include <vector>
+
+#include "src/nn/module.h"
+#include "src/nn/ops.h"
+#include "src/nn/seq_ops.h"
+
+namespace unimatch::nn {
+
+/// Same-padded 1-D convolution over the time axis with odd kernel size,
+/// followed by ReLU. Implemented as a sum of time-shifted matmuls, which
+/// keeps the whole op differentiable through the generic autograd ops.
+class Conv1dSame : public Module {
+ public:
+  /// kernel_size must be odd (symmetric same-padding).
+  Conv1dSame(int64_t in_channels, int64_t out_channels, int64_t kernel_size,
+             Rng* rng);
+
+  /// x: [B, L, in] -> [B, L, out], padded positions zeroed.
+  Variable Forward(const Variable& x,
+                   const std::vector<int64_t>& lengths) const;
+
+ private:
+  int64_t in_channels_;
+  int64_t out_channels_;
+  int64_t kernel_size_;
+  std::vector<Variable> taps_;  // one [in, out] weight per kernel offset
+  Variable bias_;
+};
+
+}  // namespace unimatch::nn
+
+#endif  // UNIMATCH_NN_CONV_H_

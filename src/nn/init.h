@@ -1,0 +1,26 @@
+// Parameter initializers.
+
+#ifndef UNIMATCH_NN_INIT_H_
+#define UNIMATCH_NN_INIT_H_
+
+#include <cmath>
+
+#include "src/tensor/tensor.h"
+
+namespace unimatch::nn {
+
+/// Glorot/Xavier uniform: U[-limit, limit] with limit = sqrt(6/(fan_in+fan_out)).
+inline Tensor GlorotUniform(int64_t fan_in, int64_t fan_out, Rng* rng) {
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::Uniform({fan_in, fan_out}, -limit, limit, rng);
+}
+
+/// Normal(0, stddev) of arbitrary shape (embedding tables).
+inline Tensor NormalInit(Shape shape, float stddev, Rng* rng) {
+  return Tensor::Randn(std::move(shape), stddev, rng);
+}
+
+}  // namespace unimatch::nn
+
+#endif  // UNIMATCH_NN_INIT_H_

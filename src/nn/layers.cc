@@ -1,0 +1,34 @@
+#include "src/nn/layers.h"
+
+#include "src/nn/init.h"
+
+namespace unimatch::nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng,
+               bool with_bias)
+    : in_features_(in_features),
+      out_features_(out_features),
+      with_bias_(with_bias) {
+  weight_ = RegisterParameter("weight",
+                              GlorotUniform(in_features, out_features, rng));
+  if (with_bias_) {
+    bias_ = RegisterParameter("bias", Tensor({out_features}));
+  }
+}
+
+Variable Linear::Forward(const Variable& x) const {
+  Variable y = MatMul(x, weight_);
+  if (with_bias_) y = AddRowVector(y, bias_);
+  return y;
+}
+
+LayerNormLayer::LayerNormLayer(int64_t dim) {
+  gain_ = RegisterParameter("gain", Tensor::Ones({dim}));
+  bias_ = RegisterParameter("bias", Tensor({dim}));
+}
+
+Variable LayerNormLayer::Forward(const Variable& x) const {
+  return LayerNorm(x, gain_, bias_);
+}
+
+}  // namespace unimatch::nn

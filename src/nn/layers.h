@@ -1,0 +1,45 @@
+// Basic feed-forward layers.
+
+#ifndef UNIMATCH_NN_LAYERS_H_
+#define UNIMATCH_NN_LAYERS_H_
+
+#include "src/nn/module.h"
+#include "src/nn/ops.h"
+
+namespace unimatch::nn {
+
+/// Affine map y = x W + b on [N, in] inputs.
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng* rng,
+         bool with_bias = true);
+
+  /// x: [N, in] -> [N, out].
+  Variable Forward(const Variable& x) const;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  bool with_bias_;
+  Variable weight_;  // [in, out]
+  Variable bias_;    // [out]
+};
+
+/// Learnable layer normalization over the last dim of [N, d].
+class LayerNormLayer : public Module {
+ public:
+  explicit LayerNormLayer(int64_t dim);
+
+  Variable Forward(const Variable& x) const;
+
+ private:
+  Variable gain_;
+  Variable bias_;
+};
+
+}  // namespace unimatch::nn
+
+#endif  // UNIMATCH_NN_LAYERS_H_

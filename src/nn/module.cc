@@ -1,0 +1,35 @@
+#include "src/nn/module.h"
+
+namespace unimatch::nn {
+
+std::vector<NamedParameter> Module::Parameters() const {
+  std::vector<NamedParameter> out = own_params_;
+  for (const auto& [prefix, child] : children_) {
+    for (const auto& p : child->Parameters()) {
+      out.push_back({prefix + "/" + p.name, p.variable});
+    }
+  }
+  return out;
+}
+
+void Module::ZeroGrad() {
+  for (auto& p : Parameters()) p.variable.ZeroGrad();
+}
+
+int64_t Module::NumParameters() const {
+  int64_t n = 0;
+  for (const auto& p : Parameters()) n += p.variable.numel();
+  return n;
+}
+
+Variable Module::RegisterParameter(std::string name, Tensor init) {
+  Variable v(std::move(init), /*requires_grad=*/true);
+  own_params_.push_back({std::move(name), v});
+  return v;
+}
+
+void Module::RegisterChild(std::string name, Module* child) {
+  children_.emplace_back(std::move(name), child);
+}
+
+}  // namespace unimatch::nn

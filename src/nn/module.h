@@ -1,0 +1,52 @@
+// Module: base class for trainable components.
+//
+// A Module owns named parameter Variables (requires_grad = true) and may
+// contain child modules; Parameters() flattens the tree with slash-separated
+// names ("user_encoder/gru/w_z"), which is also the checkpoint key space.
+
+#ifndef UNIMATCH_NN_MODULE_H_
+#define UNIMATCH_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/nn/variable.h"
+
+namespace unimatch::nn {
+
+/// A named trainable parameter.
+struct NamedParameter {
+  std::string name;
+  Variable variable;
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All parameters of this module and its children, prefixed with their
+  /// registration names.
+  std::vector<NamedParameter> Parameters() const;
+
+  /// Clears gradients (and graph edges) on every parameter.
+  void ZeroGrad();
+
+  /// Total number of scalar parameters.
+  int64_t NumParameters() const;
+
+ protected:
+  /// Registers a leaf parameter; returns the Variable for use in Forward.
+  Variable RegisterParameter(std::string name, Tensor init);
+
+  /// Registers a child module whose parameters are exposed with the prefix.
+  void RegisterChild(std::string name, Module* child);
+
+ private:
+  std::vector<NamedParameter> own_params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+};
+
+}  // namespace unimatch::nn
+
+#endif  // UNIMATCH_NN_MODULE_H_

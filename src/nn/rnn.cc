@@ -1,0 +1,108 @@
+#include "src/nn/rnn.h"
+
+#include "src/nn/init.h"
+
+namespace unimatch::nn {
+
+Gru::Gru(int64_t input_dim, int64_t hidden_dim, Rng* rng)
+    : input_dim_(input_dim), hidden_dim_(hidden_dim) {
+  auto wx = [&](const char* n) {
+    return RegisterParameter(n, GlorotUniform(input_dim, hidden_dim, rng));
+  };
+  auto wh = [&](const char* n) {
+    return RegisterParameter(n, GlorotUniform(hidden_dim, hidden_dim, rng));
+  };
+  auto b = [&](const char* n) {
+    return RegisterParameter(n, Tensor({hidden_dim}));
+  };
+  wx_z_ = wx("wx_z");
+  wh_z_ = wh("wh_z");
+  b_z_ = b("b_z");
+  wx_r_ = wx("wx_r");
+  wh_r_ = wh("wh_r");
+  b_r_ = b("b_r");
+  wx_c_ = wx("wx_c");
+  wh_c_ = wh("wh_c");
+  b_c_ = b("b_c");
+}
+
+Variable Gru::Forward(const Variable& x,
+                      const std::vector<int64_t>& lengths) const {
+  UM_CHECK_EQ(x.rank(), 3);
+  UM_CHECK_EQ(x.dim(2), input_dim_);
+  const int64_t b = x.dim(0), l = x.dim(1);
+  Variable h = Constant(Tensor({b, hidden_dim_}));
+  std::vector<Variable> outputs;
+  outputs.reserve(l);
+  for (int64_t t = 0; t < l; ++t) {
+    Variable xt = SelectTimeStep(x, t);
+    Variable z = Sigmoid(AddRowVector(
+        Add(MatMul(xt, wx_z_), MatMul(h, wh_z_)), b_z_));
+    Variable r = Sigmoid(AddRowVector(
+        Add(MatMul(xt, wx_r_), MatMul(h, wh_r_)), b_r_));
+    Variable c = Tanh(AddRowVector(
+        Add(MatMul(xt, wx_c_), MatMul(Mul(r, h), wh_c_)), b_c_));
+    // h' = (1 - z) * h + z * c.
+    Variable one_minus_z = ScalarAdd(Neg(z), 1.0f);
+    h = Add(Mul(one_minus_z, h), Mul(z, c));
+    outputs.push_back(h);
+  }
+  Variable stacked = StackTimeSteps(outputs);
+  return ApplySeqMask(stacked, lengths);
+}
+
+Lstm::Lstm(int64_t input_dim, int64_t hidden_dim, Rng* rng)
+    : input_dim_(input_dim), hidden_dim_(hidden_dim) {
+  auto wx = [&](const char* n) {
+    return RegisterParameter(n, GlorotUniform(input_dim, hidden_dim, rng));
+  };
+  auto wh = [&](const char* n) {
+    return RegisterParameter(n, GlorotUniform(hidden_dim, hidden_dim, rng));
+  };
+  auto b = [&](const char* n) {
+    return RegisterParameter(n, Tensor({hidden_dim}));
+  };
+  wx_i_ = wx("wx_i");
+  wh_i_ = wh("wh_i");
+  b_i_ = b("b_i");
+  wx_f_ = wx("wx_f");
+  wh_f_ = wh("wh_f");
+  b_f_ = b("b_f");
+  wx_o_ = wx("wx_o");
+  wh_o_ = wh("wh_o");
+  b_o_ = b("b_o");
+  wx_g_ = wx("wx_g");
+  wh_g_ = wh("wh_g");
+  b_g_ = b("b_g");
+  // Standard trick: bias the forget gate towards remembering at init.
+  b_f_.mutable_value().Fill(1.0f);
+}
+
+Variable Lstm::Forward(const Variable& x,
+                       const std::vector<int64_t>& lengths) const {
+  UM_CHECK_EQ(x.rank(), 3);
+  UM_CHECK_EQ(x.dim(2), input_dim_);
+  const int64_t b = x.dim(0), l = x.dim(1);
+  Variable h = Constant(Tensor({b, hidden_dim_}));
+  Variable cell = Constant(Tensor({b, hidden_dim_}));
+  std::vector<Variable> outputs;
+  outputs.reserve(l);
+  for (int64_t t = 0; t < l; ++t) {
+    Variable xt = SelectTimeStep(x, t);
+    Variable i = Sigmoid(AddRowVector(
+        Add(MatMul(xt, wx_i_), MatMul(h, wh_i_)), b_i_));
+    Variable f = Sigmoid(AddRowVector(
+        Add(MatMul(xt, wx_f_), MatMul(h, wh_f_)), b_f_));
+    Variable o = Sigmoid(AddRowVector(
+        Add(MatMul(xt, wx_o_), MatMul(h, wh_o_)), b_o_));
+    Variable g = Tanh(AddRowVector(
+        Add(MatMul(xt, wx_g_), MatMul(h, wh_g_)), b_g_));
+    cell = Add(Mul(f, cell), Mul(i, g));
+    h = Mul(o, Tanh(cell));
+    outputs.push_back(h);
+  }
+  Variable stacked = StackTimeSteps(outputs);
+  return ApplySeqMask(stacked, lengths);
+}
+
+}  // namespace unimatch::nn

@@ -1,0 +1,62 @@
+// Recurrent context extractors (GRU4Rec / LSTM variants of the user tower).
+//
+// Both consume a [B, L, d] embedded sequence and return the [B, L, h] hidden
+// states for every step, so any aggregator (mean/last/max/attention pooling)
+// can be applied on top, mirroring the paper's encoder decomposition into
+// "context extraction layer" + "aggregation layer".
+
+#ifndef UNIMATCH_NN_RNN_H_
+#define UNIMATCH_NN_RNN_H_
+
+#include <vector>
+
+#include "src/nn/module.h"
+#include "src/nn/ops.h"
+#include "src/nn/seq_ops.h"
+
+namespace unimatch::nn {
+
+/// Single-layer GRU (Cho et al., 2014).
+class Gru : public Module {
+ public:
+  Gru(int64_t input_dim, int64_t hidden_dim, Rng* rng);
+
+  /// x: [B, L, input_dim] -> hidden states [B, L, hidden_dim].
+  Variable Forward(const Variable& x,
+                   const std::vector<int64_t>& lengths) const;
+
+  int64_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int64_t input_dim_;
+  int64_t hidden_dim_;
+  // Gate weights: update (z), reset (r), candidate (c).
+  Variable wx_z_, wh_z_, b_z_;
+  Variable wx_r_, wh_r_, b_r_;
+  Variable wx_c_, wh_c_, b_c_;
+};
+
+/// Single-layer LSTM (Gers et al., 2000, with forget gate).
+class Lstm : public Module {
+ public:
+  Lstm(int64_t input_dim, int64_t hidden_dim, Rng* rng);
+
+  /// x: [B, L, input_dim] -> hidden states [B, L, hidden_dim].
+  Variable Forward(const Variable& x,
+                   const std::vector<int64_t>& lengths) const;
+
+  int64_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int64_t input_dim_;
+  int64_t hidden_dim_;
+  // Gates: input (i), forget (f), output (o), cell candidate (g).
+  Variable wx_i_, wh_i_, b_i_;
+  Variable wx_f_, wh_f_, b_f_;
+  Variable wx_o_, wh_o_, b_o_;
+  Variable wx_g_, wh_g_, b_g_;
+};
+
+}  // namespace unimatch::nn
+
+#endif  // UNIMATCH_NN_RNN_H_

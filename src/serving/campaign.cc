@@ -1,0 +1,109 @@
+#include "src/serving/campaign.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+namespace unimatch::serving {
+
+Result<std::vector<AudienceEntry>> BuildAudience(
+    const core::UniMatchEngine& engine, const AudienceRequest& request) {
+  if (!engine.fitted()) {
+    return Status::FailedPrecondition("engine not fitted");
+  }
+  if (request.audience_size <= 0) {
+    return Status::InvalidArgument("audience_size must be positive");
+  }
+  std::vector<AudienceEntry> all;
+  for (data::ItemId item : request.items) {
+    // Over-fetch when exclusive so dedup can still fill each audience.
+    const int fetch = request.exclusive
+                          ? request.audience_size * 2
+                          : request.audience_size;
+    UNIMATCH_ASSIGN_OR_RETURN(std::vector<core::Scored> users,
+                              engine.TargetUsers(item, fetch));
+    for (const auto& s : users) {
+      all.push_back({item, s.id, s.score});
+    }
+  }
+  if (!request.exclusive) {
+    // Trim each item to size (they were fetched exactly sized).
+    return all;
+  }
+  // Exclusive assignment: order all candidate pairs by score and greedily
+  // assign each user to their best item until audiences fill up.
+  std::sort(all.begin(), all.end(),
+            [](const AudienceEntry& a, const AudienceEntry& b) {
+              return a.score > b.score;
+            });
+  std::unordered_map<data::UserId, bool> taken;
+  std::unordered_map<data::ItemId, int> filled;
+  std::vector<AudienceEntry> out;
+  for (const auto& e : all) {
+    if (taken[e.user]) continue;
+    if (filled[e.item] >= request.audience_size) continue;
+    taken[e.user] = true;
+    ++filled[e.item];
+    out.push_back(e);
+  }
+  return out;
+}
+
+namespace {
+std::string ItemName(const data::IdMap* map, data::ItemId id) {
+  return map ? map->Name(id) : std::to_string(id);
+}
+std::string UserName(const data::IdMap* map, data::UserId id) {
+  return map ? map->Name(id) : std::to_string(id);
+}
+}  // namespace
+
+Status WriteAudienceCsv(const std::vector<AudienceEntry>& audience,
+                        const std::string& path, const data::IdMap* items,
+                        const data::IdMap* users) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return Status::IOError("cannot open for write: " + path);
+  std::fprintf(f, "item_id,user_id,score\n");
+  for (const auto& e : audience) {
+    std::fprintf(f, "%s,%s,%.6f\n", ItemName(items, e.item).c_str(),
+                 UserName(users, e.user).c_str(), e.score);
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+Result<std::vector<NewsletterEntry>> BuildNewsletter(
+    const core::UniMatchEngine& engine, const NewsletterRequest& request) {
+  if (!engine.fitted()) {
+    return Status::FailedPrecondition("engine not fitted");
+  }
+  if (request.items_per_user <= 0) {
+    return Status::InvalidArgument("items_per_user must be positive");
+  }
+  std::vector<NewsletterEntry> out;
+  for (data::UserId user : request.users) {
+    auto items = engine.RecommendItems(user, request.items_per_user);
+    if (!items.ok()) continue;  // no history / unknown -> skip recipient
+    out.push_back({user, std::move(items).value()});
+  }
+  return out;
+}
+
+Status WriteNewsletterCsv(const std::vector<NewsletterEntry>& newsletter,
+                          const std::string& path, const data::IdMap* items,
+                          const data::IdMap* users) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return Status::IOError("cannot open for write: " + path);
+  std::fprintf(f, "user_id,rank,item_id,score\n");
+  for (const auto& e : newsletter) {
+    for (size_t r = 0; r < e.items.size(); ++r) {
+      std::fprintf(f, "%s,%zu,%s,%.6f\n", UserName(users, e.user).c_str(),
+                   r + 1, ItemName(items, e.items[r].id).c_str(),
+                   e.items[r].score);
+    }
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+}  // namespace unimatch::serving

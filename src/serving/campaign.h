@@ -1,0 +1,65 @@
+// Campaign exporting: turning ranked matches into the artifacts merchants
+// actually ship — audience lists for promotions (UT) and per-user item
+// shortlists for newsletters (IR), written as CSV with external ids.
+
+#ifndef UNIMATCH_SERVING_CAMPAIGN_H_
+#define UNIMATCH_SERVING_CAMPAIGN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/unimatch.h"
+#include "src/data/id_map.h"
+
+namespace unimatch::serving {
+
+struct AudienceRequest {
+  /// Items being promoted (dense ids).
+  std::vector<data::ItemId> items;
+  /// Audience size per item.
+  int audience_size = 100;
+  /// Deduplicate: a user appears only under their best-scoring item.
+  bool exclusive = true;
+};
+
+struct AudienceEntry {
+  data::ItemId item = 0;
+  data::UserId user = 0;
+  float score = 0.0f;
+};
+
+/// Builds per-item audiences from a fitted engine.
+Result<std::vector<AudienceEntry>> BuildAudience(
+    const core::UniMatchEngine& engine, const AudienceRequest& request);
+
+/// Writes an audience as CSV (item_id,user_id,score). Ids are mapped
+/// through the optional IdMaps when given, else written as integers.
+Status WriteAudienceCsv(const std::vector<AudienceEntry>& audience,
+                        const std::string& path,
+                        const data::IdMap* items = nullptr,
+                        const data::IdMap* users = nullptr);
+
+struct NewsletterRequest {
+  /// Recipients (dense user ids); users without history are skipped.
+  std::vector<data::UserId> users;
+  int items_per_user = 10;
+};
+
+struct NewsletterEntry {
+  data::UserId user = 0;
+  std::vector<core::Scored> items;
+};
+
+/// Builds per-user shortlists from a fitted engine.
+Result<std::vector<NewsletterEntry>> BuildNewsletter(
+    const core::UniMatchEngine& engine, const NewsletterRequest& request);
+
+/// Writes shortlists as CSV (user_id,rank,item_id,score).
+Status WriteNewsletterCsv(const std::vector<NewsletterEntry>& newsletter,
+                          const std::string& path,
+                          const data::IdMap* items = nullptr,
+                          const data::IdMap* users = nullptr);
+
+}  // namespace unimatch::serving
+
+#endif  // UNIMATCH_SERVING_CAMPAIGN_H_

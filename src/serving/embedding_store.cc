@@ -1,0 +1,101 @@
+#include "src/serving/embedding_store.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace unimatch::serving {
+
+namespace {
+constexpr char kMagic[4] = {'U', 'M', 'E', 'B'};
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+Status WriteMatrix(std::FILE* f, const Tensor& t) {
+  if (t.rank() != 2) return Status::InvalidArgument("expected [N, d] matrix");
+  const int64_t dims[2] = {t.dim(0), t.dim(1)};
+  if (std::fwrite(dims, sizeof(dims), 1, f) != 1 ||
+      std::fwrite(t.data(), sizeof(float), t.numel(), f) !=
+          static_cast<size_t>(t.numel())) {
+    return Status::IOError("short write");
+  }
+  return Status::OK();
+}
+
+Result<Tensor> ReadMatrix(std::FILE* f) {
+  int64_t dims[2] = {0, 0};
+  if (std::fread(dims, sizeof(dims), 1, f) != 1 || dims[0] < 0 ||
+      dims[1] <= 0) {
+    return Status::IOError("corrupt matrix header");
+  }
+  Tensor t({dims[0], dims[1]});
+  if (std::fread(t.data(), sizeof(float), t.numel(), f) !=
+      static_cast<size_t>(t.numel())) {
+    return Status::IOError("truncated matrix data");
+  }
+  return t;
+}
+}  // namespace
+
+Status SaveEmbeddings(const EmbeddingBundle& bundle,
+                      const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IOError("cannot open for write: " + path);
+  if (std::fwrite(kMagic, 4, 1, f.get()) != 1 ||
+      std::fwrite(&kVersion, sizeof(kVersion), 1, f.get()) != 1 ||
+      std::fwrite(&bundle.version, sizeof(bundle.version), 1, f.get()) != 1) {
+    return Status::IOError("short write: " + path);
+  }
+  UNIMATCH_RETURN_IF_ERROR(WriteMatrix(f.get(), bundle.user_embeddings));
+  UNIMATCH_RETURN_IF_ERROR(WriteMatrix(f.get(), bundle.item_embeddings));
+  return Status::OK();
+}
+
+Result<EmbeddingBundle> LoadEmbeddings(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IOError("cannot open for read: " + path);
+  char magic[4];
+  uint32_t version = 0;
+  EmbeddingBundle bundle;
+  if (std::fread(magic, 4, 1, f.get()) != 1 ||
+      std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::IOError("bad embedding-store magic: " + path);
+  }
+  if (std::fread(&version, sizeof(version), 1, f.get()) != 1 ||
+      version != kVersion) {
+    return Status::IOError("unsupported embedding-store version");
+  }
+  if (std::fread(&bundle.version, sizeof(bundle.version), 1, f.get()) != 1) {
+    return Status::IOError("truncated bundle header");
+  }
+  UNIMATCH_ASSIGN_OR_RETURN(bundle.user_embeddings, ReadMatrix(f.get()));
+  UNIMATCH_ASSIGN_OR_RETURN(bundle.item_embeddings, ReadMatrix(f.get()));
+  return bundle;
+}
+
+Result<double> EmbeddingChurn(const Tensor& before, const Tensor& after) {
+  if (!before.same_shape(after) || before.rank() != 2) {
+    return Status::InvalidArgument("embedding matrices must match in shape");
+  }
+  const int64_t n = before.dim(0), d = before.dim(1);
+  if (n == 0) return 0.0;
+  double total = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    double sq = 0.0;
+    for (int64_t j = 0; j < d; ++j) {
+      const double diff = after.at(i, j) - before.at(i, j);
+      sq += diff * diff;
+    }
+    total += std::sqrt(sq);
+  }
+  return total / static_cast<double>(n);
+}
+
+}  // namespace unimatch::serving

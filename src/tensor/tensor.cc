@@ -1,0 +1,148 @@
+#include "src/tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace unimatch {
+
+int64_t ShapeNumel(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    UM_CHECK_GE(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      numel_(ShapeNumel(shape_)),
+      storage_(std::make_shared<std::vector<float>>(numel_, 0.0f)) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), numel_(ShapeNumel(shape_)) {
+  UM_CHECK_EQ(numel_, static_cast<int64_t>(values.size()));
+  storage_ = std::make_shared<std::vector<float>>(std::move(values));
+}
+
+Tensor Tensor::Full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Randn(Shape shape, float stddev, Rng* rng) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    p[i] = static_cast<float>(rng->Gaussian()) * stddev;
+  }
+  return t;
+}
+
+Tensor Tensor::Uniform(Shape shape, float lo, float hi, Rng* rng) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    p[i] = static_cast<float>(rng->UniformDouble(lo, hi));
+  }
+  return t;
+}
+
+void Tensor::Fill(float value) {
+  std::fill(storage_->begin(), storage_->end(), value);
+}
+
+Tensor Tensor::Clone() const {
+  Tensor t;
+  t.shape_ = shape_;
+  t.numel_ = numel_;
+  t.storage_ = std::make_shared<std::vector<float>>(*storage_);
+  return t;
+}
+
+Tensor Tensor::Reshaped(Shape new_shape) const {
+  UM_CHECK_EQ(ShapeNumel(new_shape), numel_);
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.numel_ = numel_;
+  t.storage_ = storage_;
+  return t;
+}
+
+void Tensor::AddInPlace(const Tensor& other, float alpha) {
+  UM_CHECK(same_shape(other));
+  float* a = data();
+  const float* b = other.data();
+  for (int64_t i = 0; i < numel_; ++i) a[i] += alpha * b[i];
+}
+
+void Tensor::ScaleInPlace(float alpha) {
+  float* a = data();
+  for (int64_t i = 0; i < numel_; ++i) a[i] *= alpha;
+}
+
+double Tensor::Sum() const {
+  double s = 0.0;
+  const float* p = data();
+  for (int64_t i = 0; i < numel_; ++i) s += p[i];
+  return s;
+}
+
+double Tensor::Mean() const { return numel_ == 0 ? 0.0 : Sum() / numel_; }
+
+float Tensor::Min() const {
+  UM_CHECK_GT(numel_, 0);
+  return *std::min_element(storage_->begin(), storage_->end());
+}
+
+float Tensor::Max() const {
+  UM_CHECK_GT(numel_, 0);
+  return *std::max_element(storage_->begin(), storage_->end());
+}
+
+double Tensor::L2Norm() const {
+  double s = 0.0;
+  const float* p = data();
+  for (int64_t i = 0; i < numel_; ++i) s += static_cast<double>(p[i]) * p[i];
+  return std::sqrt(s);
+}
+
+std::string Tensor::ToString(int64_t max_elems) const {
+  std::ostringstream os;
+  os << "Tensor" << ShapeToString(shape_) << " {";
+  const int64_t n = std::min(numel_, max_elems);
+  const float* p = data();
+  for (int64_t i = 0; i < n; ++i) {
+    if (i) os << ", ";
+    os << p[i];
+  }
+  if (n < numel_) os << ", ...";
+  os << '}';
+  return os.str();
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, float rtol, float atol) {
+  if (!a.same_shape(b)) return false;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    const float tol = atol + rtol * std::fabs(pb[i]);
+    if (std::fabs(pa[i] - pb[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace unimatch

@@ -1,0 +1,146 @@
+// Dense row-major float32 tensor.
+//
+// This is the numeric substrate for the from-scratch neural-network library
+// (src/nn) that replaces the paper's TensorFlow dependency. Tensors are
+// value types with shared storage: copying a Tensor aliases the same buffer
+// (like a TF/PyTorch handle); use Clone() for a deep copy.
+//
+// Supported ranks are 0..3, which covers everything the two-tower model
+// needs: scalars (losses), [B] vectors, [B, d] matrices and [B, L, d]
+// sequence batches.
+
+#ifndef UNIMATCH_TENSOR_TENSOR_H_
+#define UNIMATCH_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/util/logging.h"
+#include "src/util/random.h"
+
+namespace unimatch {
+
+/// Tensor shape: a small vector of dimension sizes.
+using Shape = std::vector<int64_t>;
+
+/// Returns the number of elements of a shape (1 for rank-0).
+int64_t ShapeNumel(const Shape& shape);
+
+/// "[2, 3, 16]"
+std::string ShapeToString(const Shape& shape);
+
+class Tensor {
+ public:
+  /// An empty (rank-0, single element, zero) tensor.
+  Tensor() : Tensor(Shape{}) {}
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor of the given shape with explicit contents (size must match).
+  Tensor(Shape shape, std::vector<float> values);
+
+  /// ----- factory helpers -----
+  static Tensor Zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor Full(Shape shape, float value);
+  static Tensor Ones(Shape shape) { return Full(std::move(shape), 1.0f); }
+  /// Scalar tensor.
+  static Tensor Scalar(float value) { return Full({}, value); }
+  /// i.i.d. N(0, stddev^2) entries.
+  static Tensor Randn(Shape shape, float stddev, Rng* rng);
+  /// i.i.d. U[lo, hi) entries.
+  static Tensor Uniform(Shape shape, float lo, float hi, Rng* rng);
+
+  /// ----- shape accessors -----
+  const Shape& shape() const { return shape_; }
+  int rank() const { return static_cast<int>(shape_.size()); }
+  int64_t dim(int i) const {
+    UM_CHECK_GE(i, 0);
+    UM_CHECK_LT(i, rank());
+    return shape_[i];
+  }
+  int64_t numel() const { return numel_; }
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  /// ----- element access -----
+  float* data() { return storage_->data(); }
+  const float* data() const { return storage_->data(); }
+
+  float& at(int64_t i) {
+    UM_CHECK_LT(i, numel_);
+    return (*storage_)[i];
+  }
+  float at(int64_t i) const {
+    UM_CHECK_LT(i, numel_);
+    return (*storage_)[i];
+  }
+  float& at(int64_t i, int64_t j) {
+    UM_CHECK_EQ(rank(), 2);
+    return (*storage_)[i * shape_[1] + j];
+  }
+  float at(int64_t i, int64_t j) const {
+    UM_CHECK_EQ(rank(), 2);
+    return (*storage_)[i * shape_[1] + j];
+  }
+  float& at(int64_t i, int64_t j, int64_t k) {
+    UM_CHECK_EQ(rank(), 3);
+    return (*storage_)[(i * shape_[1] + j) * shape_[2] + k];
+  }
+  float at(int64_t i, int64_t j, int64_t k) const {
+    UM_CHECK_EQ(rank(), 3);
+    return (*storage_)[(i * shape_[1] + j) * shape_[2] + k];
+  }
+
+  /// Scalar value of a one-element tensor.
+  float item() const {
+    UM_CHECK_EQ(numel_, 1);
+    return (*storage_)[0];
+  }
+
+  /// ----- mutation -----
+  void Fill(float value);
+  void SetZero() { Fill(0.0f); }
+
+  /// Deep copy with fresh storage.
+  Tensor Clone() const;
+
+  /// Returns a tensor sharing this storage but with a different shape of the
+  /// same element count.
+  Tensor Reshaped(Shape new_shape) const;
+
+  /// True if both tensors alias the same storage.
+  bool shares_storage(const Tensor& other) const {
+    return storage_ == other.storage_;
+  }
+
+  /// ----- in-place arithmetic (used by optimizers) -----
+  void AddInPlace(const Tensor& other, float alpha = 1.0f);  // this += a*other
+  void ScaleInPlace(float alpha);                            // this *= a
+
+  /// Sum / mean / min / max over all elements.
+  double Sum() const;
+  double Mean() const;
+  float Min() const;
+  float Max() const;
+  /// sqrt(sum of squares).
+  double L2Norm() const;
+
+  /// Human-readable preview (truncated for large tensors).
+  std::string ToString(int64_t max_elems = 32) const;
+
+ private:
+  Shape shape_;
+  int64_t numel_ = 1;
+  std::shared_ptr<std::vector<float>> storage_;
+};
+
+/// True if every pair of elements differs by at most atol + rtol*|b|.
+bool AllClose(const Tensor& a, const Tensor& b, float rtol = 1e-5f,
+              float atol = 1e-6f);
+
+}  // namespace unimatch
+
+#endif  // UNIMATCH_TENSOR_TENSOR_H_

@@ -1,0 +1,198 @@
+#include "src/tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/threadpool.h"
+
+namespace unimatch {
+
+void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+          float alpha, const float* a, const float* b, float beta, float* c) {
+  // Handle the transposed-A cases by explicit indexing here (they are rare:
+  // only used in backward passes), and dispatch the two common layouts to the
+  // threaded row kernel.
+  if (!trans_a) {
+    auto run = [&](int64_t r0, int64_t r1) {
+      for (int64_t i = r0; i < r1; ++i) {
+        float* crow = c + i * n;
+        if (beta == 0.0f) {
+          std::fill(crow, crow + n, 0.0f);
+        } else if (beta != 1.0f) {
+          for (int64_t j = 0; j < n; ++j) crow[j] *= beta;
+        }
+        const float* arow = a + i * k;
+        if (!trans_b) {
+          for (int64_t p = 0; p < k; ++p) {
+            const float av = alpha * arow[p];
+            if (av == 0.0f) continue;
+            const float* brow = b + p * n;
+            for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+          }
+        } else {
+          for (int64_t j = 0; j < n; ++j) {
+            const float* brow = b + j * k;
+            float acc = 0.0f;
+            for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+            crow[j] += alpha * acc;
+          }
+        }
+      }
+    };
+    const int64_t flops = m * n * k;
+    if (flops > (1 << 18)) {
+      ThreadPool::Global()->ParallelFor(
+          0, m, [&](int64_t i) { run(i, i + 1); }, /*min_shard=*/8);
+    } else {
+      run(0, m);
+    }
+    return;
+  }
+
+  // trans_a: A is [k, m].
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    if (beta == 0.0f) {
+      std::fill(crow, crow + n, 0.0f);
+    } else if (beta != 1.0f) {
+      for (int64_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+  }
+  if (!trans_b) {
+    // C[i,j] += alpha * sum_p A[p,i] * B[p,j].
+    for (int64_t p = 0; p < k; ++p) {
+      const float* arow = a + p * m;
+      const float* brow = b + p * n;
+      for (int64_t i = 0; i < m; ++i) {
+        const float av = alpha * arow[i];
+        if (av == 0.0f) continue;
+        float* crow = c + i * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else {
+    // A is [k, m], B is [n, k]: C[i,j] += alpha * sum_p A[p,i] * B[j,p].
+    for (int64_t i = 0; i < m; ++i) {
+      float* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* brow = b + j * k;
+        float acc = 0.0f;
+        for (int64_t p = 0; p < k; ++p) acc += a[p * m + i] * brow[p];
+        crow[j] += alpha * acc;
+      }
+    }
+  }
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
+  UM_CHECK_EQ(a.rank(), 2);
+  UM_CHECK_EQ(b.rank(), 2);
+  const int64_t m = trans_a ? a.dim(1) : a.dim(0);
+  const int64_t ka = trans_a ? a.dim(0) : a.dim(1);
+  const int64_t kb = trans_b ? b.dim(1) : b.dim(0);
+  const int64_t n = trans_b ? b.dim(0) : b.dim(1);
+  UM_CHECK_EQ(ka, kb);
+  Tensor c({m, n});
+  Gemm(trans_a, trans_b, m, n, ka, 1.0f, a.data(), b.data(), 0.0f, c.data());
+  return c;
+}
+
+Tensor BatchMatMul(const Tensor& a, const Tensor& b, bool trans_a,
+                   bool trans_b) {
+  UM_CHECK_EQ(a.rank(), 3);
+  UM_CHECK_EQ(b.rank(), 3);
+  UM_CHECK_EQ(a.dim(0), b.dim(0));
+  const int64_t bs = a.dim(0);
+  const int64_t m = trans_a ? a.dim(2) : a.dim(1);
+  const int64_t ka = trans_a ? a.dim(1) : a.dim(2);
+  const int64_t kb = trans_b ? b.dim(2) : b.dim(1);
+  const int64_t n = trans_b ? b.dim(1) : b.dim(2);
+  UM_CHECK_EQ(ka, kb);
+  Tensor c({bs, m, n});
+  const int64_t a_stride = a.dim(1) * a.dim(2);
+  const int64_t b_stride = b.dim(1) * b.dim(2);
+  const int64_t c_stride = m * n;
+  for (int64_t i = 0; i < bs; ++i) {
+    Gemm(trans_a, trans_b, m, n, ka, 1.0f, a.data() + i * a_stride,
+         b.data() + i * b_stride, 0.0f, c.data() + i * c_stride);
+  }
+  return c;
+}
+
+void SoftmaxRows(const Tensor& in, Tensor* out) {
+  UM_CHECK_EQ(in.rank(), 2);
+  UM_CHECK(in.same_shape(*out));
+  const int64_t m = in.dim(0), n = in.dim(1);
+  for (int64_t i = 0; i < m; ++i) {
+    const float* x = in.data() + i * n;
+    float* y = out->data() + i * n;
+    float mx = x[0];
+    for (int64_t j = 1; j < n; ++j) mx = std::max(mx, x[j]);
+    double denom = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      y[j] = std::exp(x[j] - mx);
+      denom += y[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int64_t j = 0; j < n; ++j) y[j] *= inv;
+  }
+}
+
+void LogSoftmaxRows(const Tensor& in, Tensor* out) {
+  UM_CHECK_EQ(in.rank(), 2);
+  UM_CHECK(in.same_shape(*out));
+  const int64_t m = in.dim(0), n = in.dim(1);
+  for (int64_t i = 0; i < m; ++i) {
+    const float* x = in.data() + i * n;
+    float* y = out->data() + i * n;
+    float mx = x[0];
+    for (int64_t j = 1; j < n; ++j) mx = std::max(mx, x[j]);
+    double denom = 0.0;
+    for (int64_t j = 0; j < n; ++j) denom += std::exp(x[j] - mx);
+    const float lse = mx + static_cast<float>(std::log(denom));
+    for (int64_t j = 0; j < n; ++j) y[j] = x[j] - lse;
+  }
+}
+
+void L2NormalizeRows(const Tensor& in, Tensor* out, Tensor* norms, float eps) {
+  UM_CHECK_EQ(in.rank(), 2);
+  UM_CHECK(in.same_shape(*out));
+  const int64_t m = in.dim(0), n = in.dim(1);
+  if (norms != nullptr) UM_CHECK_EQ(norms->numel(), m);
+  for (int64_t i = 0; i < m; ++i) {
+    const float* x = in.data() + i * n;
+    float* y = out->data() + i * n;
+    double ss = 0.0;
+    for (int64_t j = 0; j < n; ++j) ss += static_cast<double>(x[j]) * x[j];
+    const float norm = std::max(static_cast<float>(std::sqrt(ss)), eps);
+    if (norms != nullptr) norms->at(i) = norm;
+    const float inv = 1.0f / norm;
+    for (int64_t j = 0; j < n; ++j) y[j] = x[j] * inv;
+  }
+}
+
+void ReduceSumRows(const Tensor& in, Tensor* out) {
+  UM_CHECK_EQ(in.rank(), 2);
+  const int64_t m = in.dim(0), n = in.dim(1);
+  UM_CHECK_EQ(out->numel(), m);
+  for (int64_t i = 0; i < m; ++i) {
+    const float* x = in.data() + i * n;
+    double s = 0.0;
+    for (int64_t j = 0; j < n; ++j) s += x[j];
+    out->at(i) = static_cast<float>(s);
+  }
+}
+
+void ReduceSumCols(const Tensor& in, Tensor* out) {
+  UM_CHECK_EQ(in.rank(), 2);
+  const int64_t m = in.dim(0), n = in.dim(1);
+  UM_CHECK_EQ(out->numel(), n);
+  out->SetZero();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* x = in.data() + i * n;
+    float* y = out->data();
+    for (int64_t j = 0; j < n; ++j) y[j] += x[j];
+  }
+}
+
+}  // namespace unimatch

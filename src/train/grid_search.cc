@@ -1,0 +1,55 @@
+#include "src/train/grid_search.h"
+
+#include "src/eval/evaluator.h"
+#include "src/util/logging.h"
+
+namespace unimatch::train {
+
+GridResult RunGridSearch(const data::InteractionLog& log,
+                         const data::SplitConfig& split_config,
+                         model::TwoTowerConfig model_config,
+                         TrainConfig train_config,
+                         const eval::ProtocolConfig& protocol_config,
+                         const GridSpec& spec) {
+  // Truncate the log before the original test month: the inner splits' test
+  // month is the original validation month.
+  const int32_t num_months = log.NumMonths();
+  UM_CHECK_GE(num_months, 4);
+  const data::Day cut = (num_months - 1) * data::kDaysPerMonth;
+  data::InteractionLog inner_log = log.SliceDays(0, cut);
+  data::DatasetSplits inner = data::MakeSplits(inner_log, split_config);
+  eval::EvalProtocol protocol =
+      eval::EvalProtocol::Build(inner, protocol_config);
+  eval::Evaluator evaluator(&inner, &protocol);
+
+  GridResult result;
+  result.best.valid_avg_ndcg = -1.0;
+  for (int batch : spec.batch_sizes) {
+    for (float tau : spec.temperatures) {
+      for (int epochs : spec.epochs) {
+        model::TwoTowerConfig mc = model_config;
+        mc.temperature = tau;
+        TrainConfig tc = train_config;
+        tc.batch_size = batch;
+        tc.epochs_per_month = epochs;
+        model::TwoTowerModel model(mc);
+        Trainer trainer(&model, &inner, tc);
+        Status st = trainer.TrainMonths(0, inner.test_month - 1);
+        if (!st.ok()) {
+          UM_LOG(WARNING) << "grid point failed: " << st.ToString();
+          continue;
+        }
+        const eval::EvalResult ev = evaluator.Evaluate(model);
+        GridPoint point{batch, tau, epochs, ev.avg_ndcg(), ev.ir.ndcg,
+                        ev.ut.ndcg};
+        result.all.push_back(point);
+        if (point.valid_avg_ndcg > result.best.valid_avg_ndcg) {
+          result.best = point;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace unimatch::train

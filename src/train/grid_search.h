@@ -1,0 +1,51 @@
+// Hyperparameter grid search on validation NDCG (Table VII).
+//
+// The paper tunes batch-size, temperature and epochs per distribution family
+// by NDCG on the validation month. We rebuild splits on the log truncated
+// before the test month, so the inner "test" month is exactly the original
+// validation month and no test information leaks into selection.
+
+#ifndef UNIMATCH_TRAIN_GRID_SEARCH_H_
+#define UNIMATCH_TRAIN_GRID_SEARCH_H_
+
+#include <vector>
+
+#include "src/data/event_log.h"
+#include "src/data/splits.h"
+#include "src/eval/protocol.h"
+#include "src/train/trainer.h"
+
+namespace unimatch::train {
+
+struct GridSpec {
+  std::vector<int> batch_sizes = {64, 128, 256};
+  std::vector<float> temperatures = {0.1f, 0.125f, 0.1667f, 0.25f, 0.5f};
+  std::vector<int> epochs = {2, 3, 6, 8, 10};
+};
+
+struct GridPoint {
+  int batch_size = 0;
+  float temperature = 0.0f;
+  int epochs = 0;
+  double valid_avg_ndcg = 0.0;
+  double valid_ir_ndcg = 0.0;
+  double valid_ut_ndcg = 0.0;
+};
+
+struct GridResult {
+  GridPoint best;
+  std::vector<GridPoint> all;
+};
+
+/// Runs the full grid; each point trains a fresh model incrementally over
+/// the inner training months and evaluates on the validation month.
+GridResult RunGridSearch(const data::InteractionLog& log,
+                         const data::SplitConfig& split_config,
+                         model::TwoTowerConfig model_config,
+                         TrainConfig train_config,
+                         const eval::ProtocolConfig& protocol_config,
+                         const GridSpec& spec);
+
+}  // namespace unimatch::train
+
+#endif  // UNIMATCH_TRAIN_GRID_SEARCH_H_

@@ -1,0 +1,30 @@
+#include "src/train/incremental_study.h"
+
+#include "src/util/logging.h"
+
+namespace unimatch::train {
+
+std::vector<IncrementalPoint> RunIncrementalStudy(
+    model::TwoTowerModel* model, const data::DatasetSplits& splits,
+    const TrainConfig& train_config, const eval::Evaluator& evaluator,
+    int max_ahead) {
+  UM_CHECK_GE(max_ahead, 1);
+  const int32_t test_month = splits.test_month;
+  UM_CHECK_GT(test_month, max_ahead);
+
+  Trainer trainer(model, &splits, train_config);
+  std::vector<IncrementalPoint> points;
+  int32_t trained_through = -1;
+  for (int ahead = max_ahead; ahead >= 1; --ahead) {
+    const int32_t horizon = test_month - ahead;  // last month fed
+    Status st = trainer.TrainMonths(trained_through + 1, horizon);
+    UM_CHECK(st.ok()) << st.ToString();
+    trained_through = horizon;
+    const eval::EvalResult ev = evaluator.Evaluate(*model);
+    points.push_back(IncrementalPoint{ahead, ev.ir.ndcg, ev.ut.ndcg,
+                                      ev.ir.recall, ev.ut.recall});
+  }
+  return points;
+}
+
+}  // namespace unimatch::train

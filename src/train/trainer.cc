@@ -1,0 +1,203 @@
+#include "src/train/trainer.h"
+
+#include <cmath>
+
+#include "src/data/batcher.h"
+#include "src/nn/serialize.h"
+#include "src/util/logging.h"
+
+namespace unimatch::train {
+
+Trainer::Trainer(model::TwoTowerModel* model,
+                 const data::DatasetSplits* splits, TrainConfig config)
+    : model_(model),
+      splits_(splits),
+      config_(std::move(config)),
+      rng_(config_.seed) {
+  optimizer_ = nn::MakeOptimizer(config_.optimizer, model_->Parameters(),
+                                 config_.learning_rate);
+}
+
+void Trainer::EnsureBceSampler() {
+  if (bce_sampler_) return;
+  // Canonical pseudo-users as of the end of the training window.
+  bce_sampler_ = std::make_unique<data::BceNegativeSampler>(
+      splits_->train, splits_->train_marginals, splits_->histories,
+      config_.bce_sampling);
+}
+
+void Trainer::EnsureSsmSampler() {
+  if (!ssm_items_.empty()) return;
+  const auto& marg = splits_->train_marginals;
+  std::vector<double> freq;
+  double total = 0.0;
+  for (data::ItemId i = 0; i < marg.num_items(); ++i) {
+    if (marg.item_count(i) > 0) {
+      ssm_items_.push_back(i);
+      freq.push_back(static_cast<double>(marg.item_count(i)));
+      total += freq.back();
+    }
+  }
+  UM_CHECK(!ssm_items_.empty());
+  ssm_sampler_.Build(freq);
+  ssm_log_q_.resize(ssm_items_.size());
+  for (size_t k = 0; k < ssm_items_.size(); ++k) {
+    ssm_log_q_[k] = static_cast<float>(std::log(freq[k] / total));
+  }
+}
+
+Status Trainer::TrainMonths(int32_t first_month, int32_t last_month) {
+  for (int32_t mo = first_month; mo <= last_month; ++mo) {
+    UNIMATCH_RETURN_IF_ERROR(TrainMonth(mo));
+  }
+  return Status::OK();
+}
+
+Status Trainer::TrainMonth(int32_t month) {
+  const auto indices = splits_->train.IndicesOfMonth(month);
+  if (indices.empty()) return Status::OK();
+  UNIMATCH_RETURN_IF_ERROR(TrainIndices(indices, config_.epochs_per_month));
+  if (config_.lr_decay_per_month != 1.0f) {
+    optimizer_->SetLearningRate(optimizer_->learning_rate() *
+                                config_.lr_decay_per_month);
+  }
+  return Status::OK();
+}
+
+Status Trainer::TrainIndices(const std::vector<int64_t>& indices,
+                             int epochs) {
+  if (indices.empty()) {
+    return Status::InvalidArgument("no training samples given");
+  }
+  for (int e = 0; e < epochs; ++e) {
+    UNIMATCH_RETURN_IF_ERROR(RunEpoch(indices));
+    if (config_.verbose) {
+      UM_LOG(INFO) << loss::LossKindToString(config_.loss) << " epoch "
+                   << (e + 1) << "/" << epochs << " over " << indices.size()
+                   << " samples, avg loss " << last_epoch_loss_;
+    }
+  }
+  return Status::OK();
+}
+
+Status Trainer::TrainWithEarlyStopping(
+    const std::vector<int64_t>& indices, int max_epochs, int patience,
+    const std::function<double()>& validation_metric, double min_delta,
+    int* epochs_run) {
+  if (indices.empty()) {
+    return Status::InvalidArgument("no training samples given");
+  }
+  UM_CHECK_GE(patience, 1);
+  auto params = model_->Parameters();
+  double best = validation_metric();
+  auto best_snapshot = nn::SnapshotParameters(params);
+  int since_best = 0;
+  int epoch = 0;
+  for (; epoch < max_epochs; ++epoch) {
+    UNIMATCH_RETURN_IF_ERROR(RunEpoch(indices));
+    const double metric = validation_metric();
+    if (metric > best + min_delta) {
+      best = metric;
+      best_snapshot = nn::SnapshotParameters(params);
+      since_best = 0;
+    } else if (++since_best >= patience) {
+      ++epoch;
+      break;
+    }
+  }
+  if (epochs_run != nullptr) *epochs_run = epoch;
+  return nn::RestoreParameters(best_snapshot, &params);
+}
+
+Status Trainer::RunEpoch(const std::vector<int64_t>& indices) {
+  const int max_len = splits_->config.window.max_seq_len;
+  const bool multinomial = loss::IsMultinomialLoss(config_.loss);
+  double loss_sum = 0.0;
+  int64_t loss_count = 0;
+
+  if (multinomial) {
+    data::BatchIterator it(&splits_->train, &splits_->train_marginals,
+                           indices, config_.batch_size, max_len, &rng_);
+    data::Batch batch;
+    if (config_.loss == loss::LossKind::kSsm) EnsureSsmSampler();
+    while (it.Next(&batch)) {
+      nn::Variable users =
+          model_->EncodeUsers(batch.history_ids, batch.lengths, &rng_);
+      nn::Variable items = model_->EncodeItems(batch.targets);
+      nn::Variable loss_var;
+      if (config_.loss == loss::LossKind::kSsm) {
+        const int s = config_.ssm_num_negatives;
+        std::vector<int64_t> neg_ids(s);
+        Tensor log_q_neg({s});
+        for (int k = 0; k < s; ++k) {
+          const int64_t slot = ssm_sampler_.Sample(&rng_);
+          neg_ids[k] = ssm_items_[slot];
+          log_q_neg.at(k) = ssm_log_q_[slot];
+        }
+        Tensor log_q_pos({batch.batch_size});
+        for (int64_t r = 0; r < batch.batch_size; ++r) {
+          // The positive's proposal probability under the unigram q is its
+          // empirical marginal.
+          log_q_pos.at(r) = batch.log_pi.at(r);
+        }
+        nn::Variable neg_items = model_->EncodeItems(neg_ids);
+        nn::Variable pos_scores = model_->ScorePairs(users, items);
+        nn::Variable neg_scores = model_->ScoreMatrix(users, neg_items);
+        loss_var = loss::SampledSoftmaxLoss(pos_scores, neg_scores, log_q_pos,
+                                            log_q_neg);
+        records_processed_ += batch.batch_size + s;
+      } else {
+        nn::Variable scores = model_->ScoreMatrix(users, items);
+        loss_var = loss::NceFamilyLoss(scores, batch.log_pu, batch.log_pi,
+                                       loss::SettingsFor(config_.loss));
+        records_processed_ += batch.batch_size;
+      }
+      nn::Backward(loss_var);
+      if (config_.grad_clip > 0.0f) {
+        optimizer_->ClipGradNorm(config_.grad_clip);
+      }
+      optimizer_->Step();
+      optimizer_->ZeroGrad();
+      loss_sum += loss_var.value().item();
+      ++loss_count;
+      ++total_steps_;
+    }
+  } else {
+    EnsureBceSampler();
+    // Iterate positive indices in shuffled batches; each batch is doubled
+    // with freshly drawn negatives (1:1 per the paper).
+    std::vector<int64_t> shuffled = indices;
+    rng_.Shuffle(&shuffled);
+    for (size_t begin = 0; begin < shuffled.size();
+         begin += config_.batch_size) {
+      const size_t end =
+          std::min(shuffled.size(), begin + config_.batch_size);
+      if (end - begin < 2) break;
+      std::vector<int64_t> idx(shuffled.begin() + begin,
+                               shuffled.begin() + end);
+      Tensor labels;
+      data::Batch batch =
+          AssembleBceBatch(splits_->train, idx, splits_->train_marginals,
+                           max_len, *bce_sampler_, &rng_, &labels);
+      nn::Variable users =
+          model_->EncodeUsers(batch.history_ids, batch.lengths, &rng_);
+      nn::Variable items = model_->EncodeItems(batch.targets);
+      nn::Variable scores = model_->ScorePairs(users, items);
+      nn::Variable loss_var = loss::BceLoss(scores, labels);
+      nn::Backward(loss_var);
+      if (config_.grad_clip > 0.0f) {
+        optimizer_->ClipGradNorm(config_.grad_clip);
+      }
+      optimizer_->Step();
+      optimizer_->ZeroGrad();
+      records_processed_ += batch.batch_size;
+      loss_sum += loss_var.value().item();
+      ++loss_count;
+      ++total_steps_;
+    }
+  }
+  last_epoch_loss_ = loss_count > 0 ? loss_sum / loss_count : 0.0;
+  return Status::OK();
+}
+
+}  // namespace unimatch::train

@@ -1,0 +1,62 @@
+#include "src/util/flags.h"
+
+#include <cstdlib>
+
+#include "src/util/string_util.h"
+
+namespace unimatch {
+
+ArgParser::ArgParser(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (!StrStartsWith(token, "--")) {
+      positional_.push_back(std::move(token));
+      continue;
+    }
+    token = token.substr(2);
+    const size_t eq = token.find('=');
+    if (eq != std::string::npos) {
+      flags_[token.substr(0, eq)] = token.substr(eq + 1);
+    } else if (i + 1 < argc && !StrStartsWith(argv[i + 1], "--")) {
+      flags_[token] = argv[++i];
+    } else {
+      flags_[token] = "true";
+    }
+  }
+}
+
+std::string ArgParser::GetString(const std::string& key,
+                                 const std::string& fallback) const {
+  read_[key] = true;
+  auto it = flags_.find(key);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+int64_t ArgParser::GetInt(const std::string& key, int64_t fallback) const {
+  read_[key] = true;
+  auto it = flags_.find(key);
+  return it == flags_.end() ? fallback : std::atoll(it->second.c_str());
+}
+
+double ArgParser::GetDouble(const std::string& key, double fallback) const {
+  read_[key] = true;
+  auto it = flags_.find(key);
+  return it == flags_.end() ? fallback : std::atof(it->second.c_str());
+}
+
+bool ArgParser::GetBool(const std::string& key, bool fallback) const {
+  read_[key] = true;
+  auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::string> ArgParser::Unread() const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : flags_) {
+    if (!read_.count(key)) out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace unimatch

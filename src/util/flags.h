@@ -1,0 +1,46 @@
+// Minimal command-line flag parsing for the example/CLI binaries.
+//
+//   util::ArgParser args(argc, argv);
+//   const std::string data = args.GetString("data", "log.csv");
+//   const int n = args.GetInt("n", 10);
+//   if (!args.Unrecognized().empty()) { ... }
+//
+// Accepts --key=value and --key value; bare --key sets "true".
+
+#ifndef UNIMATCH_UTIL_FLAGS_H_
+#define UNIMATCH_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace unimatch {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, char** argv);
+
+  /// Positional arguments (non-flag tokens) in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool Has(const std::string& key) const { return flags_.count(key) > 0; }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const;
+  int64_t GetInt(const std::string& key, int64_t fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  bool GetBool(const std::string& key, bool fallback = false) const;
+
+  /// Flags read so far are tracked; anything passed but never read is
+  /// returned here (typo detection for the CLI).
+  std::vector<std::string> Unread() const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+  mutable std::map<std::string, bool> read_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace unimatch
+
+#endif  // UNIMATCH_UTIL_FLAGS_H_

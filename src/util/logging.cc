@@ -1,0 +1,70 @@
+#include "src/util/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+
+namespace unimatch {
+
+namespace {
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kFatal:
+      return "F";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+}
+
+void LogMessage::Flush() {
+  if (flushed_) return;
+  flushed_ = true;
+  stream_ << "\n";
+  std::fputs(stream_.str().c_str(), stderr);
+  std::fflush(stderr);
+}
+
+LogMessage::~LogMessage() {
+  if (static_cast<int>(level_) < g_log_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  Flush();
+}
+
+LogMessageFatal::~LogMessageFatal() {
+  Flush();
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace unimatch

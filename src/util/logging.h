@@ -1,0 +1,94 @@
+// Minimal leveled logging with stream syntax:
+//
+//   UM_LOG(INFO) << "trained epoch " << epoch << " loss=" << loss;
+//   UM_CHECK(batch_size > 0) << "batch_size must be positive";
+//
+// The global level defaults to INFO and can be raised to silence benches.
+
+#ifndef UNIMATCH_UTIL_LOGGING_H_
+#define UNIMATCH_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace unimatch {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Sets the minimum level that is emitted. Thread-compatible (set once at
+/// startup).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostream& stream() { return stream_; }
+
+ protected:
+  /// Writes the buffered message to stderr (idempotent).
+  void Flush();
+
+ private:
+  LogLevel level_;
+  bool flushed_ = false;
+  std::ostringstream stream_;
+};
+
+// Fatal variant aborts in the destructor.
+class LogMessageFatal : public LogMessage {
+ public:
+  LogMessageFatal(const char* file, int line)
+      : LogMessage(LogLevel::kFatal, file, line) {}
+  [[noreturn]] ~LogMessageFatal();
+};
+
+// Swallows the streamed expression when the level is filtered out.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+
+#define UM_LOG_DEBUG \
+  ::unimatch::internal::LogMessage(::unimatch::LogLevel::kDebug, __FILE__, __LINE__)
+#define UM_LOG_INFO \
+  ::unimatch::internal::LogMessage(::unimatch::LogLevel::kInfo, __FILE__, __LINE__)
+#define UM_LOG_WARNING \
+  ::unimatch::internal::LogMessage(::unimatch::LogLevel::kWarning, __FILE__, __LINE__)
+#define UM_LOG_ERROR \
+  ::unimatch::internal::LogMessage(::unimatch::LogLevel::kError, __FILE__, __LINE__)
+#define UM_LOG_FATAL \
+  ::unimatch::internal::LogMessageFatal(__FILE__, __LINE__)
+
+#define UM_LOG(level) UM_LOG_##level.stream()
+
+/// Aborts with a message when `cond` is false. Active in all build types —
+/// used for programmer-error invariants, not data validation (data errors go
+/// through Status).
+#define UM_CHECK(cond)                               \
+  (cond) ? (void)0                                   \
+         : ::unimatch::internal::Voidify() &         \
+               UM_LOG_FATAL.stream() << "Check failed: " #cond " "
+
+#define UM_CHECK_EQ(a, b) UM_CHECK((a) == (b))
+#define UM_CHECK_NE(a, b) UM_CHECK((a) != (b))
+#define UM_CHECK_LT(a, b) UM_CHECK((a) < (b))
+#define UM_CHECK_LE(a, b) UM_CHECK((a) <= (b))
+#define UM_CHECK_GT(a, b) UM_CHECK((a) > (b))
+#define UM_CHECK_GE(a, b) UM_CHECK((a) >= (b))
+
+}  // namespace unimatch
+
+#endif  // UNIMATCH_UTIL_LOGGING_H_

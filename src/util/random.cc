@@ -1,0 +1,158 @@
+#include "src/util/random.h"
+
+#include <cassert>
+#include <numeric>
+#include <unordered_set>
+
+namespace unimatch {
+
+namespace {
+inline uint64_t SplitMix64(uint64_t* x) {
+  uint64_t z = (*x += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+  has_cached_gaussian_ = false;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t n) {
+  assert(n > 0);
+  // Lemire's nearly-divisionless bounded sampling.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < n) {
+    uint64_t t = -n % n;
+    while (l < t) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  assert(lo < hi);
+  return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo)));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1, u2;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  u2 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
+  assert(k <= n);
+  if (k > n / 2) {
+    // Dense path: shuffle a full index vector and truncate.
+    std::vector<int64_t> all(n);
+    std::iota(all.begin(), all.end(), 0);
+    Shuffle(&all);
+    all.resize(k);
+    return all;
+  }
+  // Sparse path: rejection sampling with a hash set.
+  std::unordered_set<int64_t> seen;
+  std::vector<int64_t> out;
+  out.reserve(k);
+  while (static_cast<int64_t>(out.size()) < k) {
+    int64_t v = static_cast<int64_t>(Uniform(n));
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+void AliasSampler::Build(const std::vector<double>& weights) {
+  prob_.clear();
+  alias_.clear();
+  norm_probs_.clear();
+  const size_t n = weights.size();
+  if (n == 0) return;
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0.0) return;
+
+  norm_probs_.resize(n);
+  prob_.resize(n);
+  alias_.assign(n, 0);
+
+  std::vector<double> scaled(n);
+  std::vector<int64_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    norm_probs_[i] = weights[i] / total;
+    scaled[i] = norm_probs_[i] * static_cast<double>(n);
+    if (scaled[i] < 1.0) {
+      small.push_back(static_cast<int64_t>(i));
+    } else {
+      large.push_back(static_cast<int64_t>(i));
+    }
+  }
+  while (!small.empty() && !large.empty()) {
+    int64_t s = small.back();
+    small.pop_back();
+    int64_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      small.push_back(l);
+    } else {
+      large.push_back(l);
+    }
+  }
+  while (!large.empty()) {
+    prob_[large.back()] = 1.0;
+    large.pop_back();
+  }
+  while (!small.empty()) {
+    prob_[small.back()] = 1.0;
+    small.pop_back();
+  }
+}
+
+int64_t AliasSampler::Sample(Rng* rng) const {
+  assert(!prob_.empty());
+  const int64_t bucket = static_cast<int64_t>(rng->Uniform(prob_.size()));
+  return rng->NextDouble() < prob_[bucket] ? bucket : alias_[bucket];
+}
+
+}  // namespace unimatch

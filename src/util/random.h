@@ -1,0 +1,109 @@
+// Deterministic pseudo-random utilities.
+//
+// All stochastic components of the library (synthetic data generation,
+// parameter initialization, negative sampling, dataset shuffling) draw from
+// Rng so experiments are reproducible from a single seed.
+
+#ifndef UNIMATCH_UTIL_RANDOM_H_
+#define UNIMATCH_UTIL_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace unimatch {
+
+/// xoshiro256** PRNG. Fast, high quality, and deterministic across platforms
+/// (unlike std::mt19937's distribution wrappers, whose outputs are not
+/// specified portably for floating-point distributions).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  /// Re-seeds the generator via SplitMix64 expansion of `seed`.
+  void Seed(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform integer in [lo, hi). Requires lo < hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform float in [0, 1).
+  float NextFloat() { return static_cast<float>(NextDouble()); }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Standard normal via Box-Muller (cached second draw).
+  double Gaussian();
+
+  /// Normal with the given mean/stddev.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Geometric-ish power-law sample: returns k in [0, n) with
+  /// P(k) proportional to (k+1)^{-alpha}, via inverse-CDF on a cached table.
+  /// Prefer AliasSampler for repeated draws from one distribution.
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = Uniform(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) (k <= n), order unspecified.
+  std::vector<int64_t> SampleWithoutReplacement(int64_t n, int64_t k);
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+/// O(1) sampling from an arbitrary discrete distribution (Walker's alias
+/// method). Used for the Bernoulli-loss negative samplers p_n(u,i) of
+/// Table I, where millions of draws are taken from p̂(u) or p̂(i).
+class AliasSampler {
+ public:
+  AliasSampler() = default;
+
+  /// Builds the alias table from unnormalized non-negative weights.
+  /// Empty or all-zero weights yield an empty sampler (Sample asserts).
+  explicit AliasSampler(const std::vector<double>& weights) { Build(weights); }
+
+  void Build(const std::vector<double>& weights);
+
+  /// Draws an index with probability proportional to its weight.
+  int64_t Sample(Rng* rng) const;
+
+  bool empty() const { return prob_.empty(); }
+  size_t size() const { return prob_.size(); }
+
+  /// Normalized probability of index i (for tests).
+  double probability(int64_t i) const { return norm_probs_[i]; }
+
+ private:
+  std::vector<double> prob_;        // threshold per bucket
+  std::vector<int64_t> alias_;      // alias index per bucket
+  std::vector<double> norm_probs_;  // normalized input distribution
+};
+
+}  // namespace unimatch
+
+#endif  // UNIMATCH_UTIL_RANDOM_H_

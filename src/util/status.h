@@ -1,0 +1,178 @@
+// Status and Result<T> error-handling primitives.
+//
+// Public UniMatch APIs report recoverable failures through Status / Result<T>
+// instead of exceptions, following the RocksDB/Arrow convention. A Status is
+// cheap to copy in the OK case (no allocation) and carries a code plus a
+// human-readable message otherwise.
+
+#ifndef UNIMATCH_UTIL_STATUS_H_
+#define UNIMATCH_UTIL_STATUS_H_
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace unimatch {
+
+/// Error categories used across the library.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kAlreadyExists = 5,
+  kUnimplemented = 6,
+  kIOError = 7,
+  kInternal = 8,
+};
+
+/// Returns a stable, human-readable name for a StatusCode ("OK",
+/// "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of an operation: either OK or a (code, message) pair.
+///
+/// The OK status is represented by a null state pointer, so returning
+/// Status::OK() never allocates.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(msg)});
+    }
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const {
+    return state_ ? state_->code : StatusCode::kOk;
+  }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsUnimplemented() const {
+    return code() == StatusCode::kUnimplemented;
+  }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::shared_ptr<const State> state_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// errored Result is a programming error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value for convenient `return value;`.
+  Result(T value) : var_(std::move(value)) {}
+  /// Implicit from error status; `status.ok()` must be false.
+  Result(Status status) : var_(std::move(status)) {
+    assert(!std::get<Status>(var_).ok() &&
+           "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(var_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(var_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the contained value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(var_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> var_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define UNIMATCH_RETURN_IF_ERROR(expr)              \
+  do {                                              \
+    ::unimatch::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+/// Assigns the value of a Result expression to `lhs`, or returns its Status.
+#define UNIMATCH_ASSIGN_OR_RETURN(lhs, expr)        \
+  UNIMATCH_ASSIGN_OR_RETURN_IMPL(                   \
+      UNIMATCH_CONCAT_(_result_, __LINE__), lhs, expr)
+#define UNIMATCH_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+#define UNIMATCH_CONCAT_(a, b) UNIMATCH_CONCAT_IMPL_(a, b)
+#define UNIMATCH_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace unimatch
+
+#endif  // UNIMATCH_UTIL_STATUS_H_

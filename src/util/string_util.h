@@ -1,0 +1,38 @@
+// Small string helpers shared by the CLI tools and printers.
+
+#ifndef UNIMATCH_UTIL_STRING_UTIL_H_
+#define UNIMATCH_UTIL_STRING_UTIL_H_
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace unimatch {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> StrSplit(std::string_view s, char delim);
+
+/// Joins with a separator.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string StrTrim(std::string_view s);
+
+bool StrStartsWith(std::string_view s, std::string_view prefix);
+bool StrEndsWith(std::string_view s, std::string_view suffix);
+
+/// Formats a number with thousands separators, e.g. 1234567 -> "1,234,567".
+std::string WithCommas(int64_t v);
+
+/// Renders a double with `digits` decimal places.
+std::string FixedDigits(double v, int digits);
+
+}  // namespace unimatch
+
+#endif  // UNIMATCH_UTIL_STRING_UTIL_H_

@@ -1,0 +1,73 @@
+#include "src/util/table_printer.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "src/util/logging.h"
+
+namespace unimatch {
+
+void TablePrinter::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  if (!header_.empty()) UM_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(Row{false, std::move(row)});
+}
+
+void TablePrinter::AddSeparator() { rows_.push_back(Row{true, {}}); }
+
+std::string TablePrinter::ToString() const {
+  size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.cells.size());
+  std::vector<size_t> width(ncols, 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      width[i] = std::max(width[i], cells[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) {
+    if (!r.separator) widen(r.cells);
+  }
+
+  auto render_rule = [&](std::ostringstream& os) {
+    os << '+';
+    for (size_t i = 0; i < ncols; ++i) {
+      os << std::string(width[i] + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  auto render_row = [&](std::ostringstream& os,
+                        const std::vector<std::string>& cells) {
+    os << '|';
+    for (size_t i = 0; i < ncols; ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string();
+      os << ' ' << c << std::string(width[i] - c.size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  };
+
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << '\n';
+  render_rule(os);
+  if (!header_.empty()) {
+    render_row(os, header_);
+    render_rule(os);
+  }
+  for (const auto& r : rows_) {
+    if (r.separator) {
+      render_rule(os);
+    } else {
+      render_row(os, r.cells);
+    }
+  }
+  render_rule(os);
+  return os.str();
+}
+
+void TablePrinter::Print(std::ostream& os) const { os << ToString(); }
+
+}  // namespace unimatch

@@ -1,0 +1,47 @@
+// ASCII table rendering for the benchmark harnesses: every bench binary
+// re-prints a paper table in this format so paper-vs-measured comparison is a
+// side-by-side read.
+
+#ifndef UNIMATCH_UTIL_TABLE_PRINTER_H_
+#define UNIMATCH_UTIL_TABLE_PRINTER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace unimatch {
+
+/// Accumulates rows of string cells and renders them with column-aligned
+/// padding, a header rule, and an optional title.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::string title = "") : title_(std::move(title)) {}
+
+  /// Sets the header row. Must be called before AddRow for alignment checks.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row; must match the header width if a header is set.
+  void AddRow(std::vector<std::string> row);
+
+  /// Inserts a horizontal separator at the current position.
+  void AddSeparator();
+
+  /// Renders the table.
+  std::string ToString() const;
+
+  /// Renders to the stream (typically std::cout).
+  void Print(std::ostream& os) const;
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace unimatch
+
+#endif  // UNIMATCH_UTIL_TABLE_PRINTER_H_

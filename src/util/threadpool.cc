@@ -1,0 +1,90 @@
+#include "src/util/threadpool.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace unimatch {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads <= 0) num_threads = 4;
+  }
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Schedule(std::function<void()> fn) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    UM_CHECK(!shutdown_);
+    queue_.push(std::move(fn));
+    ++pending_;
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end,
+                             const std::function<void(int64_t)>& fn,
+                             int64_t min_shard) {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  const int nt = num_threads();
+  if (n <= min_shard || nt <= 1) {
+    for (int64_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  const int64_t shards = std::min<int64_t>(nt, (n + min_shard - 1) / min_shard);
+  const int64_t shard_size = (n + shards - 1) / shards;
+  for (int64_t s = 0; s < shards; ++s) {
+    const int64_t lo = begin + s * shard_size;
+    const int64_t hi = std::min(end, lo + shard_size);
+    if (lo >= hi) break;
+    Schedule([lo, hi, &fn] {
+      for (int64_t i = lo; i < hi; ++i) fn(i);
+    });
+  }
+  Wait();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--pending_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+ThreadPool* ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool();
+  return pool;
+}
+
+}  // namespace unimatch

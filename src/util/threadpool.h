@@ -1,0 +1,59 @@
+// Fixed-size thread pool with a ParallelFor helper used by the heavier
+// tensor kernels (batched gemm, full-catalog scoring) and the evaluators.
+
+#ifndef UNIMATCH_UTIL_THREADPOOL_H_
+#define UNIMATCH_UTIL_THREADPOOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace unimatch {
+
+/// A simple work-queue thread pool. Tasks must not throw.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>=1). Defaults to hardware concurrency.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task; returns immediately.
+  void Schedule(std::function<void()> fn);
+
+  /// Blocks until every scheduled task has finished.
+  void Wait();
+
+  /// Runs fn(i) for i in [begin, end), splitting the range into contiguous
+  /// shards across the pool, and blocks until done. Falls back to a serial
+  /// loop for tiny ranges.
+  void ParallelFor(int64_t begin, int64_t end,
+                   const std::function<void(int64_t)>& fn,
+                   int64_t min_shard = 256);
+
+  /// Process-wide shared pool (lazily constructed).
+  static ThreadPool* Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  int64_t pending_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace unimatch
+
+#endif  // UNIMATCH_UTIL_THREADPOOL_H_

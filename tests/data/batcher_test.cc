@@ -1,0 +1,111 @@
+#include "src/data/batcher.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace unimatch::data {
+namespace {
+
+SampleSet MakeSamples(int n) {
+  std::vector<Sample> samples;
+  for (int i = 0; i < n; ++i) {
+    Sample s;
+    s.user = i % 5;
+    s.target = i % 7;
+    s.day = i;
+    for (int h = 0; h <= i % 4; ++h) s.history.push_back((i + h) % 7);
+    samples.push_back(std::move(s));
+  }
+  return SampleSet(samples);
+}
+
+TEST(AssembleBatchTest, ShapesAndPadding) {
+  SampleSet samples = MakeSamples(10);
+  Marginals marg(samples, 5, 7);
+  Batch b = AssembleBatch(samples, {0, 3, 7}, marg, 6);
+  EXPECT_EQ(b.batch_size, 3);
+  EXPECT_EQ(b.seq_len, 6);
+  EXPECT_EQ(b.history_ids.size(), 18u);
+  EXPECT_EQ(b.lengths.size(), 3u);
+  // Sample 0 has history size 1 -> positions 1..5 padded.
+  EXPECT_EQ(b.lengths[0], 1);
+  EXPECT_EQ(b.history_ids[0], 0 % 7);
+  for (int t = 1; t < 6; ++t) EXPECT_EQ(b.history_ids[t], nn::kPadId);
+}
+
+TEST(AssembleBatchTest, MarginalsAttached) {
+  SampleSet samples = MakeSamples(10);
+  Marginals marg(samples, 5, 7);
+  Batch b = AssembleBatch(samples, {2}, marg, 4);
+  EXPECT_FLOAT_EQ(b.log_pu.at(0),
+                  static_cast<float>(marg.log_pu(samples[2].user)));
+  EXPECT_FLOAT_EQ(b.log_pi.at(0),
+                  static_cast<float>(marg.log_pi(samples[2].target)));
+}
+
+TEST(AssembleBatchTest, LongHistoryTruncatedToRecent) {
+  std::vector<Sample> raw;
+  Sample s;
+  s.user = 0;
+  s.target = 1;
+  s.history = {1, 2, 3, 4, 5, 6};
+  raw.push_back(s);
+  SampleSet samples(raw);
+  Marginals marg(samples, 1, 7);
+  Batch b = AssembleBatch(samples, {0}, marg, 3);
+  EXPECT_EQ(b.lengths[0], 3);
+  EXPECT_EQ(b.history_ids[0], 4);
+  EXPECT_EQ(b.history_ids[1], 5);
+  EXPECT_EQ(b.history_ids[2], 6);
+}
+
+TEST(BatchIteratorTest, CoversAllIndicesOncePerEpoch) {
+  SampleSet samples = MakeSamples(25);
+  Marginals marg(samples, 5, 7);
+  Rng rng(3);
+  BatchIterator it(&samples, &marg, samples.AllIndices(), 8, 4, &rng);
+  Batch b;
+  std::multiset<int64_t> seen;
+  while (it.Next(&b)) {
+    for (int64_t r = 0; r < b.batch_size; ++r) {
+      seen.insert(b.targets[r] + 100 * b.users[r] + 10000 * b.lengths[r]);
+    }
+  }
+  // 25 = 8+8+8+1; the final 1-row batch is dropped (min_batch=2).
+  EXPECT_EQ(seen.size(), 24u);
+}
+
+TEST(BatchIteratorTest, ResetReshuffles) {
+  SampleSet samples = MakeSamples(30);
+  Marginals marg(samples, 5, 7);
+  Rng rng(4);
+  BatchIterator it(&samples, &marg, samples.AllIndices(), 30, 4, &rng);
+  Batch b1, b2;
+  ASSERT_TRUE(it.Next(&b1));
+  it.Reset();
+  ASSERT_TRUE(it.Next(&b2));
+  EXPECT_NE(b1.targets, b2.targets);  // reshuffled order
+}
+
+TEST(BatchIteratorTest, ExhaustsAndReturnsFalse) {
+  SampleSet samples = MakeSamples(5);
+  Marginals marg(samples, 5, 7);
+  Rng rng(5);
+  BatchIterator it(&samples, &marg, samples.AllIndices(), 10, 4, &rng);
+  Batch b;
+  EXPECT_TRUE(it.Next(&b));
+  EXPECT_EQ(b.batch_size, 5);
+  EXPECT_FALSE(it.Next(&b));
+}
+
+TEST(BatchIteratorTest, NumBatchesCeil) {
+  SampleSet samples = MakeSamples(10);
+  Marginals marg(samples, 5, 7);
+  Rng rng(6);
+  BatchIterator it(&samples, &marg, samples.AllIndices(), 4, 4, &rng);
+  EXPECT_EQ(it.num_batches(), 3);
+}
+
+}  // namespace
+}  // namespace unimatch::data

@@ -1,0 +1,163 @@
+#include "src/data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "src/data/synthetic.h"
+
+namespace unimatch::data {
+namespace {
+
+InteractionLog MakeLog() {
+  // User 0: items 1(d2), 2(d5), 3(d35), 4(d36)
+  // User 1: item 0(d10)          (no history for its first event)
+  InteractionLog log(2, 5);
+  log.Add(0, 1, 2);
+  log.Add(0, 2, 5);
+  log.Add(0, 3, 35);
+  log.Add(0, 4, 36);
+  log.Add(1, 0, 10);
+  log.SortByUserDay();
+  return log;
+}
+
+TEST(BuildSamplesTest, HistoryStrictlyBeforeTargetDay) {
+  WindowConfig w;
+  w.max_seq_len = 10;
+  SampleSet s = BuildSamples(MakeLog(), w, 0, 100);
+  // user 0: targets at d5 (hist {1}), d35 (hist {1,2}), d36 (hist {1,2,3});
+  // user 1: no sample (first event has no history).
+  ASSERT_EQ(s.size(), 3);
+  EXPECT_EQ(s[0].target, 2);
+  EXPECT_EQ(s[0].history, (std::vector<ItemId>{1}));
+  EXPECT_EQ(s[1].target, 3);
+  EXPECT_EQ(s[1].history, (std::vector<ItemId>{1, 2}));
+  EXPECT_EQ(s[2].target, 4);
+  EXPECT_EQ(s[2].history, (std::vector<ItemId>{1, 2, 3}));
+}
+
+TEST(BuildSamplesTest, DayWindowRespected) {
+  WindowConfig w;
+  SampleSet s = BuildSamples(MakeLog(), w, 30, 60);
+  ASSERT_EQ(s.size(), 2);
+  for (int64_t i = 0; i < s.size(); ++i) {
+    EXPECT_GE(s[i].day, 30);
+    EXPECT_LT(s[i].day, 60);
+  }
+}
+
+TEST(BuildSamplesTest, MaxSeqLenTruncatesKeepingRecent) {
+  WindowConfig w;
+  w.max_seq_len = 2;
+  SampleSet s = BuildSamples(MakeLog(), w, 36, 37);
+  ASSERT_EQ(s.size(), 1);
+  EXPECT_EQ(s[0].history, (std::vector<ItemId>{2, 3}));  // most recent two
+}
+
+TEST(BuildSamplesTest, MinHistoryFilters) {
+  WindowConfig w;
+  w.min_history = 3;
+  SampleSet s = BuildSamples(MakeLog(), w, 0, 100);
+  ASSERT_EQ(s.size(), 1);
+  EXPECT_EQ(s[0].target, 4);
+}
+
+TEST(BuildSamplesTest, SameDayEventsExcludedFromHistory) {
+  InteractionLog log(1, 4);
+  log.Add(0, 0, 1);
+  log.Add(0, 1, 7);
+  log.Add(0, 2, 7);  // same day as target 1 and 2
+  log.SortByUserDay();
+  WindowConfig w;
+  SampleSet s = BuildSamples(log, w, 0, 100);
+  // Targets at d7 (two of them); history for both must be only {0}.
+  ASSERT_EQ(s.size(), 2);
+  EXPECT_EQ(s[0].history, (std::vector<ItemId>{0}));
+  EXPECT_EQ(s[1].history, (std::vector<ItemId>{0}));
+}
+
+TEST(SampleSetTest, MonthGrouping) {
+  WindowConfig w;
+  SampleSet s = BuildSamples(MakeLog(), w, 0, 100);
+  const auto months = s.Months();
+  EXPECT_EQ(months, (std::vector<int32_t>{0, 1}));
+  EXPECT_EQ(s.IndicesOfMonth(0).size(), 1u);
+  EXPECT_EQ(s.IndicesOfMonth(1).size(), 2u);
+  EXPECT_EQ(s.IndicesOfMonthRange(0, 1).size(), 3u);
+  EXPECT_EQ(s.AllIndices().size(), 3u);
+}
+
+TEST(UserHistoriesBeforeTest, CollectsAndTruncates) {
+  auto hist = UserHistoriesBefore(MakeLog(), 36, 2);
+  ASSERT_EQ(hist.size(), 2u);
+  EXPECT_EQ(hist[0], (std::vector<ItemId>{2, 3}));  // last two before d36
+  EXPECT_EQ(hist[1], (std::vector<ItemId>{0}));
+}
+
+TEST(UserHistoriesBeforeTest, EmptyForUnseenUsers) {
+  auto hist = UserHistoriesBefore(MakeLog(), 2, 10);
+  EXPECT_TRUE(hist[0].empty());
+  EXPECT_TRUE(hist[1].empty());
+}
+
+// Property test: windowing invariants hold on a realistic synthetic log.
+TEST(BuildSamplesPropertyTest, InvariantsOnSyntheticLog) {
+  SyntheticConfig cfg;
+  cfg.num_users = 300;
+  cfg.num_items = 80;
+  cfg.num_months = 5;
+  cfg.target_interactions = 4000;
+  cfg.seed = 9;
+  const InteractionLog log = GenerateSynthetic(cfg);
+  WindowConfig w;
+  w.max_seq_len = 7;
+  const SampleSet s = BuildSamples(log, w, 0, 5 * kDaysPerMonth);
+
+  // Rebuild each user's full event list for verification.
+  std::vector<std::vector<Interaction>> by_user(cfg.num_users);
+  for (const auto& r : log.records()) by_user[r.user].push_back(r);
+
+  ASSERT_GT(s.size(), 100);
+  for (int64_t i = 0; i < s.size(); ++i) {
+    const Sample& smp = s[i];
+    ASSERT_LE(static_cast<int>(smp.history.size()), w.max_seq_len);
+    ASSERT_GE(static_cast<int>(smp.history.size()), w.min_history);
+    // History must equal the most recent events strictly before the day.
+    std::vector<ItemId> expected;
+    for (const auto& r : by_user[smp.user]) {
+      if (r.day < smp.day) expected.push_back(r.item);
+    }
+    if (static_cast<int>(expected.size()) > w.max_seq_len) {
+      expected.erase(expected.begin(), expected.end() - w.max_seq_len);
+    }
+    ASSERT_EQ(smp.history, expected) << "sample " << i;
+  }
+}
+
+TEST(BuildSamplesPropertyTest, EveryEventWithHistoryBecomesTarget) {
+  SyntheticConfig cfg;
+  cfg.num_users = 100;
+  cfg.num_items = 40;
+  cfg.num_months = 4;
+  cfg.target_interactions = 1500;
+  cfg.seed = 10;
+  const InteractionLog log = GenerateSynthetic(cfg);
+  WindowConfig w;
+  const SampleSet s =
+      BuildSamples(log, w, 0, 4 * kDaysPerMonth);
+
+  // Count events that have at least one strictly-earlier event by the same
+  // user.
+  std::vector<std::vector<Day>> days(cfg.num_users);
+  for (const auto& r : log.records()) days[r.user].push_back(r.day);
+  int64_t expected = 0;
+  for (const auto& ds : days) {
+    for (size_t j = 0; j < ds.size(); ++j) {
+      // sorted within user
+      if (j > 0 && ds[0] < ds[j]) ++expected;
+    }
+  }
+  EXPECT_EQ(s.size(), expected);
+}
+
+}  // namespace
+}  // namespace unimatch::data

@@ -1,0 +1,67 @@
+#include "src/data/marginals.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace unimatch::data {
+namespace {
+
+SampleSet MakeSamples() {
+  std::vector<Sample> samples;
+  // user 0 appears 3x, user 1 once; item 5 appears 2x, items 6, 7 once each.
+  samples.push_back({0, {1}, 5, 0});
+  samples.push_back({0, {1}, 5, 1});
+  samples.push_back({0, {1}, 6, 2});
+  samples.push_back({1, {2}, 7, 3});
+  return SampleSet(samples);
+}
+
+TEST(MarginalsTest, CountsMatch) {
+  Marginals m(MakeSamples(), 3, 10);
+  EXPECT_EQ(m.user_count(0), 3);
+  EXPECT_EQ(m.user_count(1), 1);
+  EXPECT_EQ(m.user_count(2), 0);
+  EXPECT_EQ(m.item_count(5), 2);
+  EXPECT_EQ(m.item_count(6), 1);
+  EXPECT_EQ(m.item_count(9), 0);
+}
+
+TEST(MarginalsTest, LogProbsSmoothedAndOrdered) {
+  Marginals m(MakeSamples(), 3, 10, 0.5);
+  // More frequent => higher log-prob.
+  EXPECT_GT(m.log_pu(0), m.log_pu(1));
+  EXPECT_GT(m.log_pu(1), m.log_pu(2));
+  EXPECT_GT(m.log_pi(5), m.log_pi(6));
+  // Unseen entries get a finite floor, not -inf.
+  EXPECT_TRUE(std::isfinite(m.log_pu(2)));
+  EXPECT_TRUE(std::isfinite(m.log_pi(9)));
+}
+
+TEST(MarginalsTest, ExactSmoothedValues) {
+  Marginals m(MakeSamples(), 3, 10, 0.5);
+  // p(u=0) = (3 + 0.5) / (4 + 0.5*3)
+  EXPECT_NEAR(m.log_pu(0), std::log(3.5 / 5.5), 1e-9);
+  // p(i=5) = (2 + 0.5) / (4 + 0.5*10)
+  EXPECT_NEAR(m.log_pi(5), std::log(2.5 / 9.0), 1e-9);
+}
+
+TEST(MarginalsTest, UserProbsSumToOne) {
+  Marginals m(MakeSamples(), 3, 10, 0.5);
+  double su = 0.0, si = 0.0;
+  for (int64_t u = 0; u < 3; ++u) su += std::exp(m.log_pu(u));
+  for (int64_t i = 0; i < 10; ++i) si += std::exp(m.log_pi(i));
+  EXPECT_NEAR(su, 1.0, 1e-9);
+  EXPECT_NEAR(si, 1.0, 1e-9);
+}
+
+TEST(MarginalsTest, EmptySampleSetAllFloor) {
+  Marginals m(SampleSet{}, 4, 4, 0.5);
+  for (int64_t u = 1; u < 4; ++u) {
+    EXPECT_DOUBLE_EQ(m.log_pu(u), m.log_pu(0));
+  }
+  EXPECT_NEAR(std::exp(m.log_pu(0)), 0.25, 1e-9);
+}
+
+}  // namespace
+}  // namespace unimatch::data

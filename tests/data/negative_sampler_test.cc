@@ -1,0 +1,175 @@
+#include "src/data/negative_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace unimatch::data {
+namespace {
+
+// 3 users with uneven sample counts, 4 items with uneven frequencies.
+struct Fixture {
+  SampleSet samples;
+  Marginals marginals;
+  std::vector<std::vector<ItemId>> histories;
+
+  Fixture() {
+    std::vector<Sample> raw;
+    auto add = [&](UserId u, ItemId i) {
+      Sample s;
+      s.user = u;
+      s.target = i;
+      s.history = {static_cast<ItemId>(u)};  // distinct marker per user
+      raw.push_back(s);
+    };
+    // user 0: 6 samples, user 1: 3, user 2: 1.
+    for (int k = 0; k < 6; ++k) add(0, k % 2);           // items 0, 1
+    for (int k = 0; k < 3; ++k) add(1, 2);               // item 2
+    add(2, 3);                                           // item 3
+    samples = SampleSet(raw);
+    marginals = Marginals(samples, 3, 4);
+    histories = {{0, 1}, {2}, {3}};
+  }
+};
+
+TEST(NegSamplingToStringTest, Names) {
+  EXPECT_STREQ(NegSamplingToString(NegSampling::kUserFreq), "p(u)");
+  EXPECT_STREQ(NegSamplingToString(NegSampling::kItemFreq), "p(i)");
+  EXPECT_STREQ(NegSamplingToString(NegSampling::kUserItemFreq), "p(u)p(i)");
+  EXPECT_STREQ(NegSamplingToString(NegSampling::kUniform), "1/MK");
+}
+
+TEST(BceNegativeSamplerTest, UserFreqKeepsPositiveUser) {
+  Fixture f;
+  BceNegativeSampler sampler(f.samples, f.marginals, f.histories,
+                             NegSampling::kUserFreq);
+  Rng rng(1);
+  const Sample& pos = f.samples[0];
+  for (int t = 0; t < 200; ++t) {
+    PseudoUser nu;
+    ItemId ni;
+    sampler.SampleNegative(pos, &rng, &nu, &ni);
+    EXPECT_EQ(nu.user, pos.user);
+    EXPECT_EQ(nu.history, pos.history);
+    EXPECT_GE(ni, 0);
+    EXPECT_LT(ni, 4);
+  }
+}
+
+TEST(BceNegativeSamplerTest, UserFreqItemIsUniform) {
+  Fixture f;
+  BceNegativeSampler sampler(f.samples, f.marginals, f.histories,
+                             NegSampling::kUserFreq);
+  Rng rng(2);
+  std::map<ItemId, int> counts;
+  const int n = 40000;
+  for (int t = 0; t < n; ++t) {
+    PseudoUser nu;
+    ItemId ni;
+    sampler.SampleNegative(f.samples[0], &rng, &nu, &ni);
+    counts[ni]++;
+  }
+  for (const auto& [item, c] : counts) {
+    EXPECT_NEAR(c / static_cast<double>(n), 0.25, 0.02) << "item " << item;
+  }
+}
+
+TEST(BceNegativeSamplerTest, ItemFreqKeepsPositiveItemUniformUser) {
+  Fixture f;
+  BceNegativeSampler sampler(f.samples, f.marginals, f.histories,
+                             NegSampling::kItemFreq);
+  Rng rng(3);
+  std::map<UserId, int> counts;
+  const int n = 30000;
+  for (int t = 0; t < n; ++t) {
+    PseudoUser nu;
+    ItemId ni;
+    sampler.SampleNegative(f.samples[0], &rng, &nu, &ni);
+    EXPECT_EQ(ni, f.samples[0].target);
+    counts[nu.user]++;
+  }
+  // Uniform over the 3 distinct users despite very different frequencies.
+  for (const auto& [user, c] : counts) {
+    EXPECT_NEAR(c / static_cast<double>(n), 1.0 / 3.0, 0.02)
+        << "user " << user;
+  }
+}
+
+TEST(BceNegativeSamplerTest, UserItemFreqMatchesEmpirical) {
+  Fixture f;
+  BceNegativeSampler sampler(f.samples, f.marginals, f.histories,
+                             NegSampling::kUserItemFreq);
+  Rng rng(4);
+  std::map<UserId, int> ucounts;
+  std::map<ItemId, int> icounts;
+  const int n = 60000;
+  for (int t = 0; t < n; ++t) {
+    PseudoUser nu;
+    ItemId ni;
+    sampler.SampleNegative(f.samples[0], &rng, &nu, &ni);
+    ucounts[nu.user]++;
+    icounts[ni]++;
+  }
+  // p̂(u): 0.6 / 0.3 / 0.1; p̂(i): 0.3 / 0.3 / 0.3 / 0.1.
+  EXPECT_NEAR(ucounts[0] / static_cast<double>(n), 0.6, 0.02);
+  EXPECT_NEAR(ucounts[1] / static_cast<double>(n), 0.3, 0.02);
+  EXPECT_NEAR(ucounts[2] / static_cast<double>(n), 0.1, 0.02);
+  EXPECT_NEAR(icounts[0] / static_cast<double>(n), 0.3, 0.02);
+  EXPECT_NEAR(icounts[3] / static_cast<double>(n), 0.1, 0.02);
+}
+
+TEST(BceNegativeSamplerTest, UniformBothMargins) {
+  Fixture f;
+  BceNegativeSampler sampler(f.samples, f.marginals, f.histories,
+                             NegSampling::kUniform);
+  Rng rng(5);
+  std::map<UserId, int> ucounts;
+  std::map<ItemId, int> icounts;
+  const int n = 60000;
+  for (int t = 0; t < n; ++t) {
+    PseudoUser nu;
+    ItemId ni;
+    sampler.SampleNegative(f.samples[0], &rng, &nu, &ni);
+    ucounts[nu.user]++;
+    icounts[ni]++;
+  }
+  for (const auto& [u, c] : ucounts) {
+    EXPECT_NEAR(c / static_cast<double>(n), 1.0 / 3.0, 0.02) << "user " << u;
+  }
+  for (const auto& [i, c] : icounts) {
+    EXPECT_NEAR(c / static_cast<double>(n), 0.25, 0.02) << "item " << i;
+  }
+}
+
+TEST(AssembleBceBatchTest, LayoutAndLabels) {
+  Fixture f;
+  BceNegativeSampler sampler(f.samples, f.marginals, f.histories,
+                             NegSampling::kUniform);
+  Rng rng(6);
+  Tensor labels;
+  Batch b = AssembleBceBatch(f.samples, {0, 1, 2}, f.marginals, 4, sampler,
+                             &rng, &labels);
+  EXPECT_EQ(b.batch_size, 6);
+  ASSERT_EQ(labels.numel(), 6);
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_FLOAT_EQ(labels.at(r), 1.0f);
+    EXPECT_EQ(b.targets[r], f.samples[r].target);
+  }
+  for (int r = 3; r < 6; ++r) EXPECT_FLOAT_EQ(labels.at(r), 0.0f);
+}
+
+TEST(AssembleBceBatchTest, NegativesHaveValidHistories) {
+  Fixture f;
+  BceNegativeSampler sampler(f.samples, f.marginals, f.histories,
+                             NegSampling::kItemFreq);
+  Rng rng(7);
+  Tensor labels;
+  Batch b = AssembleBceBatch(f.samples, {0, 5}, f.marginals, 4, sampler,
+                             &rng, &labels);
+  for (int64_t r = 2; r < 4; ++r) {
+    EXPECT_GE(b.lengths[r], 1);
+  }
+}
+
+}  // namespace
+}  // namespace unimatch::data

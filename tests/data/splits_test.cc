@@ -1,0 +1,83 @@
+#include "src/data/splits.h"
+
+#include <gtest/gtest.h>
+
+#include "src/data/synthetic.h"
+
+namespace unimatch::data {
+namespace {
+
+InteractionLog TestLog() {
+  SyntheticConfig cfg;
+  cfg.num_users = 400;
+  cfg.num_items = 60;
+  cfg.num_months = 6;
+  cfg.target_interactions = 6000;
+  cfg.seed = 77;
+  return GenerateSynthetic(cfg);
+}
+
+TEST(MakeSplitsTest, MonthBoundariesRespected) {
+  const InteractionLog log = TestLog();
+  SplitConfig cfg;
+  const DatasetSplits s = MakeSplits(log, cfg);
+  EXPECT_EQ(s.num_months, 6);
+  EXPECT_EQ(s.test_month, 5);
+  for (const auto& smp : s.train.samples()) {
+    EXPECT_LT(MonthOfDay(smp.day), 5);
+  }
+  for (const auto& smp : s.valid.samples()) {
+    EXPECT_EQ(MonthOfDay(smp.day), 4);
+  }
+  for (const auto& smp : s.test.samples()) {
+    EXPECT_EQ(MonthOfDay(smp.day), 5);
+  }
+}
+
+TEST(MakeSplitsTest, ValidIsSubsetOfTrainMonths) {
+  const InteractionLog log = TestLog();
+  const DatasetSplits s = MakeSplits(log, SplitConfig{});
+  // Validation samples are exactly the last-train-month samples.
+  EXPECT_EQ(s.valid.size(), s.train.IndicesOfMonth(4).size());
+}
+
+TEST(MakeSplitsTest, MarginalsComputedOverTrainOnly) {
+  const InteractionLog log = TestLog();
+  const DatasetSplits s = MakeSplits(log, SplitConfig{});
+  int64_t total = 0;
+  for (ItemId i = 0; i < s.num_items; ++i) {
+    total += s.train_marginals.item_count(i);
+  }
+  EXPECT_EQ(total, s.train.size());
+}
+
+TEST(MakeSplitsTest, HistoriesEndBeforeTestMonth) {
+  const InteractionLog log = TestLog();
+  SplitConfig cfg;
+  cfg.window.max_seq_len = 5;
+  const DatasetSplits s = MakeSplits(log, cfg);
+  ASSERT_EQ(static_cast<int64_t>(s.histories.size()), s.num_users);
+  // Histories are truncated to the window length.
+  for (const auto& h : s.histories) {
+    EXPECT_LE(static_cast<int>(h.size()), 5);
+  }
+  // A user with only test-month purchases must have an empty history.
+  std::vector<bool> has_pre_test(s.num_users, false);
+  for (const auto& r : log.records()) {
+    if (r.day < s.test_month * kDaysPerMonth) has_pre_test[r.user] = true;
+  }
+  for (UserId u = 0; u < s.num_users; ++u) {
+    EXPECT_EQ(!s.histories[u].empty(), has_pre_test[u]) << "user " << u;
+  }
+}
+
+TEST(MakeSplitsDeathTest, TooFewMonthsChecks) {
+  InteractionLog log(2, 2);
+  log.Add(0, 0, 0);
+  log.Add(1, 1, 40);
+  log.SortByUserDay();
+  EXPECT_DEATH(MakeSplits(log, SplitConfig{}), "Check failed");
+}
+
+}  // namespace
+}  // namespace unimatch::data

@@ -1,0 +1,213 @@
+#include "src/data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace unimatch::data {
+namespace {
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  SyntheticConfig cfg;
+  cfg.num_users = 100;
+  cfg.num_items = 30;
+  cfg.num_months = 4;
+  cfg.target_interactions = 800;
+  const InteractionLog a = GenerateSynthetic(cfg);
+  const InteractionLog b = GenerateSynthetic(cfg);
+  EXPECT_EQ(a.records(), b.records());
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  SyntheticConfig cfg;
+  cfg.num_users = 100;
+  cfg.num_items = 30;
+  cfg.num_months = 4;
+  cfg.target_interactions = 800;
+  SyntheticConfig cfg2 = cfg;
+  cfg2.seed = cfg.seed + 1;
+  EXPECT_NE(GenerateSynthetic(cfg).records(),
+            GenerateSynthetic(cfg2).records());
+}
+
+TEST(SyntheticTest, InteractionCountNearTarget) {
+  SyntheticConfig cfg;
+  cfg.num_users = 1000;
+  cfg.num_items = 100;
+  cfg.num_months = 6;
+  cfg.target_interactions = 10000;
+  const InteractionLog log = GenerateSynthetic(cfg);
+  EXPECT_NEAR(static_cast<double>(log.size()), 10000.0, 500.0);
+}
+
+TEST(SyntheticTest, IdsAndDaysInRange) {
+  SyntheticConfig cfg;
+  cfg.num_users = 200;
+  cfg.num_items = 50;
+  cfg.num_months = 3;
+  cfg.target_interactions = 2000;
+  const InteractionLog log = GenerateSynthetic(cfg);
+  for (const auto& r : log.records()) {
+    EXPECT_GE(r.user, 0);
+    EXPECT_LT(r.user, 200);
+    EXPECT_GE(r.item, 0);
+    EXPECT_LT(r.item, 50);
+    EXPECT_GE(r.day, 0);
+    EXPECT_LT(r.day, 3 * kDaysPerMonth);
+  }
+  EXPECT_EQ(log.NumMonths(), 3);
+}
+
+TEST(SyntheticTest, SortedByUserDay) {
+  SyntheticConfig cfg;
+  cfg.num_users = 100;
+  cfg.num_items = 30;
+  cfg.num_months = 3;
+  cfg.target_interactions = 1500;
+  const InteractionLog log = GenerateSynthetic(cfg);
+  const auto& r = log.records();
+  for (size_t i = 1; i < r.size(); ++i) {
+    ASSERT_TRUE(r[i - 1].user < r[i].user ||
+                (r[i - 1].user == r[i].user && r[i - 1].day <= r[i].day));
+  }
+}
+
+TEST(SyntheticTest, PopularitySkewPresent) {
+  SyntheticConfig cfg;
+  cfg.num_users = 2000;
+  cfg.num_items = 200;
+  cfg.num_months = 6;
+  cfg.target_interactions = 30000;
+  cfg.popularity_zipf = 1.0;
+  const InteractionLog log = GenerateSynthetic(cfg);
+  std::vector<int64_t> counts(200, 0);
+  for (const auto& r : log.records()) ++counts[r.item];
+  std::sort(counts.rbegin(), counts.rend());
+  // Top decile should dominate the bottom half under zipf ~1.
+  int64_t top = 0, bottom = 0;
+  for (int i = 0; i < 20; ++i) top += counts[i];
+  for (int i = 100; i < 200; ++i) bottom += counts[i];
+  EXPECT_GT(top, 2 * bottom);
+}
+
+TEST(SyntheticTest, NoSkewWhenZipfZero) {
+  SyntheticConfig cfg;
+  cfg.num_users = 2000;
+  cfg.num_items = 100;
+  cfg.num_months = 4;
+  cfg.target_interactions = 40000;
+  cfg.popularity_zipf = 0.0;
+  cfg.user_activity_zipf = 0.0;
+  cfg.noise_prob = 1.0;  // bypass topic structure: purely uniform purchases
+  const InteractionLog log = GenerateSynthetic(cfg);
+  std::vector<int64_t> counts(100, 0);
+  for (const auto& r : log.records()) ++counts[r.item];
+  const auto [mn, mx] = std::minmax_element(counts.begin(), counts.end());
+  EXPECT_LT(static_cast<double>(*mx) / std::max<int64_t>(*mn, 1), 2.0);
+}
+
+TEST(SyntheticTest, TopicStructureCreatesRepeatPurchases) {
+  // With concentrated preferences, a user's purchases should concentrate on
+  // few topics => the same items recur far more than under uniform choice.
+  SyntheticConfig cfg;
+  cfg.num_users = 500;
+  cfg.num_items = 200;
+  cfg.num_months = 6;
+  cfg.target_interactions = 15000;
+  cfg.num_topics = 20;
+  cfg.primary_topic_mass = 0.8;
+  cfg.secondary_topic_mass = 0.1;
+  cfg.noise_prob = 0.05;
+  const InteractionLog log = GenerateSynthetic(cfg);
+
+  // Average distinct-item fraction per active user.
+  std::vector<std::vector<ItemId>> items(cfg.num_users);
+  for (const auto& r : log.records()) items[r.user].push_back(r.item);
+  double frac_sum = 0.0;
+  int active = 0;
+  for (auto& v : items) {
+    if (v.size() < 10) continue;
+    std::sort(v.begin(), v.end());
+    const auto distinct =
+        std::unique(v.begin(), v.end()) - v.begin();
+    frac_sum += static_cast<double>(distinct) / v.size();
+    ++active;
+  }
+  ASSERT_GT(active, 20);
+  // Uniform picking over 200 items would give distinct fraction ~1.
+  EXPECT_LT(frac_sum / active, 0.9);
+}
+
+TEST(SyntheticTest, TrendDriftShiftsMonthlyDistributions) {
+  SyntheticConfig base;
+  base.num_users = 3000;
+  base.num_items = 100;
+  base.num_months = 12;
+  base.target_interactions = 60000;
+  base.noise_prob = 0.0;
+  base.trend_drift = 0.8;
+  const InteractionLog drift = GenerateSynthetic(base);
+  SyntheticConfig stable = base;
+  stable.trend_drift = 0.0;
+  const InteractionLog flat = GenerateSynthetic(stable);
+
+  // L1 distance between first-month and last-month item distributions.
+  auto month_dist = [](const InteractionLog& log, int32_t mo, int64_t k) {
+    std::vector<double> p(k, 0.0);
+    double total = 0.0;
+    for (const auto& r : log.records()) {
+      if (MonthOfDay(r.day) == mo) {
+        p[r.item] += 1.0;
+        total += 1.0;
+      }
+    }
+    for (auto& v : p) v /= std::max(total, 1.0);
+    return p;
+  };
+  auto l1 = [](const std::vector<double>& a, const std::vector<double>& b) {
+    double d = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) d += std::fabs(a[i] - b[i]);
+    return d;
+  };
+  const double drift_shift =
+      l1(month_dist(drift, 0, 100), month_dist(drift, 11, 100));
+  const double flat_shift =
+      l1(month_dist(flat, 0, 100), month_dist(flat, 11, 100));
+  EXPECT_GT(drift_shift, flat_shift * 1.5);
+}
+
+TEST(PresetTest, AllPresetsResolvable) {
+  for (const char* name : {"books", "electronics", "e_comp", "w_comp"}) {
+    auto preset = PresetByName(name);
+    ASSERT_TRUE(preset.ok()) << name;
+    EXPECT_EQ(preset->name, name);
+    EXPECT_GT(preset->num_users, 0);
+  }
+  EXPECT_TRUE(PresetByName("nope").status().IsNotFound());
+}
+
+TEST(PresetTest, ShapesMirrorTableIII) {
+  // Relative shapes from the paper's Table III must survive scaling:
+  // electronics has the sparsest users; w_comp has the densest items.
+  auto books = BooksPreset();
+  auto elec = ElectronicsPreset();
+  auto ecomp = QaEcompPreset();
+  auto wcomp = QaWcompPreset();
+  const double books_apu =
+      static_cast<double>(books.target_interactions) / books.num_users;
+  const double elec_apu =
+      static_cast<double>(elec.target_interactions) / elec.num_users;
+  EXPECT_LT(elec_apu, books_apu / 2);
+  const double wcomp_api =
+      static_cast<double>(wcomp.target_interactions) / wcomp.num_items;
+  const double books_api =
+      static_cast<double>(books.target_interactions) / books.num_items;
+  EXPECT_GT(wcomp_api, 5 * books_api);
+  // Trend sensitivity: books & e_comp drift, electronics & w_comp stable.
+  EXPECT_GT(books.trend_drift, 4 * elec.trend_drift);
+  EXPECT_GT(ecomp.trend_drift, 4 * wcomp.trend_drift);
+}
+
+}  // namespace
+}  // namespace unimatch::data

@@ -1,0 +1,71 @@
+#include "src/eval/popularity.h"
+
+#include <gtest/gtest.h>
+
+namespace unimatch::eval {
+namespace {
+
+data::InteractionLog MakeLog() {
+  data::InteractionLog log(3, 4);
+  // item 0: 3 interactions; item 1: 1; user 0: 3; user 2: 1.
+  log.Add(0, 0, 0);
+  log.Add(0, 0, 10);
+  log.Add(0, 1, 20);
+  log.Add(1, 0, 40);
+  log.Add(2, 3, 70);
+  log.SortByUserDay();
+  return log;
+}
+
+TEST(ItemPopularityTest, CountsWithinWindow) {
+  const auto log = MakeLog();
+  auto pop = ItemPopularity(log, 0, 100);
+  EXPECT_EQ(pop[0], 3);
+  EXPECT_EQ(pop[1], 1);
+  EXPECT_EQ(pop[2], 0);
+  EXPECT_EQ(pop[3], 1);
+  auto recent = ItemPopularity(log, 30, 100);
+  EXPECT_EQ(recent[0], 1);
+  EXPECT_EQ(recent[1], 0);
+}
+
+TEST(UserActivenessTest, CountsWithinWindow) {
+  const auto log = MakeLog();
+  auto act = UserActiveness(log, 0, 100);
+  EXPECT_EQ(act[0], 3);
+  EXPECT_EQ(act[1], 1);
+  EXPECT_EQ(act[2], 1);
+}
+
+TEST(PopularityStatsTest, MedianAndAverage) {
+  RetrievedLists retrieved;
+  retrieved.ir_topn = {{0, 1}, {0, 3}};  // popularity 3,1,3,1
+  retrieved.ut_topn = {{0, 1, 2}};       // activeness 3,1,1
+  const auto log = MakeLog();
+  const auto stats =
+      ComputePopularityStats(retrieved, ItemPopularity(log, 0, 100),
+                             UserActiveness(log, 0, 100));
+  EXPECT_DOUBLE_EQ(stats.ir_median, 2.0);  // {1,1,3,3}
+  EXPECT_DOUBLE_EQ(stats.ir_avg, 2.0);
+  EXPECT_DOUBLE_EQ(stats.ut_median, 1.0);
+  EXPECT_NEAR(stats.ut_avg, 5.0 / 3.0, 1e-9);
+}
+
+TEST(PopularityStatsTest, EmptyListsGiveZeros) {
+  RetrievedLists retrieved;
+  const auto stats = ComputePopularityStats(retrieved, {}, {});
+  EXPECT_DOUBLE_EQ(stats.ir_median, 0.0);
+  EXPECT_DOUBLE_EQ(stats.ut_avg, 0.0);
+}
+
+TEST(PopularityStatsTest, OddCountMedian) {
+  RetrievedLists retrieved;
+  retrieved.ir_topn = {{0}, {1}, {3}};  // popularity 3, 1, 1
+  const auto log = MakeLog();
+  const auto stats = ComputePopularityStats(
+      retrieved, ItemPopularity(log, 0, 100), UserActiveness(log, 0, 100));
+  EXPECT_DOUBLE_EQ(stats.ir_median, 1.0);
+}
+
+}  // namespace
+}  // namespace unimatch::eval

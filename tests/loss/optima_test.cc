@@ -1,0 +1,158 @@
+// Convergence-to-optimum tests: the empirical heart of the paper's theory
+// (Tables I and II). Each loss must drive an unconstrained score table to
+// its predicted optimum on an enumerable problem.
+
+#include <gtest/gtest.h>
+
+#include "src/loss/tabular_study.h"
+
+namespace unimatch::loss {
+namespace {
+
+TabularStudyConfig SmallConfig() {
+  TabularStudyConfig cfg;
+  cfg.num_users = 6;
+  cfg.num_items = 6;
+  cfg.num_pairs = 6000;
+  cfg.epochs = 250;
+  cfg.batch_size = 128;
+  cfg.learning_rate = 0.05f;
+  cfg.seed = 5;
+  return cfg;
+}
+
+class OptimaFixture : public ::testing::Test {
+ protected:
+  static TabularStudy* study() {
+    static TabularStudy* s = new TabularStudy(SmallConfig());
+    return s;
+  }
+};
+
+// ----- Table II: multinomial/NCE family -----
+
+TEST_F(OptimaFixture, BbcNceConvergesToLogJoint) {
+  const Tensor phi = study()->FitNce(SettingsFor(LossKind::kBbcNce));
+  const Tensor target = study()->TargetMatrix(TabularStudy::Target::kLogJoint);
+  EXPECT_GT(TabularStudy::Correlation(phi, target), 0.98);
+  EXPECT_LT(TabularStudy::GlobalCenteredMaxError(phi, target), 0.35);
+}
+
+TEST_F(OptimaFixture, RowBcNceConvergesToLogItemGivenUser) {
+  const Tensor phi = study()->FitNce(SettingsFor(LossKind::kRowBcNce));
+  const Tensor target =
+      study()->TargetMatrix(TabularStudy::Target::kLogItemGivenUser);
+  // Row loss only: optimum defined up to a per-user shift f(u).
+  EXPECT_LT(TabularStudy::RowCenteredMaxError(phi, target), 0.35);
+}
+
+TEST_F(OptimaFixture, ColBcNceConvergesToLogUserGivenItem) {
+  const Tensor phi = study()->FitNce(SettingsFor(LossKind::kColBcNce));
+  const Tensor target =
+      study()->TargetMatrix(TabularStudy::Target::kLogUserGivenItem);
+  EXPECT_LT(TabularStudy::ColCenteredMaxError(phi, target), 0.35);
+}
+
+TEST_F(OptimaFixture, InfoNceConvergesToPmiUpToRowShift) {
+  const Tensor phi = study()->FitNce(SettingsFor(LossKind::kInfoNce));
+  const Tensor target = study()->TargetMatrix(TabularStudy::Target::kPmi);
+  EXPECT_LT(TabularStudy::RowCenteredMaxError(phi, target), 0.35);
+}
+
+TEST_F(OptimaFixture, SimClrConvergesToPmiGlobally) {
+  const Tensor phi = study()->FitNce(SettingsFor(LossKind::kSimClr));
+  const Tensor target = study()->TargetMatrix(TabularStudy::Target::kPmi);
+  EXPECT_GT(TabularStudy::Correlation(phi, target), 0.98);
+  EXPECT_LT(TabularStudy::GlobalCenteredMaxError(phi, target), 0.35);
+}
+
+// The key negative control: without bias correction the fitted table must
+// NOT match the joint (it matches PMI instead) — this is exactly why the
+// paper adds the correction terms.
+TEST_F(OptimaFixture, InfoNceDoesNotMatchLogJoint) {
+  const Tensor phi = study()->FitNce(SettingsFor(LossKind::kInfoNce));
+  const Tensor joint = study()->TargetMatrix(TabularStudy::Target::kLogJoint);
+  const Tensor pmi = study()->TargetMatrix(TabularStudy::Target::kPmi);
+  EXPECT_GT(TabularStudy::RowCenteredMaxError(phi, joint),
+            2 * TabularStudy::RowCenteredMaxError(phi, pmi));
+}
+
+// ----- Table I: Bernoulli/BCE with the four sampling strategies -----
+
+TEST_F(OptimaFixture, BceUserFreqSamplingFitsLogItemGivenUser) {
+  const Tensor phi = study()->FitBce(data::NegSampling::kUserFreq);
+  const Tensor target =
+      study()->TargetMatrix(TabularStudy::Target::kLogItemGivenUser);
+  EXPECT_GT(TabularStudy::Correlation(phi, target), 0.95);
+  EXPECT_LT(TabularStudy::GlobalCenteredMaxError(phi, target), 0.6);
+}
+
+TEST_F(OptimaFixture, BceItemFreqSamplingFitsLogUserGivenItem) {
+  const Tensor phi = study()->FitBce(data::NegSampling::kItemFreq);
+  const Tensor target =
+      study()->TargetMatrix(TabularStudy::Target::kLogUserGivenItem);
+  EXPECT_GT(TabularStudy::Correlation(phi, target), 0.95);
+  EXPECT_LT(TabularStudy::GlobalCenteredMaxError(phi, target), 0.6);
+}
+
+TEST_F(OptimaFixture, BceProductSamplingFitsPmi) {
+  const Tensor phi = study()->FitBce(data::NegSampling::kUserItemFreq);
+  const Tensor target = study()->TargetMatrix(TabularStudy::Target::kPmi);
+  EXPECT_GT(TabularStudy::Correlation(phi, target), 0.95);
+  EXPECT_LT(TabularStudy::GlobalCenteredMaxError(phi, target), 0.6);
+}
+
+TEST_F(OptimaFixture, BceUniformSamplingFitsLogJoint) {
+  const Tensor phi = study()->FitBce(data::NegSampling::kUniform);
+  const Tensor target = study()->TargetMatrix(TabularStudy::Target::kLogJoint);
+  EXPECT_GT(TabularStudy::Correlation(phi, target), 0.95);
+  EXPECT_LT(TabularStudy::GlobalCenteredMaxError(phi, target), 0.6);
+}
+
+// Equivalence claim of Sec. III-A: uniform-BCE and bbcNCE reach the SAME
+// optimum (log joint), from two different modeling families.
+TEST_F(OptimaFixture, UniformBceAndBbcNceAgree) {
+  const Tensor bce = study()->FitBce(data::NegSampling::kUniform);
+  const Tensor nce = study()->FitNce(SettingsFor(LossKind::kBbcNce));
+  EXPECT_GT(TabularStudy::Correlation(bce, nce), 0.97);
+}
+
+// ----- lab plumbing -----
+
+TEST(TabularStudyTest, AllCellsSeeded) {
+  TabularStudy study(SmallConfig());
+  for (int64_t u = 0; u < 6; ++u) {
+    for (int64_t i = 0; i < 6; ++i) {
+      EXPECT_GE(study.count(u, i), 1);
+    }
+  }
+}
+
+TEST(TabularStudyTest, TargetIdentitiesHold) {
+  TabularStudy study(SmallConfig());
+  for (int64_t u = 0; u < 6; ++u) {
+    for (int64_t i = 0; i < 6; ++i) {
+      EXPECT_NEAR(study.LogCondItemGivenUser(u, i),
+                  study.LogJoint(u, i) - study.LogMarginalU(u), 1e-12);
+      EXPECT_NEAR(study.LogPmi(u, i),
+                  study.LogJoint(u, i) - study.LogMarginalU(u) -
+                      study.LogMarginalI(i),
+                  1e-12);
+    }
+  }
+}
+
+TEST(TabularStudyTest, CenteringHelpers) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor b({2, 2}, {11, 12, 13, 14});  // a + 10
+  EXPECT_NEAR(TabularStudy::GlobalCenteredMaxError(a, b), 0.0, 1e-6);
+  Tensor c({2, 2}, {11, 12, 23, 24});  // a + per-row shift
+  EXPECT_NEAR(TabularStudy::RowCenteredMaxError(a, c), 0.0, 1e-6);
+  EXPECT_GT(TabularStudy::GlobalCenteredMaxError(a, c), 1.0);
+  Tensor d({2, 2}, {11, 22, 13, 24});  // a + per-col shift
+  EXPECT_NEAR(TabularStudy::ColCenteredMaxError(a, d), 0.0, 1e-6);
+  EXPECT_NEAR(TabularStudy::Correlation(a, b), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace unimatch::loss

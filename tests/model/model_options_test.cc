@@ -1,0 +1,105 @@
+// Tests for the architecture options beyond the paper's defaults:
+// separate embedding tables and stacked context extractors.
+
+#include <gtest/gtest.h>
+
+#include "src/model/two_tower.h"
+
+namespace unimatch::model {
+namespace {
+
+TwoTowerConfig BaseConfig() {
+  TwoTowerConfig cfg;
+  cfg.num_items = 30;
+  cfg.embedding_dim = 8;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(SeparateEmbeddingsTest, DoublesEmbeddingParameters) {
+  TwoTowerConfig shared = BaseConfig();
+  TwoTowerConfig separate = BaseConfig();
+  separate.share_embeddings = false;
+  EXPECT_EQ(TwoTowerModel(shared).NumParameters(), 30 * 8);
+  EXPECT_EQ(TwoTowerModel(separate).NumParameters(), 2 * 30 * 8);
+}
+
+TEST(SeparateEmbeddingsTest, SingleItemHistoryNoLongerMatchesItemTower) {
+  TwoTowerConfig cfg = BaseConfig();
+  cfg.share_embeddings = false;
+  TwoTowerModel model(cfg);
+  nn::Variable u = model.EncodeUsers({5}, {1});
+  nn::Variable i = model.EncodeItems({5});
+  EXPECT_FALSE(AllClose(u.value(), i.value()));
+}
+
+TEST(SeparateEmbeddingsTest, BothTablesReceiveGradients) {
+  TwoTowerConfig cfg = BaseConfig();
+  cfg.share_embeddings = false;
+  TwoTowerModel model(cfg);
+  nn::Variable u = model.EncodeUsers({1, 2}, {2});
+  nn::Variable i = model.EncodeItems({3});
+  nn::Backward(nn::Mean(model.ScoreMatrix(u, i)));
+  int with_grad = 0;
+  for (auto& p : model.Parameters()) with_grad += p.variable.grad_defined();
+  EXPECT_EQ(with_grad, 2);
+  model.ZeroGrad();
+}
+
+class StackedExtractorTest
+    : public ::testing::TestWithParam<ContextExtractor> {};
+
+TEST_P(StackedExtractorTest, TwoLayersRunAndTrain) {
+  TwoTowerConfig cfg = BaseConfig();
+  cfg.extractor = GetParam();
+  cfg.num_extractor_layers = 2;
+  TwoTowerModel model(cfg);
+  const std::vector<int64_t> ids = {1, 2, 3, nn::kPadId, 4, 5, 6, 7};
+  const std::vector<int64_t> lengths = {3, 4};
+  nn::Variable u = model.EncodeUsers(ids, lengths);
+  EXPECT_EQ(u.shape(), (Shape{2, 8}));
+  nn::Variable i = model.EncodeItems({9, 10});
+  nn::Variable loss = nn::Mean(model.ScoreMatrix(u, i));
+  nn::Backward(loss);
+  EXPECT_TRUE(std::isfinite(loss.value().item()));
+  model.ZeroGrad();
+}
+
+TEST_P(StackedExtractorTest, MoreLayersMeanMoreParameters) {
+  TwoTowerConfig one = BaseConfig();
+  one.extractor = GetParam();
+  one.num_extractor_layers = 1;
+  TwoTowerConfig two = one;
+  two.num_extractor_layers = 2;
+  EXPECT_GT(TwoTowerModel(two).NumParameters(),
+            TwoTowerModel(one).NumParameters());
+}
+
+INSTANTIATE_TEST_SUITE_P(Extractors, StackedExtractorTest,
+                         ::testing::Values(ContextExtractor::kCnn,
+                                           ContextExtractor::kGru,
+                                           ContextExtractor::kLstm,
+                                           ContextExtractor::kTransformer),
+                         [](const auto& info) {
+                           std::string n =
+                               ContextExtractorToString(info.param);
+                           for (auto& c : n) {
+                             if (!std::isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(StackedExtractorTest, PaddingInvarianceWithTwoLayers) {
+  TwoTowerConfig cfg = BaseConfig();
+  cfg.extractor = ContextExtractor::kTransformer;
+  cfg.num_extractor_layers = 2;
+  TwoTowerModel model(cfg);
+  nn::Variable small = model.EncodeUsers({4, 9, nn::kPadId}, {2});
+  nn::Variable big = model.EncodeUsers(
+      {4, 9, nn::kPadId, nn::kPadId, nn::kPadId}, {2});
+  EXPECT_TRUE(AllClose(small.value(), big.value(), 1e-4f, 1e-5f));
+}
+
+}  // namespace
+}  // namespace unimatch::model

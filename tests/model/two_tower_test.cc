@@ -1,0 +1,214 @@
+#include "src/model/two_tower.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+namespace unimatch::model {
+namespace {
+
+TwoTowerConfig BaseConfig() {
+  TwoTowerConfig cfg;
+  cfg.num_items = 20;
+  cfg.embedding_dim = 8;
+  cfg.temperature = 0.2f;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(EnumStringsTest, Roundtrip) {
+  EXPECT_STREQ(ContextExtractorToString(ContextExtractor::kNone),
+               "YoutubeDNN");
+  EXPECT_STREQ(AggregatorToString(Aggregator::kAttention), "attn");
+  EXPECT_EQ(*ContextExtractorFromString("gru"), ContextExtractor::kGru);
+  EXPECT_EQ(*AggregatorFromString("mean"), Aggregator::kMean);
+  EXPECT_TRUE(ContextExtractorFromString("bogus").status().IsInvalidArgument());
+  EXPECT_TRUE(AggregatorFromString("bogus").status().IsInvalidArgument());
+}
+
+TEST(TwoTowerTest, EncodeShapes) {
+  TwoTowerModel model(BaseConfig());
+  const std::vector<int64_t> ids = {1, 2, nn::kPadId, 3, 4, 5};
+  const std::vector<int64_t> lengths = {2, 3};
+  nn::Variable u = model.EncodeUsers(ids, lengths);
+  EXPECT_EQ(u.shape(), (Shape{2, 8}));
+  nn::Variable i = model.EncodeItems({7, 9, 11});
+  EXPECT_EQ(i.shape(), (Shape{3, 8}));
+}
+
+TEST(TwoTowerTest, MeanPoolingSingleItemEqualsItemEmbedding) {
+  // With no context extractor and mean pooling, a history of exactly one
+  // item must encode to that item's embedding (shared lookup table).
+  TwoTowerModel model(BaseConfig());
+  nn::Variable u = model.EncodeUsers({5}, {1});
+  nn::Variable i = model.EncodeItems({5});
+  EXPECT_TRUE(AllClose(u.value(), i.value()));
+}
+
+TEST(TwoTowerTest, ScoreMatrixMatchesEq13) {
+  TwoTowerConfig cfg = BaseConfig();
+  TwoTowerModel model(cfg);
+  nn::Variable u = model.EncodeUsers({1, 2, 3, 4}, {2, 2});
+  nn::Variable i = model.EncodeItems({5, 6});
+  nn::Variable s = model.ScoreMatrix(u, i);
+  ASSERT_EQ(s.shape(), (Shape{2, 2}));
+  // Manual: cosine / tau.
+  auto cosine = [&](const Tensor& a, int64_t ra, const Tensor& b,
+                    int64_t rb) {
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    for (int64_t j = 0; j < 8; ++j) {
+      dot += a.at(ra, j) * b.at(rb, j);
+      na += a.at(ra, j) * a.at(ra, j);
+      nb += b.at(rb, j) * b.at(rb, j);
+    }
+    return dot / std::sqrt(na * nb);
+  };
+  for (int64_t r = 0; r < 2; ++r) {
+    for (int64_t c = 0; c < 2; ++c) {
+      EXPECT_NEAR(s.value().at(r, c),
+                  cosine(u.value(), r, i.value(), c) / cfg.temperature,
+                  1e-4);
+    }
+  }
+}
+
+TEST(TwoTowerTest, ScorePairsIsDiagonalOfScoreMatrix) {
+  TwoTowerModel model(BaseConfig());
+  nn::Variable u = model.EncodeUsers({1, 2, 3, 4}, {2, 2});
+  nn::Variable i = model.EncodeItems({5, 6});
+  nn::Variable pairs = model.ScorePairs(u, i);
+  nn::Variable matrix = model.ScoreMatrix(u, i);
+  for (int64_t r = 0; r < 2; ++r) {
+    EXPECT_NEAR(pairs.value().at(r), matrix.value().at(r, r), 1e-5);
+  }
+}
+
+TEST(TwoTowerTest, ScoresBoundedByInverseTemperature) {
+  TwoTowerConfig cfg = BaseConfig();
+  cfg.temperature = 0.25f;
+  TwoTowerModel model(cfg);
+  nn::Variable u = model.EncodeUsers({1, 2, 3, 4, 5, 6}, {3, 3});
+  nn::Variable i = model.EncodeItems({7, 8});
+  nn::Variable s = model.ScoreMatrix(u, i);
+  for (int64_t j = 0; j < s.numel(); ++j) {
+    EXPECT_LE(std::fabs(s.value().at(j)), 1.0f / 0.25f + 1e-4f);
+  }
+}
+
+TEST(TwoTowerTest, NoL2NormalizeUsesRawDot) {
+  TwoTowerConfig cfg = BaseConfig();
+  cfg.l2_normalize = false;
+  cfg.temperature = 1.0f;
+  TwoTowerModel model(cfg);
+  nn::Variable u = model.EncodeUsers({1}, {1});
+  nn::Variable i = model.EncodeItems({1});
+  nn::Variable s = model.ScorePairs(u, i);
+  double dot = 0.0;
+  for (int64_t j = 0; j < 8; ++j) {
+    dot += u.value().at(0, j) * i.value().at(0, j);
+  }
+  EXPECT_NEAR(s.value().at(0), dot, 1e-5);
+}
+
+TEST(TwoTowerTest, InferItemEmbeddingsNormalized) {
+  TwoTowerModel model(BaseConfig());
+  Tensor emb = model.InferItemEmbeddings();
+  ASSERT_EQ(emb.shape(), (Shape{20, 8}));
+  for (int64_t i = 0; i < 20; ++i) {
+    double n = 0.0;
+    for (int64_t j = 0; j < 8; ++j) n += emb.at(i, j) * emb.at(i, j);
+    EXPECT_NEAR(n, 1.0, 1e-4);
+  }
+}
+
+TEST(TwoTowerTest, InferUserEmbeddingsHandlesEmptyHistories) {
+  TwoTowerModel model(BaseConfig());
+  Tensor emb = model.InferUserEmbeddings({{1, 2}, {}, {3}});
+  ASSERT_EQ(emb.shape(), (Shape{3, 8}));
+  for (int64_t j = 0; j < 8; ++j) EXPECT_EQ(emb.at(1, j), 0.0f);
+  double n = 0.0;
+  for (int64_t j = 0; j < 8; ++j) n += emb.at(0, j) * emb.at(0, j);
+  EXPECT_NEAR(n, 1.0, 1e-4);
+}
+
+TEST(TwoTowerTest, InferUserEmbeddingsBatchBoundaryConsistent) {
+  TwoTowerModel model(BaseConfig());
+  std::vector<std::vector<int64_t>> histories;
+  for (int k = 0; k < 10; ++k) histories.push_back({k % 20, (k + 3) % 20});
+  Tensor all = model.InferUserEmbeddings(histories, /*batch=*/256);
+  Tensor tiny = model.InferUserEmbeddings(histories, /*batch=*/3);
+  EXPECT_TRUE(AllClose(all, tiny, 1e-4f, 1e-5f));
+}
+
+using Combo = std::tuple<ContextExtractor, Aggregator>;
+
+class AllModelsTest : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(AllModelsTest, ForwardBackwardRuns) {
+  TwoTowerConfig cfg = BaseConfig();
+  cfg.extractor = std::get<0>(GetParam());
+  cfg.aggregator = std::get<1>(GetParam());
+  TwoTowerModel model(cfg);
+  const std::vector<int64_t> ids = {1, 2, 3, nn::kPadId, 4, 5, 6, 7};
+  const std::vector<int64_t> lengths = {3, 4};
+  nn::Variable u = model.EncodeUsers(ids, lengths);
+  nn::Variable i = model.EncodeItems({9, 10});
+  nn::Variable loss = nn::Mean(model.ScoreMatrix(u, i));
+  nn::Backward(loss);
+  // Every parameter must receive a gradient (embedding table at minimum).
+  bool any = false;
+  for (auto& p : model.Parameters()) any = any || p.variable.grad_defined();
+  EXPECT_TRUE(any);
+  EXPECT_TRUE(std::isfinite(loss.value().item()));
+  model.ZeroGrad();
+}
+
+TEST_P(AllModelsTest, PaddingInvariance) {
+  // Encoding must not depend on how much padding follows the history.
+  TwoTowerConfig cfg = BaseConfig();
+  cfg.extractor = std::get<0>(GetParam());
+  cfg.aggregator = std::get<1>(GetParam());
+  TwoTowerModel model(cfg);
+  nn::Variable small = model.EncodeUsers({4, 9, nn::kPadId}, {2});
+  nn::Variable big = model.EncodeUsers(
+      {4, 9, nn::kPadId, nn::kPadId, nn::kPadId, nn::kPadId}, {2});
+  EXPECT_TRUE(AllClose(small.value(), big.value(), 1e-4f, 1e-5f))
+      << ContextExtractorToString(cfg.extractor) << "/"
+      << AggregatorToString(cfg.aggregator);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, AllModelsTest,
+    ::testing::Combine(
+        ::testing::Values(ContextExtractor::kNone, ContextExtractor::kCnn,
+                          ContextExtractor::kGru, ContextExtractor::kLstm,
+                          ContextExtractor::kTransformer),
+        ::testing::Values(Aggregator::kMean, Aggregator::kLast,
+                          Aggregator::kMax, Aggregator::kAttention)),
+    [](const ::testing::TestParamInfo<Combo>& info) {
+      std::string name = ContextExtractorToString(std::get<0>(info.param));
+      name += "_";
+      name += AggregatorToString(std::get<1>(info.param));
+      for (auto& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(TwoTowerTest, ParameterCountsByExtractor) {
+  TwoTowerConfig cfg = BaseConfig();
+  TwoTowerModel plain(cfg);
+  EXPECT_EQ(plain.NumParameters(), 20 * 8);
+  cfg.extractor = ContextExtractor::kGru;
+  TwoTowerModel gru(cfg);
+  // + 3 gates x (Wx + Wh + b)
+  EXPECT_EQ(gru.NumParameters(), 20 * 8 + 3 * (8 * 8 + 8 * 8 + 8));
+  cfg.extractor = ContextExtractor::kNone;
+  cfg.aggregator = Aggregator::kAttention;
+  TwoTowerModel attn(cfg);
+  EXPECT_EQ(attn.NumParameters(), 20 * 8 + 8);
+}
+
+}  // namespace
+}  // namespace unimatch::model

@@ -1,0 +1,124 @@
+// Semantics of the reverse-mode engine itself (accumulation, graph pruning,
+// re-use across steps) — complements the numeric gradcheck tests.
+
+#include <gtest/gtest.h>
+
+#include "src/nn/ops.h"
+#include "src/nn/variable.h"
+
+namespace unimatch::nn {
+namespace {
+
+TEST(VariableTest, LeafDefaults) {
+  Variable v(Tensor({2, 2}), true);
+  EXPECT_TRUE(v.defined());
+  EXPECT_TRUE(v.requires_grad());
+  EXPECT_FALSE(v.grad_defined());
+  EXPECT_EQ(v.rank(), 2);
+  EXPECT_EQ(v.numel(), 4);
+}
+
+TEST(VariableTest, UndefinedByDefault) {
+  Variable v;
+  EXPECT_FALSE(v.defined());
+}
+
+TEST(BackwardTest, SimpleChain) {
+  Variable x(Tensor({3}, {1, 2, 3}), true);
+  Variable y = Sum(ScalarMul(x, 2.0f));
+  Backward(y);
+  ASSERT_TRUE(x.grad_defined());
+  for (int i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(x.grad().at(i), 2.0f);
+}
+
+TEST(BackwardTest, GradAccumulatesAcrossTwoBackwardCalls) {
+  Variable x(Tensor({2}, {1, 1}), true);
+  Variable y1 = Sum(x);
+  Backward(y1);
+  Variable y2 = Sum(ScalarMul(x, 3.0f));
+  Backward(y2);
+  EXPECT_FLOAT_EQ(x.grad().at(0), 4.0f);  // 1 + 3
+}
+
+TEST(BackwardTest, ZeroGradClears) {
+  Variable x(Tensor({2}, {1, 1}), true);
+  Backward(Sum(x));
+  EXPECT_TRUE(x.grad_defined());
+  x.ZeroGrad();
+  EXPECT_FALSE(x.grad_defined());
+  Backward(Sum(x));
+  EXPECT_FLOAT_EQ(x.grad().at(0), 1.0f);
+}
+
+TEST(BackwardTest, DiamondGraphAccumulates) {
+  Variable x(Tensor({2}, {0.5f, -0.5f}), true);
+  Variable a = ScalarMul(x, 2.0f);
+  Variable y = Sum(Add(a, a));  // d/dx = 4
+  Backward(y);
+  EXPECT_FLOAT_EQ(x.grad().at(0), 4.0f);
+  EXPECT_FLOAT_EQ(x.grad().at(1), 4.0f);
+}
+
+TEST(BackwardTest, ConstantsReceiveNoGradient) {
+  Variable x(Tensor({2}, {1, 2}), true);
+  Variable c = Constant(Tensor({2}, {3, 4}));
+  Variable y = Sum(Mul(x, c));
+  Backward(y);
+  EXPECT_TRUE(x.grad_defined());
+  EXPECT_FALSE(c.grad_defined());
+  EXPECT_FLOAT_EQ(x.grad().at(0), 3.0f);
+}
+
+TEST(BackwardTest, FullyConstantGraphIsNoop) {
+  Variable a = Constant(Tensor({2}, {1, 2}));
+  Variable y = Sum(a);
+  Backward(y);  // must not crash
+  EXPECT_FALSE(a.grad_defined());
+}
+
+TEST(BackwardTest, GraphPrunedBelowConstants) {
+  // Op over constants should not retain inputs (memory behavior).
+  Variable a = Constant(Tensor({2}));
+  Variable b = Constant(Tensor({2}));
+  Variable y = Add(a, b);
+  EXPECT_TRUE(y.node()->inputs.empty());
+  EXPECT_FALSE(y.requires_grad());
+}
+
+TEST(BackwardTest, DeepChainNoStackOverflow) {
+  Variable x(Tensor({4}), true);
+  Variable h = x;
+  for (int i = 0; i < 3000; ++i) h = ScalarAdd(h, 0.001f);
+  Backward(Sum(h));
+  EXPECT_FLOAT_EQ(x.grad().at(0), 1.0f);
+}
+
+TEST(BackwardDeathTest, NonScalarRootChecks) {
+  Variable x(Tensor({2, 2}), true);
+  Variable y = ScalarMul(x, 1.0f);
+  EXPECT_DEATH(Backward(y), "Check failed");
+}
+
+TEST(MakeOpVariableTest, RequiresGradPropagates) {
+  Variable a(Tensor({2}), true);
+  Variable b = Constant(Tensor({2}));
+  EXPECT_TRUE(Add(a, b).requires_grad());
+  EXPECT_FALSE(Add(b, b).requires_grad());
+}
+
+TEST(AccumulateGradTest, ShapeChecked) {
+  VarNode node;
+  node.value = Tensor({2, 2});
+  node.requires_grad = true;
+  EXPECT_DEATH(node.AccumulateGrad(Tensor({3})), "Check failed");
+}
+
+TEST(AccumulateGradTest, NoopWithoutRequiresGrad) {
+  VarNode node;
+  node.value = Tensor({2, 2});
+  node.AccumulateGrad(Tensor({2, 2}));  // silently skipped
+  EXPECT_FALSE(node.grad_defined);
+}
+
+}  // namespace
+}  // namespace unimatch::nn

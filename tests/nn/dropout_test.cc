@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "src/model/two_tower.h"
+#include "src/nn/ops.h"
+#include "tests/nn/gradcheck.h"
+
+namespace unimatch::nn {
+namespace {
+
+TEST(DropoutTest, ZeroRateIsIdentity) {
+  Rng rng(1);
+  Variable x(Tensor::Randn({4, 4}, 1.0f, &rng), true);
+  Variable y = Dropout(x, 0.0f, &rng);
+  EXPECT_TRUE(AllClose(x.value(), y.value()));
+}
+
+TEST(DropoutTest, SurvivorsRescaledDroppedZeroed) {
+  Rng rng(2);
+  Variable x(Tensor::Full({1000}, 2.0f), true);
+  Variable y = Dropout(x, 0.5f, &rng);
+  int64_t zeros = 0;
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    const float v = y.value().at(i);
+    if (v == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(v, 4.0f);  // 2.0 * 1/(1-0.5)
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / y.numel(), 0.5, 0.05);
+}
+
+TEST(DropoutTest, ExpectationPreserved) {
+  Rng rng(3);
+  Variable x(Tensor::Full({20000}, 1.0f), true);
+  Variable y = Dropout(x, 0.3f, &rng);
+  EXPECT_NEAR(y.value().Mean(), 1.0, 0.02);
+}
+
+TEST(DropoutTest, GradientFollowsMask) {
+  Rng rng(4);
+  Variable x(Tensor::Full({200}, 1.0f), true);
+  Variable y = Dropout(x, 0.4f, &rng);
+  Backward(Sum(y));
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    if (y.value().at(i) == 0.0f) {
+      EXPECT_EQ(x.grad().at(i), 0.0f);
+    } else {
+      EXPECT_FLOAT_EQ(x.grad().at(i), 1.0f / 0.6f);
+    }
+  }
+}
+
+TEST(DropoutTest, GradCheckWithFixedMask) {
+  // Re-seeding the RNG before each call makes the mask deterministic, so
+  // finite differences see a fixed linear map.
+  Rng param_rng(5);
+  Variable x(Tensor::Randn({3, 4}, 1.0f, &param_rng), true);
+  Rng w_rng(777);
+  Tensor w = Tensor::Randn({3, 4}, 1.0f, &w_rng);
+  CheckGradients({x}, [&] {
+    Rng mask_rng(99);
+    return Sum(Mul(Dropout(x, 0.3f, &mask_rng), Constant(w.Clone())));
+  });
+}
+
+TEST(ModelDropoutTest, InferenceUnaffectedTrainingStochastic) {
+  model::TwoTowerConfig cfg;
+  cfg.num_items = 20;
+  cfg.embedding_dim = 8;
+  cfg.dropout = 0.5f;
+  model::TwoTowerModel model(cfg);
+  const std::vector<int64_t> ids = {1, 2, 3};
+  const std::vector<int64_t> lengths = {3};
+  // No RNG: deterministic (inference path).
+  Variable a = model.EncodeUsers(ids, lengths);
+  Variable b = model.EncodeUsers(ids, lengths);
+  EXPECT_TRUE(AllClose(a.value(), b.value()));
+  // With RNG: stochastic.
+  Rng rng(6);
+  Variable c = model.EncodeUsers(ids, lengths, &rng);
+  Variable d = model.EncodeUsers(ids, lengths, &rng);
+  EXPECT_FALSE(AllClose(c.value(), d.value()));
+}
+
+}  // namespace
+}  // namespace unimatch::nn

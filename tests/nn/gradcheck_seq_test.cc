@@ -1,0 +1,189 @@
+// Finite-difference validation of sequence-op gradients (src/nn/seq_ops.h)
+// and of every module's parameter gradients (GRU, LSTM, CNN, Transformer,
+// attention pooling).
+
+#include <gtest/gtest.h>
+
+#include "src/nn/attention.h"
+#include "src/nn/conv.h"
+#include "src/nn/layers.h"
+#include "src/nn/rnn.h"
+#include "src/nn/seq_ops.h"
+#include "tests/nn/gradcheck.h"
+
+namespace unimatch::nn {
+namespace {
+
+Variable Param(Shape shape, uint64_t seed, float stddev = 0.8f) {
+  Rng rng(seed);
+  return Variable(Tensor::Randn(std::move(shape), stddev, &rng),
+                  /*requires_grad=*/true);
+}
+
+Variable ToScalar(const Variable& v) {
+  Rng rng(777);
+  Tensor w = Tensor::Randn(v.shape(), 1.0f, &rng);
+  return Sum(Mul(v, Constant(w)));
+}
+
+const std::vector<int64_t> kLengths = {3, 1, 4, 2};  // B=4, L=4
+
+TEST(GradCheckSeq, EmbeddingLookup) {
+  auto table = Param({6, 3}, 50);
+  const std::vector<int64_t> ids = {0, 2, 2, 5, kPadId};
+  CheckGradients({table},
+                 [&] { return ToScalar(EmbeddingLookup(table, ids)); });
+}
+
+TEST(GradCheckSeq, EmbeddingLookupSeq) {
+  auto table = Param({6, 3}, 51);
+  const std::vector<int64_t> ids = {0, 1, kPadId, kPadId, 3, 4, 5, 0};
+  CheckGradients({table}, [&] {
+    return ToScalar(EmbeddingLookupSeq(table, ids, 2, 4));
+  });
+}
+
+class ShiftSeqGradTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(ShiftSeqGradTest, Offsets) {
+  auto x = Param({2, 4, 3}, 52);
+  const int64_t offset = GetParam();
+  CheckGradients({x}, [&] { return ToScalar(ShiftSeq(x, offset)); });
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, ShiftSeqGradTest,
+                         ::testing::Values(-2, -1, 0, 1, 2, 5));
+
+TEST(GradCheckSeq, SelectTimeStep) {
+  auto x = Param({3, 4, 2}, 53);
+  CheckGradients({x}, [&] { return ToScalar(SelectTimeStep(x, 2)); });
+}
+
+TEST(GradCheckSeq, StackTimeSteps) {
+  auto a = Param({3, 2}, 54), b = Param({3, 2}, 55), c = Param({3, 2}, 56);
+  CheckGradients({a, b, c},
+                 [&] { return ToScalar(StackTimeSteps({a, b, c})); });
+}
+
+class BmmGradTest : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(BmmGradTest, AllTransposeCombos) {
+  const auto [ta, tb] = GetParam();
+  auto a = Param(ta ? Shape{2, 4, 3} : Shape{2, 3, 4}, 57);
+  auto b = Param(tb ? Shape{2, 5, 4} : Shape{2, 4, 5}, 58);
+  CheckGradients({a, b}, [&] { return ToScalar(Bmm(a, b, ta, tb)); });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTransposes, BmmGradTest,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Bool()));
+
+TEST(GradCheckSeq, MaskedMeanPool) {
+  auto x = Param({4, 4, 3}, 59);
+  CheckGradients({x}, [&] { return ToScalar(MaskedMeanPool(x, kLengths)); });
+}
+
+TEST(GradCheckSeq, MaskedMaxPool) {
+  auto x = Param({4, 4, 3}, 60);
+  CheckGradients({x}, [&] { return ToScalar(MaskedMaxPool(x, kLengths)); });
+}
+
+TEST(GradCheckSeq, LastPool) {
+  auto x = Param({4, 4, 3}, 61);
+  CheckGradients({x}, [&] { return ToScalar(LastPool(x, kLengths)); });
+}
+
+TEST(GradCheckSeq, MaskedSoftmaxSeq) {
+  auto x = Param({4, 4}, 62);
+  CheckGradients({x}, [&] { return ToScalar(MaskedSoftmaxSeq(x, kLengths)); });
+}
+
+TEST(GradCheckSeq, WeightedPool) {
+  auto x = Param({3, 4, 2}, 63);
+  auto w = Param({3, 4}, 64, 0.4f);
+  CheckGradients({x, w}, [&] { return ToScalar(WeightedPool(x, w)); });
+}
+
+TEST(GradCheckSeq, MaskedSoftmaxLastDim) {
+  auto x = Param({4, 4, 4}, 65);
+  CheckGradients({x},
+                 [&] { return ToScalar(MaskedSoftmaxLastDim(x, kLengths)); });
+}
+
+TEST(GradCheckSeq, ApplySeqMask) {
+  auto x = Param({4, 4, 3}, 66);
+  CheckGradients({x}, [&] { return ToScalar(ApplySeqMask(x, kLengths)); });
+}
+
+// ----- module parameter gradients -----
+
+TEST(GradCheckModules, Linear) {
+  Rng rng(70);
+  Linear lin(4, 3, &rng);
+  auto x = Param({5, 4}, 71);
+  std::vector<Variable> params = {x};
+  for (auto& p : lin.Parameters()) params.push_back(p.variable);
+  CheckGradients(params, [&] { return ToScalar(lin.Forward(x)); });
+}
+
+TEST(GradCheckModules, LayerNormLayer) {
+  LayerNormLayer ln(5);
+  auto x = Param({4, 5}, 72, 1.2f);
+  std::vector<Variable> params = {x};
+  for (auto& p : ln.Parameters()) params.push_back(p.variable);
+  CheckGradients(params, [&] { return ToScalar(ln.Forward(x)); });
+}
+
+TEST(GradCheckModules, Conv1dSame) {
+  Rng rng(73);
+  Conv1dSame conv(3, 2, 3, &rng);
+  auto x = Param({4, 4, 3}, 74);
+  std::vector<Variable> params = {x};
+  for (auto& p : conv.Parameters()) params.push_back(p.variable);
+  CheckGradients(params,
+                 [&] { return ToScalar(conv.Forward(x, kLengths)); },
+                 /*eps=*/5e-3f, /*rel_tol=*/6e-2f, /*abs_tol=*/4e-3f);
+}
+
+TEST(GradCheckModules, Gru) {
+  Rng rng(75);
+  Gru gru(3, 3, &rng);
+  auto x = Param({4, 4, 3}, 76, 0.6f);
+  std::vector<Variable> params = {x};
+  for (auto& p : gru.Parameters()) params.push_back(p.variable);
+  CheckGradients(params, [&] { return ToScalar(gru.Forward(x, kLengths)); },
+                 /*eps=*/5e-3f, /*rel_tol=*/6e-2f, /*abs_tol=*/4e-3f);
+}
+
+TEST(GradCheckModules, Lstm) {
+  Rng rng(77);
+  Lstm lstm(3, 3, &rng);
+  auto x = Param({4, 4, 3}, 78, 0.6f);
+  std::vector<Variable> params = {x};
+  for (auto& p : lstm.Parameters()) params.push_back(p.variable);
+  CheckGradients(params, [&] { return ToScalar(lstm.Forward(x, kLengths)); },
+                 /*eps=*/5e-3f, /*rel_tol=*/6e-2f, /*abs_tol=*/4e-3f);
+}
+
+TEST(GradCheckModules, TransformerLayer) {
+  Rng rng(79);
+  TransformerLayer tf(4, 8, &rng);
+  auto x = Param({3, 4, 4}, 80, 0.6f);
+  const std::vector<int64_t> lengths = {4, 2, 3};
+  std::vector<Variable> params = {x};
+  for (auto& p : tf.Parameters()) params.push_back(p.variable);
+  CheckGradients(params, [&] { return ToScalar(tf.Forward(x, lengths)); },
+                 /*eps=*/5e-3f, /*rel_tol=*/8e-2f, /*abs_tol=*/6e-3f);
+}
+
+TEST(GradCheckModules, AttentionPoolLayer) {
+  Rng rng(81);
+  AttentionPoolLayer pool(3, &rng);
+  auto x = Param({4, 4, 3}, 82, 0.7f);
+  std::vector<Variable> params = {x};
+  for (auto& p : pool.Parameters()) params.push_back(p.variable);
+  CheckGradients(params, [&] { return ToScalar(pool.Forward(x, kLengths)); });
+}
+
+}  // namespace
+}  // namespace unimatch::nn

@@ -1,0 +1,118 @@
+#include "src/nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/nn/ops.h"
+
+namespace unimatch::nn {
+namespace {
+
+// Minimizes f(w) = sum((w - target)^2) and returns the final distance.
+double MinimizeQuadratic(Optimizer* opt, Variable w, const Tensor& target,
+                         int steps) {
+  for (int s = 0; s < steps; ++s) {
+    Variable diff = Sub(w, Constant(target.Clone()));
+    Variable loss = Sum(Mul(diff, diff));
+    Backward(loss);
+    opt->Step();
+    opt->ZeroGrad();
+  }
+  double dist = 0.0;
+  for (int64_t i = 0; i < w.numel(); ++i) {
+    const double d = w.value().at(i) - target.at(i);
+    dist += d * d;
+  }
+  return std::sqrt(dist);
+}
+
+class OptimizerConvergenceTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(OptimizerConvergenceTest, ConvergesOnQuadratic) {
+  Rng rng(5);
+  Variable w(Tensor::Randn({8}, 1.0f, &rng), true);
+  Tensor target = Tensor::Randn({8}, 1.0f, &rng);
+  // Adagrad's effective step decays like 1/sqrt(t); it needs a larger base
+  // learning rate to cover the same distance.
+  const float lr = GetParam() == "adagrad" ? 0.5f : 0.05f;
+  auto opt = MakeOptimizer(GetParam(), {{"w", w}}, lr);
+  const double final_dist = MinimizeQuadratic(opt.get(), w, target, 500);
+  EXPECT_LT(final_dist, 0.05) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOptimizers, OptimizerConvergenceTest,
+                         ::testing::Values("sgd", "adagrad", "adam"));
+
+TEST(SgdTest, SingleStepExactUpdate) {
+  Variable w(Tensor({2}, {1.0f, 2.0f}), true);
+  Sgd sgd({{"w", w}}, 0.1f);
+  Backward(Sum(w));  // grad = 1
+  sgd.Step();
+  EXPECT_FLOAT_EQ(w.value().at(0), 0.9f);
+  EXPECT_FLOAT_EQ(w.value().at(1), 1.9f);
+}
+
+TEST(OptimizerTest, SkipsParametersWithoutGradient) {
+  Variable a(Tensor({2}, {1, 1}), true);
+  Variable b(Tensor({2}, {5, 5}), true);
+  Sgd sgd({{"a", a}, {"b", b}}, 0.5f);
+  Backward(Sum(a));  // only a gets a gradient
+  sgd.Step();
+  EXPECT_FLOAT_EQ(a.value().at(0), 0.5f);
+  EXPECT_FLOAT_EQ(b.value().at(0), 5.0f);
+}
+
+TEST(OptimizerTest, ClipGradNormScalesDown) {
+  Variable w(Tensor({4}, {0, 0, 0, 0}), true);
+  Sgd sgd({{"w", w}}, 1.0f);
+  Variable loss = Sum(ScalarMul(w, 10.0f));  // grad = 10 each, norm = 20
+  Backward(loss);
+  const double pre = sgd.ClipGradNorm(2.0);
+  EXPECT_NEAR(pre, 20.0, 1e-4);
+  EXPECT_NEAR(w.grad().L2Norm(), 2.0, 1e-4);
+}
+
+TEST(OptimizerTest, ClipGradNormNoopBelowThreshold) {
+  Variable w(Tensor({4}), true);
+  Sgd sgd({{"w", w}}, 1.0f);
+  Backward(Sum(w));  // norm = 2
+  const double pre = sgd.ClipGradNorm(100.0);
+  EXPECT_NEAR(pre, 2.0, 1e-5);
+  EXPECT_NEAR(w.grad().L2Norm(), 2.0, 1e-5);
+}
+
+TEST(AdamTest, BiasCorrectionMakesFirstStepLrSized) {
+  Variable w(Tensor({1}, {0.0f}), true);
+  Adam adam({{"w", w}}, 0.1f);
+  Backward(Sum(ScalarMul(w, 3.0f)));  // constant grad 3
+  adam.Step();
+  // With bias correction the first step is ~lr regardless of grad scale.
+  EXPECT_NEAR(w.value().at(0), -0.1f, 1e-5);
+}
+
+TEST(AdagradTest, StepSizesShrinkOverTime) {
+  Variable w(Tensor({1}, {0.0f}), true);
+  Adagrad ada({{"w", w}}, 0.5f);
+  float prev = 0.0f;
+  float first_delta = 0.0f, last_delta = 0.0f;
+  for (int s = 0; s < 10; ++s) {
+    Backward(Sum(ScalarMul(w, 1.0f)));
+    ada.Step();
+    ada.ZeroGrad();
+    const float delta = std::fabs(w.value().at(0) - prev);
+    if (s == 0) first_delta = delta;
+    last_delta = delta;
+    prev = w.value().at(0);
+  }
+  EXPECT_LT(last_delta, first_delta);
+}
+
+TEST(MakeOptimizerDeathTest, UnknownNameFatal) {
+  Variable w(Tensor({1}), true);
+  EXPECT_DEATH(MakeOptimizer("nadam", {{"w", w}}, 0.1f), "unknown optimizer");
+}
+
+}  // namespace
+}  // namespace unimatch::nn

@@ -1,0 +1,139 @@
+#include "src/nn/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/nn/layers.h"
+
+namespace unimatch::nn {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(SerializeTest, SaveLoadRoundtrip) {
+  Rng rng(1);
+  Variable a(Tensor::Randn({3, 4}, 1.0f, &rng), true);
+  Variable b(Tensor::Randn({7}, 1.0f, &rng), true);
+  std::vector<NamedParameter> params = {{"a", a}, {"b", b}};
+  const std::string path = TempPath("roundtrip.ckpt");
+  ASSERT_TRUE(SaveParameters(params, path).ok());
+
+  Variable a2(Tensor({3, 4}), true);
+  Variable b2(Tensor({7}), true);
+  std::vector<NamedParameter> params2 = {{"a", a2}, {"b", b2}};
+  ASSERT_TRUE(LoadParameters(path, &params2).ok());
+  EXPECT_TRUE(AllClose(a.value(), a2.value()));
+  EXPECT_TRUE(AllClose(b.value(), b2.value()));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LoadMatchesByNameNotOrder) {
+  Rng rng(2);
+  Variable a(Tensor::Randn({2}, 1.0f, &rng), true);
+  Variable b(Tensor::Randn({3}, 1.0f, &rng), true);
+  const std::string path = TempPath("order.ckpt");
+  std::vector<NamedParameter> save_order = {{"x", a}, {"y", b}};
+  ASSERT_TRUE(SaveParameters(save_order, path).ok());
+
+  Variable a2(Tensor({2}), true);
+  Variable b2(Tensor({3}), true);
+  std::vector<NamedParameter> load_order = {{"y", b2}, {"x", a2}};
+  ASSERT_TRUE(LoadParameters(path, &load_order).ok());
+  EXPECT_TRUE(AllClose(a2.value(), a.value()));
+  EXPECT_TRUE(AllClose(b2.value(), b.value()));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ShapeMismatchRejected) {
+  Rng rng(3);
+  Variable a(Tensor::Randn({4}, 1.0f, &rng), true);
+  const std::string path = TempPath("shape.ckpt");
+  std::vector<NamedParameter> params = {{"a", a}};
+  ASSERT_TRUE(SaveParameters(params, path).ok());
+
+  Variable wrong(Tensor({5}), true);
+  std::vector<NamedParameter> target = {{"a", wrong}};
+  Status st = LoadParameters(path, &target);
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, UnknownParameterRejected) {
+  Rng rng(4);
+  Variable a(Tensor::Randn({2}, 1.0f, &rng), true);
+  const std::string path = TempPath("unknown.ckpt");
+  std::vector<NamedParameter> params = {{"a", a}};
+  ASSERT_TRUE(SaveParameters(params, path).ok());
+
+  Variable other(Tensor({2}), true);
+  std::vector<NamedParameter> target = {{"b", other}};
+  EXPECT_TRUE(LoadParameters(path, &target).IsNotFound());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingParametersReported) {
+  Rng rng(5);
+  Variable a(Tensor::Randn({2}, 1.0f, &rng), true);
+  const std::string path = TempPath("missing.ckpt");
+  std::vector<NamedParameter> params = {{"a", a}};
+  ASSERT_TRUE(SaveParameters(params, path).ok());
+
+  Variable a2(Tensor({2}), true);
+  Variable extra(Tensor({3}), true);
+  std::vector<NamedParameter> target = {{"a", a2}, {"extra", extra}};
+  std::vector<std::string> missing;
+  ASSERT_TRUE(LoadParameters(path, &target, &missing).ok());
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_EQ(missing[0], "extra");
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, NonexistentFileIsIOError) {
+  std::vector<NamedParameter> params;
+  EXPECT_TRUE(LoadParameters("/nonexistent/nope.ckpt", &params).IsIOError());
+}
+
+TEST(SerializeTest, CorruptMagicRejected) {
+  const std::string path = TempPath("corrupt.ckpt");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fwrite("JUNKJUNKJUNK", 1, 12, f);
+  std::fclose(f);
+  std::vector<NamedParameter> params;
+  EXPECT_TRUE(LoadParameters(path, &params).IsIOError());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, SnapshotRestoreRoundtrip) {
+  Rng rng(6);
+  Variable a(Tensor::Randn({3}, 1.0f, &rng), true);
+  std::vector<NamedParameter> params = {{"a", a}};
+  auto snap = SnapshotParameters(params);
+  const float orig = a.value().at(0);
+  a.mutable_value().Fill(99.0f);
+  ASSERT_TRUE(RestoreParameters(snap, &params).ok());
+  EXPECT_FLOAT_EQ(a.value().at(0), orig);
+}
+
+TEST(SnapshotTest, SnapshotIsDeepCopy) {
+  Variable a(Tensor({2}, {1, 2}), true);
+  std::vector<NamedParameter> params = {{"a", a}};
+  auto snap = SnapshotParameters(params);
+  a.mutable_value().Fill(0.0f);
+  EXPECT_FLOAT_EQ(snap[0].second.at(0), 1.0f);
+}
+
+TEST(ModuleTest, ParameterNamesPrefixed) {
+  Rng rng(7);
+  Linear lin(2, 3, &rng);
+  auto params = lin.Parameters();
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0].name, "weight");
+  EXPECT_EQ(params[1].name, "bias");
+  EXPECT_EQ(lin.NumParameters(), 2 * 3 + 3);
+}
+
+}  // namespace
+}  // namespace unimatch::nn

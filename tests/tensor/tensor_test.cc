@@ -1,0 +1,137 @@
+#include "src/tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace unimatch {
+namespace {
+
+TEST(ShapeTest, NumelAndToString) {
+  EXPECT_EQ(ShapeNumel({}), 1);
+  EXPECT_EQ(ShapeNumel({5}), 5);
+  EXPECT_EQ(ShapeNumel({2, 3, 4}), 24);
+  EXPECT_EQ(ShapeNumel({2, 0, 4}), 0);
+  EXPECT_EQ(ShapeToString({2, 3}), "[2, 3]");
+  EXPECT_EQ(ShapeToString({}), "[]");
+}
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t({3, 4});
+  EXPECT_EQ(t.numel(), 12);
+  EXPECT_EQ(t.rank(), 2);
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t.at(i), 0.0f);
+}
+
+TEST(TensorTest, ExplicitValues) {
+  Tensor t({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(0, 1), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_EQ(t.at(1, 1), 4.0f);
+}
+
+TEST(TensorTest, Rank3Access) {
+  Tensor t({2, 3, 4});
+  t.at(1, 2, 3) = 9.0f;
+  EXPECT_EQ(t.at(1 * 12 + 2 * 4 + 3), 9.0f);
+}
+
+TEST(TensorTest, ScalarItem) {
+  Tensor s = Tensor::Scalar(2.5f);
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.numel(), 1);
+  EXPECT_EQ(s.item(), 2.5f);
+}
+
+TEST(TensorTest, FullAndOnes) {
+  Tensor f = Tensor::Full({3}, 7.0f);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(f.at(i), 7.0f);
+  Tensor o = Tensor::Ones({2, 2});
+  EXPECT_EQ(o.Sum(), 4.0);
+}
+
+TEST(TensorTest, CopySharesStorage) {
+  Tensor a({2});
+  Tensor b = a;
+  b.at(0) = 5.0f;
+  EXPECT_EQ(a.at(0), 5.0f);
+  EXPECT_TRUE(a.shares_storage(b));
+}
+
+TEST(TensorTest, CloneIsDeep) {
+  Tensor a({2}, {1, 2});
+  Tensor b = a.Clone();
+  b.at(0) = 9.0f;
+  EXPECT_EQ(a.at(0), 1.0f);
+  EXPECT_FALSE(a.shares_storage(b));
+}
+
+TEST(TensorTest, ReshapedSharesStorage) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = a.Reshaped({3, 2});
+  EXPECT_TRUE(a.shares_storage(b));
+  EXPECT_EQ(b.at(2, 1), 6.0f);
+}
+
+TEST(TensorDeathTest, ReshapeWrongNumelChecks) {
+  Tensor a({2, 3});
+  EXPECT_DEATH(a.Reshaped({4, 2}), "Check failed");
+}
+
+TEST(TensorTest, AddInPlaceWithAlpha) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {10, 20, 30});
+  a.AddInPlace(b, 0.5f);
+  EXPECT_FLOAT_EQ(a.at(0), 6.0f);
+  EXPECT_FLOAT_EQ(a.at(2), 18.0f);
+}
+
+TEST(TensorTest, ScaleInPlace) {
+  Tensor a({2}, {2, -4});
+  a.ScaleInPlace(-1.5f);
+  EXPECT_FLOAT_EQ(a.at(0), -3.0f);
+  EXPECT_FLOAT_EQ(a.at(1), 6.0f);
+}
+
+TEST(TensorTest, Reductions) {
+  Tensor a({4}, {1, -2, 3, 4});
+  EXPECT_DOUBLE_EQ(a.Sum(), 6.0);
+  EXPECT_DOUBLE_EQ(a.Mean(), 1.5);
+  EXPECT_EQ(a.Min(), -2.0f);
+  EXPECT_EQ(a.Max(), 4.0f);
+  EXPECT_NEAR(a.L2Norm(), std::sqrt(1 + 4 + 9 + 16.0), 1e-9);
+}
+
+TEST(TensorTest, RandnStatistics) {
+  Rng rng(3);
+  Tensor t = Tensor::Randn({10000}, 2.0f, &rng);
+  EXPECT_NEAR(t.Mean(), 0.0, 0.1);
+  double var = 0.0;
+  for (int64_t i = 0; i < t.numel(); ++i) var += t.at(i) * t.at(i);
+  EXPECT_NEAR(var / t.numel(), 4.0, 0.3);
+}
+
+TEST(TensorTest, UniformBounds) {
+  Rng rng(4);
+  Tensor t = Tensor::Uniform({1000}, -0.5f, 0.5f, &rng);
+  EXPECT_GE(t.Min(), -0.5f);
+  EXPECT_LT(t.Max(), 0.5f);
+}
+
+TEST(AllCloseTest, TolerancesRespected) {
+  Tensor a({2}, {1.0f, 2.0f});
+  Tensor b({2}, {1.0f + 1e-7f, 2.0f});
+  EXPECT_TRUE(AllClose(a, b));
+  Tensor c({2}, {1.1f, 2.0f});
+  EXPECT_FALSE(AllClose(a, c));
+  Tensor d({3});
+  EXPECT_FALSE(AllClose(a, d));  // shape mismatch
+}
+
+TEST(TensorTest, ToStringTruncates) {
+  Tensor t({100});
+  const std::string s = t.ToString(4);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace unimatch

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "src/data/synthetic.h"
+#include "src/eval/evaluator.h"
+#include "src/train/trainer.h"
+
+namespace unimatch::train {
+namespace {
+
+struct Env {
+  data::InteractionLog log;
+  data::DatasetSplits splits;
+  Env() {
+    data::SyntheticConfig cfg;
+    cfg.num_users = 400;
+    cfg.num_items = 60;
+    cfg.num_months = 4;
+    cfg.target_interactions = 5000;
+    cfg.seed = 41;
+    log = data::GenerateSynthetic(cfg);
+    splits = data::MakeSplits(log, data::SplitConfig{});
+  }
+};
+
+const Env& env() {
+  static const Env* e = new Env();
+  return *e;
+}
+
+model::TwoTowerConfig SmallModel() {
+  model::TwoTowerConfig mc;
+  mc.num_items = 60;
+  mc.embedding_dim = 8;
+  return mc;
+}
+
+TEST(EarlyStoppingTest, StopsWhenMetricStopsImproving) {
+  model::TwoTowerModel model(SmallModel());
+  Trainer trainer(&model, &env().splits, TrainConfig{});
+  // A metric that improves twice then plateaus.
+  int calls = 0;
+  auto metric = [&calls]() {
+    ++calls;
+    return calls <= 3 ? static_cast<double>(calls) : 3.0;
+  };
+  int epochs_run = 0;
+  ASSERT_TRUE(trainer
+                  .TrainWithEarlyStopping(env().splits.train.AllIndices(),
+                                          /*max_epochs=*/50, /*patience=*/2,
+                                          metric, 0.0, &epochs_run)
+                  .ok());
+  // Improvements at calls 2,3 (epochs 1,2); patience 2 -> stops at epoch 4.
+  EXPECT_EQ(epochs_run, 4);
+}
+
+TEST(EarlyStoppingTest, RestoresBestParameters) {
+  model::TwoTowerModel model(SmallModel());
+  Trainer trainer(&model, &env().splits, TrainConfig{});
+  // The metric peaks at the very start, so the restored parameters must be
+  // the initial ones.
+  const Tensor initial = model.InferItemEmbeddings();
+  int calls = 0;
+  auto metric = [&calls]() { return calls++ == 0 ? 10.0 : 1.0; };
+  ASSERT_TRUE(trainer
+                  .TrainWithEarlyStopping(env().splits.train.AllIndices(), 10,
+                                          /*patience=*/3, metric)
+                  .ok());
+  EXPECT_TRUE(AllClose(model.InferItemEmbeddings(), initial));
+}
+
+TEST(EarlyStoppingTest, RunsToMaxEpochsWhenAlwaysImproving) {
+  model::TwoTowerModel model(SmallModel());
+  Trainer trainer(&model, &env().splits, TrainConfig{});
+  double v = 0.0;
+  auto metric = [&v]() { return v += 1.0; };
+  int epochs_run = 0;
+  ASSERT_TRUE(trainer
+                  .TrainWithEarlyStopping(env().splits.train.AllIndices(), 5,
+                                          2, metric, 0.0, &epochs_run)
+                  .ok());
+  EXPECT_EQ(epochs_run, 5);
+}
+
+TEST(EarlyStoppingTest, RealValidationMetricImprovesModel) {
+  eval::ProtocolConfig pc;
+  pc.num_negatives = 20;
+  const eval::EvalProtocol protocol =
+      eval::EvalProtocol::Build(env().splits, pc);
+  const eval::Evaluator evaluator(&env().splits, &protocol);
+  model::TwoTowerModel model(SmallModel());
+  Trainer trainer(&model, &env().splits, TrainConfig{});
+  const double before = evaluator.Evaluate(model).avg_ndcg();
+  auto metric = [&]() { return evaluator.Evaluate(model).avg_ndcg(); };
+  ASSERT_TRUE(trainer
+                  .TrainWithEarlyStopping(env().splits.train.AllIndices(), 15,
+                                          3, metric)
+                  .ok());
+  EXPECT_GT(evaluator.Evaluate(model).avg_ndcg(), before);
+}
+
+TEST(LrDecayTest, DecaysPerTrainedMonth) {
+  model::TwoTowerModel model(SmallModel());
+  TrainConfig tc;
+  tc.learning_rate = 0.01f;
+  tc.lr_decay_per_month = 0.5f;
+  Trainer trainer(&model, &env().splits, tc);
+  ASSERT_TRUE(trainer.TrainMonths(0, 2).ok());
+  // Verified indirectly through determinism: a second trainer with the same
+  // seed but no decay must produce different parameters.
+  model::TwoTowerModel model2(SmallModel());
+  TrainConfig tc2 = tc;
+  tc2.lr_decay_per_month = 1.0f;
+  Trainer trainer2(&model2, &env().splits, tc2);
+  ASSERT_TRUE(trainer2.TrainMonths(0, 2).ok());
+  EXPECT_FALSE(
+      AllClose(model.InferItemEmbeddings(), model2.InferItemEmbeddings()));
+}
+
+}  // namespace
+}  // namespace unimatch::train

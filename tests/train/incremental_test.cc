@@ -1,0 +1,85 @@
+#include "src/train/incremental_study.h"
+
+#include <gtest/gtest.h>
+
+#include "src/data/synthetic.h"
+#include "src/train/cost_model.h"
+
+namespace unimatch::train {
+namespace {
+
+TEST(IncrementalStudyTest, ProducesOrderedHorizons) {
+  data::SyntheticConfig cfg;
+  cfg.num_users = 800;
+  cfg.num_items = 80;
+  cfg.num_months = 8;
+  cfg.target_interactions = 12000;
+  cfg.trend_drift = 0.5;  // strongly drifting catalog
+  cfg.seed = 99;
+  const data::InteractionLog log = data::GenerateSynthetic(cfg);
+  const data::DatasetSplits splits = data::MakeSplits(log, data::SplitConfig{});
+
+  eval::ProtocolConfig pc;
+  pc.num_negatives = 20;
+  const eval::EvalProtocol protocol = eval::EvalProtocol::Build(splits, pc);
+  const eval::Evaluator evaluator(&splits, &protocol);
+
+  model::TwoTowerConfig mc;
+  mc.num_items = 80;
+  mc.embedding_dim = 8;
+  model::TwoTowerModel model(mc);
+  TrainConfig tc;
+  tc.epochs_per_month = 2;
+
+  const auto points =
+      RunIncrementalStudy(&model, splits, tc, evaluator, /*max_ahead=*/3);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].months_ahead, 3);
+  EXPECT_EQ(points[1].months_ahead, 2);
+  EXPECT_EQ(points[2].months_ahead, 1);
+  for (const auto& p : points) {
+    EXPECT_GE(p.ir_ndcg, 0.0);
+    EXPECT_LE(p.ir_ndcg, 1.0);
+  }
+  // Fig. 3 shape on drifting data: training closer to the test month helps.
+  EXPECT_GT(points[2].ir_ndcg, points[0].ir_ndcg);
+}
+
+TEST(CostModelTest, PaperHeadlineNumbers) {
+  // With the paper's Table VII inputs, the claimed savings must reproduce.
+  CostModelInput in;
+  in.bce_epochs = 8;          // Amazon Books BCE
+  in.multinomial_epochs = 3;  // Amazon Books bbcNCE
+  const CostSummary s = ComputeCostSummary(in);
+  EXPECT_NEAR(s.loss_cost_ratio, 16.0 / 3.0, 1e-9);  // ~5x
+  EXPECT_NEAR(s.unified_ratio, 2.0, 1e-9);
+  EXPECT_NEAR(s.incremental_ratio, 12.0, 1e-9);
+  EXPECT_GT(s.total_training_ratio, 120.0);
+  EXPECT_GT(s.total_saving_fraction, 0.94);  // the paper's "94%+"
+}
+
+TEST(CostModelTest, RatioScalesWithMeasuredTimings) {
+  CostModelInput in;
+  in.measured_bce_epoch_seconds = 2.0;
+  in.measured_multinomial_epoch_seconds = 1.0;
+  const CostSummary s = ComputeCostSummary(in);
+  CostModelInput parity = in;
+  parity.measured_bce_epoch_seconds = 1.0;
+  EXPECT_NEAR(s.loss_cost_ratio,
+              2.0 * ComputeCostSummary(parity).loss_cost_ratio, 1e-9);
+}
+
+TEST(CostModelTest, NoSavingsWhenNothingChanges) {
+  CostModelInput in;
+  in.bce_epochs = 1;
+  in.multinomial_epochs = 1;
+  in.bce_data_multiplier = 1;
+  in.models_replaced = 1;
+  in.retrain_window_months = 1;
+  const CostSummary s = ComputeCostSummary(in);
+  EXPECT_NEAR(s.total_training_ratio, 1.0, 1e-9);
+  EXPECT_NEAR(s.total_saving_fraction, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace unimatch::train

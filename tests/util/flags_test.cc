@@ -1,0 +1,68 @@
+#include "src/util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace unimatch {
+namespace {
+
+ArgParser Parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return ArgParser(static_cast<int>(args.size()),
+                   const_cast<char**>(args.data()));
+}
+
+TEST(ArgParserTest, PositionalAndFlags) {
+  auto args = Parse({"train", "--data=log.csv", "--n", "7"});
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "train");
+  EXPECT_EQ(args.GetString("data"), "log.csv");
+  EXPECT_EQ(args.GetInt("n", 0), 7);
+}
+
+TEST(ArgParserTest, EqualsAndSpaceSyntaxEquivalent) {
+  auto a = Parse({"--k=v"});
+  auto b = Parse({"--k", "v"});
+  EXPECT_EQ(a.GetString("k"), b.GetString("k"));
+}
+
+TEST(ArgParserTest, BareFlagIsTrue) {
+  auto args = Parse({"--verbose", "--next=1"});
+  EXPECT_TRUE(args.GetBool("verbose"));
+  EXPECT_FALSE(args.GetBool("quiet"));
+}
+
+TEST(ArgParserTest, Fallbacks) {
+  auto args = Parse({});
+  EXPECT_EQ(args.GetString("missing", "d"), "d");
+  EXPECT_EQ(args.GetInt("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(args.GetDouble("missing", 1.5), 1.5);
+}
+
+TEST(ArgParserTest, DoubleParsing) {
+  auto args = Parse({"--tau=0.25"});
+  EXPECT_DOUBLE_EQ(args.GetDouble("tau", 0), 0.25);
+}
+
+TEST(ArgParserTest, UnreadFlagsReported) {
+  auto args = Parse({"--used=1", "--typo=2"});
+  (void)args.GetInt("used", 0);
+  const auto unread = args.Unread();
+  ASSERT_EQ(unread.size(), 1u);
+  EXPECT_EQ(unread[0], "typo");
+}
+
+TEST(ArgParserTest, HasDetectsPresence) {
+  auto args = Parse({"--x=1"});
+  EXPECT_TRUE(args.Has("x"));
+  EXPECT_FALSE(args.Has("y"));
+}
+
+TEST(ArgParserTest, BoolSpellings) {
+  EXPECT_TRUE(Parse({"--a=true"}).GetBool("a"));
+  EXPECT_TRUE(Parse({"--a=1"}).GetBool("a"));
+  EXPECT_TRUE(Parse({"--a=yes"}).GetBool("a"));
+  EXPECT_FALSE(Parse({"--a=false"}).GetBool("a", true));
+}
+
+}  // namespace
+}  // namespace unimatch

@@ -1,0 +1,180 @@
+#include "src/util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace unimatch {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(13), 13u);
+  }
+}
+
+TEST(RngTest, UniformCoversAllValues) {
+  Rng rng(7);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[rng.Uniform(8)];
+  for (int c : counts) {
+    EXPECT_GT(c, 800);  // expected 1000 each; wide tolerance
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double mean = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    mean += v;
+  }
+  mean /= 20000;
+  EXPECT_NEAR(mean, 0.5, 0.01);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(5);
+  const int n = 50000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Gaussian();
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianWithParams) {
+  Rng rng(6);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(3.0, 0.5);
+  EXPECT_NEAR(sum / n, 3.0, 0.02);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(8);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(9);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto orig = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to match
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(10);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LT(v, 5);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(12);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto s = rng.SampleWithoutReplacement(100, 30);
+    ASSERT_EQ(s.size(), 30u);
+    std::sort(s.begin(), s.end());
+    EXPECT_TRUE(std::adjacent_find(s.begin(), s.end()) == s.end());
+    EXPECT_GE(s.front(), 0);
+    EXPECT_LT(s.back(), 100);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullSet) {
+  Rng rng(13);
+  auto s = rng.SampleWithoutReplacement(10, 10);
+  std::sort(s.begin(), s.end());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(s[i], i);
+}
+
+TEST(AliasSamplerTest, MatchesTargetDistribution) {
+  Rng rng(21);
+  std::vector<double> w = {1.0, 2.0, 3.0, 4.0};
+  AliasSampler sampler(w);
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.Sample(&rng)];
+  for (int k = 0; k < 4; ++k) {
+    const double expected = w[k] / 10.0;
+    EXPECT_NEAR(counts[k] / static_cast<double>(n), expected, 0.01)
+        << "bucket " << k;
+  }
+}
+
+TEST(AliasSamplerTest, NormalizedProbabilities) {
+  AliasSampler sampler({2.0, 6.0});
+  EXPECT_DOUBLE_EQ(sampler.probability(0), 0.25);
+  EXPECT_DOUBLE_EQ(sampler.probability(1), 0.75);
+}
+
+TEST(AliasSamplerTest, SingleElement) {
+  Rng rng(1);
+  AliasSampler sampler(std::vector<double>{5.0});
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sampler.Sample(&rng), 0);
+}
+
+TEST(AliasSamplerTest, ZeroWeightNeverSampled) {
+  Rng rng(2);
+  AliasSampler sampler({0.0, 1.0, 0.0, 1.0});
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t s = sampler.Sample(&rng);
+    EXPECT_TRUE(s == 1 || s == 3);
+  }
+}
+
+TEST(AliasSamplerTest, EmptyWeightsYieldEmptySampler) {
+  AliasSampler sampler;
+  EXPECT_TRUE(sampler.empty());
+  sampler.Build({});
+  EXPECT_TRUE(sampler.empty());
+  sampler.Build({0.0, 0.0});
+  EXPECT_TRUE(sampler.empty());
+}
+
+TEST(AliasSamplerTest, HeavilySkewedDistribution) {
+  Rng rng(3);
+  std::vector<double> w(100, 0.001);
+  w[42] = 100.0;
+  AliasSampler sampler(w);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += sampler.Sample(&rng) == 42;
+  EXPECT_GT(hits, 9900);
+}
+
+}  // namespace
+}  // namespace unimatch

@@ -1,0 +1,113 @@
+#include "src/util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace unimatch {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsSetCode) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, MessagePreserved) {
+  Status s = Status::NotFound("user 42 missing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "user 42 missing");
+  EXPECT_EQ(s.ToString(), "NotFound: user 42 missing");
+}
+
+TEST(StatusTest, CopyIsCheapAndEqualState) {
+  Status a = Status::Internal("boom");
+  Status b = a;  // shares state
+  EXPECT_EQ(b.code(), StatusCode::kInternal);
+  EXPECT_EQ(b.message(), "boom");
+}
+
+TEST(StatusTest, OkWithExplicitCodeIsOk) {
+  Status s(StatusCode::kOk, "ignored");
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.message(), "");
+}
+
+TEST(StatusCodeTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kFailedPrecondition),
+               "FailedPrecondition");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kAlreadyExists),
+               "AlreadyExists");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnimplemented),
+               "Unimplemented");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kIOError), "IOError");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<std::string> r(std::string("hello"));
+  EXPECT_EQ(r.value_or("fallback"), "hello");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+Status FailingHelper() { return Status::IOError("disk"); }
+
+Status UsesReturnIfError() {
+  UNIMATCH_RETURN_IF_ERROR(FailingHelper());
+  return Status::Internal("unreachable");
+}
+
+TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UsesReturnIfError().IsIOError());
+}
+
+Result<int> GiveSeven() { return 7; }
+
+Status UsesAssignOrReturn(int* out) {
+  UNIMATCH_ASSIGN_OR_RETURN(*out, GiveSeven());
+  return Status::OK();
+}
+
+TEST(StatusMacrosTest, AssignOrReturnAssigns) {
+  int v = 0;
+  EXPECT_TRUE(UsesAssignOrReturn(&v).ok());
+  EXPECT_EQ(v, 7);
+}
+
+}  // namespace
+}  // namespace unimatch

@@ -1,0 +1,75 @@
+#include "src/util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace unimatch {
+namespace {
+
+TEST(StrFormatTest, BasicFormatting) {
+  EXPECT_EQ(StrFormat("%d items", 42), "42 items");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("%s-%s", "a", "b"), "a-b");
+}
+
+TEST(StrFormatTest, EmptyAndLong) {
+  EXPECT_EQ(StrFormat("%s", ""), "");
+  std::string big(500, 'x');
+  EXPECT_EQ(StrFormat("%s", big.c_str()), big);
+}
+
+TEST(StrSplitTest, SplitsAndKeepsEmptyFields) {
+  auto parts = StrSplit("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StrSplitTest, NoDelimiter) {
+  auto parts = StrSplit("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StrSplitTest, EmptyString) {
+  auto parts = StrSplit("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(StrJoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"x"}, ","), "x");
+}
+
+TEST(StrTrimTest, TrimsWhitespace) {
+  EXPECT_EQ(StrTrim("  hi  "), "hi");
+  EXPECT_EQ(StrTrim("\t\na\n"), "a");
+  EXPECT_EQ(StrTrim("   "), "");
+  EXPECT_EQ(StrTrim("x"), "x");
+}
+
+TEST(StrPrefixSuffixTest, StartsEndsWith) {
+  EXPECT_TRUE(StrStartsWith("unimatch", "uni"));
+  EXPECT_FALSE(StrStartsWith("uni", "unimatch"));
+  EXPECT_TRUE(StrEndsWith("table.csv", ".csv"));
+  EXPECT_FALSE(StrEndsWith("csv", "table.csv"));
+}
+
+TEST(WithCommasTest, FormatsThousands) {
+  EXPECT_EQ(WithCommas(0), "0");
+  EXPECT_EQ(WithCommas(999), "999");
+  EXPECT_EQ(WithCommas(1000), "1,000");
+  EXPECT_EQ(WithCommas(6132506), "6,132,506");
+  EXPECT_EQ(WithCommas(-1234567), "-1,234,567");
+}
+
+TEST(FixedDigitsTest, RoundsToDigits) {
+  EXPECT_EQ(FixedDigits(57.196, 2), "57.20");
+  EXPECT_EQ(FixedDigits(0.5, 0), "0");  // round-half-to-even via printf
+  EXPECT_EQ(FixedDigits(-1.005, 1), "-1.0");
+}
+
+}  // namespace
+}  // namespace unimatch

@@ -1,0 +1,70 @@
+#include "src/util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace unimatch {
+namespace {
+
+TEST(TablePrinterTest, RendersHeaderAndRows) {
+  TablePrinter t("Title");
+  t.SetHeader({"loss", "IR", "UT"});
+  t.AddRow({"bbcNCE", "57.20", "47.67"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("Title"), std::string::npos);
+  EXPECT_NE(s.find("| loss "), std::string::npos);
+  EXPECT_NE(s.find("bbcNCE"), std::string::npos);
+  EXPECT_NE(s.find("57.20"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ColumnsAligned) {
+  TablePrinter t;
+  t.SetHeader({"a", "bbbb"});
+  t.AddRow({"xxxxxx", "y"});
+  const std::string s = t.ToString();
+  // Every line should have equal length.
+  size_t line_len = std::string::npos;
+  size_t start = 0;
+  while (start < s.size()) {
+    size_t end = s.find('\n', start);
+    if (end == std::string::npos) break;
+    if (line_len == std::string::npos) {
+      line_len = end - start;
+    } else {
+      EXPECT_EQ(end - start, line_len);
+    }
+    start = end + 1;
+  }
+}
+
+TEST(TablePrinterTest, SeparatorRendered) {
+  TablePrinter t;
+  t.SetHeader({"x"});
+  t.AddRow({"1"});
+  t.AddSeparator();
+  t.AddRow({"2"});
+  const std::string s = t.ToString();
+  // header rule + top + separator + bottom = 4 rules
+  int rules = 0;
+  size_t pos = 0;
+  while ((pos = s.find("+--", pos)) != std::string::npos) {
+    ++rules;
+    pos += 3;
+  }
+  EXPECT_EQ(rules, 4);
+}
+
+TEST(TablePrinterTest, NoHeaderWorks) {
+  TablePrinter t;
+  t.AddRow({"a", "b"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| a "), std::string::npos);
+}
+
+TEST(TablePrinterDeathTest, RowWidthMismatchChecks) {
+  TablePrinter t;
+  t.SetHeader({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "Check failed");
+}
+
+}  // namespace
+}  // namespace unimatch

@@ -1,0 +1,73 @@
+#include "src/util/threadpool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace unimatch {
+namespace {
+
+TEST(ThreadPoolTest, RunsScheduledTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Schedule([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(1000);
+  pool.ParallelFor(0, 1000,
+                   [&](int64_t i) { touched[i].fetch_add(1); },
+                   /*min_shard=*/16);
+  for (auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForSmallRangeSerialPath) {
+  ThreadPool pool(4);
+  std::vector<int> touched(10, 0);
+  pool.ParallelFor(0, 10, [&](int64_t i) { touched[i]++; });
+  for (int t : touched) EXPECT_EQ(t, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(5, 5, [&](int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ParallelForSumMatchesSerial) {
+  ThreadPool pool(8);
+  std::vector<int64_t> values(5000);
+  std::iota(values.begin(), values.end(), 0);
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(0, 5000, [&](int64_t i) { sum.fetch_add(values[i]); },
+                   /*min_shard=*/64);
+  EXPECT_EQ(sum.load(), 5000LL * 4999 / 2);
+}
+
+TEST(ThreadPoolTest, NumThreadsPositive) {
+  ThreadPool pool;  // default
+  EXPECT_GE(pool.num_threads(), 1);
+  ThreadPool one(1);
+  EXPECT_EQ(one.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsSingleton) {
+  EXPECT_EQ(ThreadPool::Global(), ThreadPool::Global());
+}
+
+}  // namespace
+}  // namespace unimatch
