@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_l2norm.dir/bench_ablation_l2norm.cc.o"
+  "CMakeFiles/bench_ablation_l2norm.dir/bench_ablation_l2norm.cc.o.d"
+  "bench_ablation_l2norm"
+  "bench_ablation_l2norm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_l2norm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_shared_emb.dir/bench_ablation_shared_emb.cc.o"
+  "CMakeFiles/bench_ablation_shared_emb.dir/bench_ablation_shared_emb.cc.o.d"
+  "bench_ablation_shared_emb"
+  "bench_ablation_shared_emb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_shared_emb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cost_saving.dir/bench_cost_saving.cc.o"
+  "CMakeFiles/bench_cost_saving.dir/bench_cost_saving.cc.o.d"
+  "bench_cost_saving"
+  "bench_cost_saving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cost_saving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_incremental_vs_scratch.dir/bench_incremental_vs_scratch.cc.o"
+  "CMakeFiles/bench_incremental_vs_scratch.dir/bench_incremental_vs_scratch.cc.o.d"
+  "bench_incremental_vs_scratch"
+  "bench_incremental_vs_scratch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_incremental_vs_scratch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table01_bce_optima.dir/bench_table01_bce_optima.cc.o"
+  "CMakeFiles/bench_table01_bce_optima.dir/bench_table01_bce_optima.cc.o.d"
+  "bench_table01_bce_optima"
+  "bench_table01_bce_optima.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table01_bce_optima.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

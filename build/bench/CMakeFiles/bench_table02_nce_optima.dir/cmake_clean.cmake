@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table02_nce_optima.dir/bench_table02_nce_optima.cc.o"
+  "CMakeFiles/bench_table02_nce_optima.dir/bench_table02_nce_optima.cc.o.d"
+  "bench_table02_nce_optima"
+  "bench_table02_nce_optima.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table02_nce_optima.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table02_nce_optima.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table03_datasets.dir/bench_table03_datasets.cc.o"
+  "CMakeFiles/bench_table03_datasets.dir/bench_table03_datasets.cc.o.d"
+  "bench_table03_datasets"
+  "bench_table03_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table03_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table06_splits.dir/bench_table06_splits.cc.o"
+  "CMakeFiles/bench_table06_splits.dir/bench_table06_splits.cc.o.d"
+  "bench_table06_splits"
+  "bench_table06_splits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table06_splits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table07_grid.dir/bench_table07_grid.cc.o"
+  "CMakeFiles/bench_table07_grid.dir/bench_table07_grid.cc.o.d"
+  "bench_table07_grid"
+  "bench_table07_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table07_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table08_bce_vs_bbcnce.dir/bench_table08_bce_vs_bbcnce.cc.o"
+  "CMakeFiles/bench_table08_bce_vs_bbcnce.dir/bench_table08_bce_vs_bbcnce.cc.o.d"
+  "bench_table08_bce_vs_bbcnce"
+  "bench_table08_bce_vs_bbcnce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table08_bce_vs_bbcnce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table09_losses_amazon.dir/bench_table09_losses_amazon.cc.o"
+  "CMakeFiles/bench_table09_losses_amazon.dir/bench_table09_losses_amazon.cc.o.d"
+  "bench_table09_losses_amazon"
+  "bench_table09_losses_amazon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table09_losses_amazon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_losses_qa.dir/bench_table10_losses_qa.cc.o"
+  "CMakeFiles/bench_table10_losses_qa.dir/bench_table10_losses_qa.cc.o.d"
+  "bench_table10_losses_qa"
+  "bench_table10_losses_qa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_losses_qa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

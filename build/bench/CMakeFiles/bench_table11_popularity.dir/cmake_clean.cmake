@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table11_popularity.dir/bench_table11_popularity.cc.o"
+  "CMakeFiles/bench_table11_popularity.dir/bench_table11_popularity.cc.o.d"
+  "bench_table11_popularity"
+  "bench_table11_popularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_popularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

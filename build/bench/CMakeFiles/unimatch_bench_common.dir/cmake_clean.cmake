@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unimatch_bench_common.dir/common.cc.o"
+  "CMakeFiles/unimatch_bench_common.dir/common.cc.o.d"
+  "libunimatch_bench_common.a"
+  "libunimatch_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unimatch_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ann_serving.dir/ann_serving.cpp.o"
+  "CMakeFiles/example_ann_serving.dir/ann_serving.cpp.o.d"
+  "example_ann_serving"
+  "example_ann_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ann_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

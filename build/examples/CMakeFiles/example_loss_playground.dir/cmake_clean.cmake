@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_loss_playground.dir/loss_playground.cpp.o"
+  "CMakeFiles/example_loss_playground.dir/loss_playground.cpp.o.d"
+  "example_loss_playground"
+  "example_loss_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_loss_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_merchant_campaign.dir/merchant_campaign.cpp.o"
+  "CMakeFiles/example_merchant_campaign.dir/merchant_campaign.cpp.o.d"
+  "example_merchant_campaign"
+  "example_merchant_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_merchant_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

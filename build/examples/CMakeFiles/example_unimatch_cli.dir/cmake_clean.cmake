@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_unimatch_cli.dir/unimatch_cli.cpp.o"
+  "CMakeFiles/example_unimatch_cli.dir/unimatch_cli.cpp.o.d"
+  "example_unimatch_cli"
+  "example_unimatch_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_unimatch_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ann/hnsw.cc" "src/CMakeFiles/unimatch.dir/ann/hnsw.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/ann/hnsw.cc.o.d"
+  "/root/repo/src/ann/index.cc" "src/CMakeFiles/unimatch.dir/ann/index.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/ann/index.cc.o.d"
+  "/root/repo/src/baselines/item_knn.cc" "src/CMakeFiles/unimatch.dir/baselines/item_knn.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/baselines/item_knn.cc.o.d"
+  "/root/repo/src/baselines/mf.cc" "src/CMakeFiles/unimatch.dir/baselines/mf.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/baselines/mf.cc.o.d"
+  "/root/repo/src/baselines/popularity.cc" "src/CMakeFiles/unimatch.dir/baselines/popularity.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/baselines/popularity.cc.o.d"
+  "/root/repo/src/core/unimatch.cc" "src/CMakeFiles/unimatch.dir/core/unimatch.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/core/unimatch.cc.o.d"
+  "/root/repo/src/data/batcher.cc" "src/CMakeFiles/unimatch.dir/data/batcher.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/data/batcher.cc.o.d"
+  "/root/repo/src/data/csv_loader.cc" "src/CMakeFiles/unimatch.dir/data/csv_loader.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/data/csv_loader.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/unimatch.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/event_log.cc" "src/CMakeFiles/unimatch.dir/data/event_log.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/data/event_log.cc.o.d"
+  "/root/repo/src/data/id_map.cc" "src/CMakeFiles/unimatch.dir/data/id_map.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/data/id_map.cc.o.d"
+  "/root/repo/src/data/marginals.cc" "src/CMakeFiles/unimatch.dir/data/marginals.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/data/marginals.cc.o.d"
+  "/root/repo/src/data/negative_sampler.cc" "src/CMakeFiles/unimatch.dir/data/negative_sampler.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/data/negative_sampler.cc.o.d"
+  "/root/repo/src/data/splits.cc" "src/CMakeFiles/unimatch.dir/data/splits.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/data/splits.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/unimatch.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/data/synthetic.cc.o.d"
+  "/root/repo/src/eval/evaluator.cc" "src/CMakeFiles/unimatch.dir/eval/evaluator.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/eval/evaluator.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/unimatch.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/popularity.cc" "src/CMakeFiles/unimatch.dir/eval/popularity.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/eval/popularity.cc.o.d"
+  "/root/repo/src/eval/protocol.cc" "src/CMakeFiles/unimatch.dir/eval/protocol.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/eval/protocol.cc.o.d"
+  "/root/repo/src/loss/losses.cc" "src/CMakeFiles/unimatch.dir/loss/losses.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/loss/losses.cc.o.d"
+  "/root/repo/src/loss/tabular_study.cc" "src/CMakeFiles/unimatch.dir/loss/tabular_study.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/loss/tabular_study.cc.o.d"
+  "/root/repo/src/model/two_tower.cc" "src/CMakeFiles/unimatch.dir/model/two_tower.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/model/two_tower.cc.o.d"
+  "/root/repo/src/nn/attention.cc" "src/CMakeFiles/unimatch.dir/nn/attention.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/nn/attention.cc.o.d"
+  "/root/repo/src/nn/conv.cc" "src/CMakeFiles/unimatch.dir/nn/conv.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/nn/conv.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/CMakeFiles/unimatch.dir/nn/layers.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/nn/layers.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/CMakeFiles/unimatch.dir/nn/module.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/nn/module.cc.o.d"
+  "/root/repo/src/nn/ops.cc" "src/CMakeFiles/unimatch.dir/nn/ops.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/nn/ops.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/unimatch.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/nn/optimizer.cc.o.d"
+  "/root/repo/src/nn/rnn.cc" "src/CMakeFiles/unimatch.dir/nn/rnn.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/nn/rnn.cc.o.d"
+  "/root/repo/src/nn/seq_ops.cc" "src/CMakeFiles/unimatch.dir/nn/seq_ops.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/nn/seq_ops.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/CMakeFiles/unimatch.dir/nn/serialize.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/nn/serialize.cc.o.d"
+  "/root/repo/src/nn/variable.cc" "src/CMakeFiles/unimatch.dir/nn/variable.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/nn/variable.cc.o.d"
+  "/root/repo/src/serving/campaign.cc" "src/CMakeFiles/unimatch.dir/serving/campaign.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/serving/campaign.cc.o.d"
+  "/root/repo/src/serving/embedding_store.cc" "src/CMakeFiles/unimatch.dir/serving/embedding_store.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/serving/embedding_store.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/CMakeFiles/unimatch.dir/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/tensor/tensor.cc.o.d"
+  "/root/repo/src/tensor/tensor_ops.cc" "src/CMakeFiles/unimatch.dir/tensor/tensor_ops.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/tensor/tensor_ops.cc.o.d"
+  "/root/repo/src/train/grid_search.cc" "src/CMakeFiles/unimatch.dir/train/grid_search.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/train/grid_search.cc.o.d"
+  "/root/repo/src/train/incremental_study.cc" "src/CMakeFiles/unimatch.dir/train/incremental_study.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/train/incremental_study.cc.o.d"
+  "/root/repo/src/train/trainer.cc" "src/CMakeFiles/unimatch.dir/train/trainer.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/train/trainer.cc.o.d"
+  "/root/repo/src/util/flags.cc" "src/CMakeFiles/unimatch.dir/util/flags.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/util/flags.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/unimatch.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/unimatch.dir/util/random.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/unimatch.dir/util/status.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/unimatch.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/util/string_util.cc.o.d"
+  "/root/repo/src/util/table_printer.cc" "src/CMakeFiles/unimatch.dir/util/table_printer.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/util/table_printer.cc.o.d"
+  "/root/repo/src/util/threadpool.cc" "src/CMakeFiles/unimatch.dir/util/threadpool.cc.o" "gcc" "src/CMakeFiles/unimatch.dir/util/threadpool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

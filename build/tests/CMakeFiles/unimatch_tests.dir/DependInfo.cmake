@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ann/hnsw_test.cc" "tests/CMakeFiles/unimatch_tests.dir/ann/hnsw_test.cc.o" "gcc" "tests/CMakeFiles/unimatch_tests.dir/ann/hnsw_test.cc.o.d"
+  "/root/repo/tests/ann/index_test.cc" "tests/CMakeFiles/unimatch_tests.dir/ann/index_test.cc.o" "gcc" "tests/CMakeFiles/unimatch_tests.dir/ann/index_test.cc.o.d"
+  "/root/repo/tests/baselines/baselines_test.cc" "tests/CMakeFiles/unimatch_tests.dir/baselines/baselines_test.cc.o" "gcc" "tests/CMakeFiles/unimatch_tests.dir/baselines/baselines_test.cc.o.d"
+  "/root/repo/tests/core/engine_test.cc" "tests/CMakeFiles/unimatch_tests.dir/core/engine_test.cc.o" "gcc" "tests/CMakeFiles/unimatch_tests.dir/core/engine_test.cc.o.d"
+  "/root/repo/tests/data/batcher_test.cc" "tests/CMakeFiles/unimatch_tests.dir/data/batcher_test.cc.o" "gcc" "tests/CMakeFiles/unimatch_tests.dir/data/batcher_test.cc.o.d"
+  "/root/repo/tests/data/csv_loader_test.cc" "tests/CMakeFiles/unimatch_tests.dir/data/csv_loader_test.cc.o" "gcc" "tests/CMakeFiles/unimatch_tests.dir/data/csv_loader_test.cc.o.d"
+  "/root/repo/tests/data/dataset_test.cc" "tests/CMakeFiles/unimatch_tests.dir/data/dataset_test.cc.o" "gcc" "tests/CMakeFiles/unimatch_tests.dir/data/dataset_test.cc.o.d"
+  "/root/repo/tests/data/event_log_test.cc" "tests/CMakeFiles/unimatch_tests.dir/data/event_log_test.cc.o" "gcc" "tests/CMakeFiles/unimatch_tests.dir/data/event_log_test.cc.o.d"
+  "/root/repo/tests/data/marginals_test.cc" "tests/CMakeFiles/unimatch_tests.dir/data/marginals_test.cc.o" "gcc" "tests/CMakeFiles/unimatch_tests.dir/data/marginals_test.cc.o.d"
+  "/root/repo/tests/data/negative_sampler_test.cc" "tests/CMakeFiles/unimatch_tests.dir/data/negative_sampler_test.cc.o" "gcc" "tests/CMakeFiles/unimatch_tests.dir/data/negative_sampler_test.cc.o.d"
+  "/root/repo/tests/data/splits_test.cc" "tests/CMakeFiles/unimatch_tests.dir/data/splits_test.cc.o" "gcc" "tests/CMakeFiles/unimatch_tests.dir/data/splits_test.cc.o.d"
+  "/root/repo/tests/data/synthetic_test.cc" "tests/CMakeFiles/unimatch_tests.dir/data/synthetic_test.cc.o" "gcc" "tests/CMakeFiles/unimatch_tests.dir/data/synthetic_test.cc.o.d"
+  "/root/repo/tests/eval/metrics_test.cc" "tests/CMakeFiles/unimatch_tests.dir/eval/metrics_test.cc.o" "gcc" "tests/CMakeFiles/unimatch_tests.dir/eval/metrics_test.cc.o.d"
+  "/root/repo/tests/eval/popularity_test.cc" "tests/CMakeFiles/unimatch_tests.dir/eval/popularity_test.cc.o" "gcc" "tests/CMakeFiles/unimatch_tests.dir/eval/popularity_test.cc.o.d"
+  "/root/repo/tests/eval/protocol_test.cc" "tests/CMakeFiles/unimatch_tests.dir/eval/protocol_test.cc.o" "gcc" "tests/CMakeFiles/unimatch_tests.dir/eval/protocol_test.cc.o.d"
+  "/root/repo/tests/integration/paper_shapes_test.cc" "tests/CMakeFiles/unimatch_tests.dir/integration/paper_shapes_test.cc.o" "gcc" "tests/CMakeFiles/unimatch_tests.dir/integration/paper_shapes_test.cc.o.d"
+  "/root/repo/tests/loss/losses_test.cc" "tests/CMakeFiles/unimatch_tests.dir/loss/losses_test.cc.o" "gcc" "tests/CMakeFiles/unimatch_tests.dir/loss/losses_test.cc.o.d"
+  "/root/repo/tests/loss/optima_test.cc" "tests/CMakeFiles/unimatch_tests.dir/loss/optima_test.cc.o" "gcc" "tests/CMakeFiles/unimatch_tests.dir/loss/optima_test.cc.o.d"
+  "/root/repo/tests/model/model_options_test.cc" "tests/CMakeFiles/unimatch_tests.dir/model/model_options_test.cc.o" "gcc" "tests/CMakeFiles/unimatch_tests.dir/model/model_options_test.cc.o.d"
+  "/root/repo/tests/model/two_tower_test.cc" "tests/CMakeFiles/unimatch_tests.dir/model/two_tower_test.cc.o" "gcc" "tests/CMakeFiles/unimatch_tests.dir/model/two_tower_test.cc.o.d"
+  "/root/repo/tests/nn/autograd_test.cc" "tests/CMakeFiles/unimatch_tests.dir/nn/autograd_test.cc.o" "gcc" "tests/CMakeFiles/unimatch_tests.dir/nn/autograd_test.cc.o.d"
+  "/root/repo/tests/nn/dropout_test.cc" "tests/CMakeFiles/unimatch_tests.dir/nn/dropout_test.cc.o" "gcc" "tests/CMakeFiles/unimatch_tests.dir/nn/dropout_test.cc.o.d"
+  "/root/repo/tests/nn/gradcheck_ops_test.cc" "tests/CMakeFiles/unimatch_tests.dir/nn/gradcheck_ops_test.cc.o" "gcc" "tests/CMakeFiles/unimatch_tests.dir/nn/gradcheck_ops_test.cc.o.d"
+  "/root/repo/tests/nn/gradcheck_seq_test.cc" "tests/CMakeFiles/unimatch_tests.dir/nn/gradcheck_seq_test.cc.o" "gcc" "tests/CMakeFiles/unimatch_tests.dir/nn/gradcheck_seq_test.cc.o.d"
+  "/root/repo/tests/nn/optimizer_test.cc" "tests/CMakeFiles/unimatch_tests.dir/nn/optimizer_test.cc.o" "gcc" "tests/CMakeFiles/unimatch_tests.dir/nn/optimizer_test.cc.o.d"
+  "/root/repo/tests/nn/serialize_test.cc" "tests/CMakeFiles/unimatch_tests.dir/nn/serialize_test.cc.o" "gcc" "tests/CMakeFiles/unimatch_tests.dir/nn/serialize_test.cc.o.d"
+  "/root/repo/tests/serving/serving_test.cc" "tests/CMakeFiles/unimatch_tests.dir/serving/serving_test.cc.o" "gcc" "tests/CMakeFiles/unimatch_tests.dir/serving/serving_test.cc.o.d"
+  "/root/repo/tests/tensor/tensor_ops_test.cc" "tests/CMakeFiles/unimatch_tests.dir/tensor/tensor_ops_test.cc.o" "gcc" "tests/CMakeFiles/unimatch_tests.dir/tensor/tensor_ops_test.cc.o.d"
+  "/root/repo/tests/tensor/tensor_test.cc" "tests/CMakeFiles/unimatch_tests.dir/tensor/tensor_test.cc.o" "gcc" "tests/CMakeFiles/unimatch_tests.dir/tensor/tensor_test.cc.o.d"
+  "/root/repo/tests/train/early_stopping_test.cc" "tests/CMakeFiles/unimatch_tests.dir/train/early_stopping_test.cc.o" "gcc" "tests/CMakeFiles/unimatch_tests.dir/train/early_stopping_test.cc.o.d"
+  "/root/repo/tests/train/incremental_test.cc" "tests/CMakeFiles/unimatch_tests.dir/train/incremental_test.cc.o" "gcc" "tests/CMakeFiles/unimatch_tests.dir/train/incremental_test.cc.o.d"
+  "/root/repo/tests/train/trainer_test.cc" "tests/CMakeFiles/unimatch_tests.dir/train/trainer_test.cc.o" "gcc" "tests/CMakeFiles/unimatch_tests.dir/train/trainer_test.cc.o.d"
+  "/root/repo/tests/util/flags_test.cc" "tests/CMakeFiles/unimatch_tests.dir/util/flags_test.cc.o" "gcc" "tests/CMakeFiles/unimatch_tests.dir/util/flags_test.cc.o.d"
+  "/root/repo/tests/util/random_test.cc" "tests/CMakeFiles/unimatch_tests.dir/util/random_test.cc.o" "gcc" "tests/CMakeFiles/unimatch_tests.dir/util/random_test.cc.o.d"
+  "/root/repo/tests/util/status_test.cc" "tests/CMakeFiles/unimatch_tests.dir/util/status_test.cc.o" "gcc" "tests/CMakeFiles/unimatch_tests.dir/util/status_test.cc.o.d"
+  "/root/repo/tests/util/string_util_test.cc" "tests/CMakeFiles/unimatch_tests.dir/util/string_util_test.cc.o" "gcc" "tests/CMakeFiles/unimatch_tests.dir/util/string_util_test.cc.o.d"
+  "/root/repo/tests/util/table_printer_test.cc" "tests/CMakeFiles/unimatch_tests.dir/util/table_printer_test.cc.o" "gcc" "tests/CMakeFiles/unimatch_tests.dir/util/table_printer_test.cc.o.d"
+  "/root/repo/tests/util/threadpool_test.cc" "tests/CMakeFiles/unimatch_tests.dir/util/threadpool_test.cc.o" "gcc" "tests/CMakeFiles/unimatch_tests.dir/util/threadpool_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/unimatch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
