@@ -12,6 +12,7 @@
 using namespace unimatch;
 
 int main(int argc, char** argv) {
+  unimatch::bench::MetricsDumper metrics_dumper("ablation_l2norm");
   const double scale = bench::ParseScale(argc, argv);
 
   TablePrinter table(

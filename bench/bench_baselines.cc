@@ -25,6 +25,7 @@
 using namespace unimatch;
 
 int main(int argc, char** argv) {
+  unimatch::bench::MetricsDumper metrics_dumper("baselines");
   const double scale = bench::ParseScale(argc, argv);
 
   TablePrinter table(

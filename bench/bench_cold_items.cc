@@ -54,6 +54,7 @@ Strata Stratify(const bench::Env& env, const eval::PerCaseMetrics& per_case,
 }  // namespace
 
 int main(int argc, char** argv) {
+  unimatch::bench::MetricsDumper metrics_dumper("cold_items");
   const double scale = bench::ParseScale(argc, argv);
   auto env = bench::MakeEnv("books", scale);  // item births are frequent here
   const auto first_month = ItemFirstMonth(env->log);

@@ -12,6 +12,7 @@
 using namespace unimatch;
 
 int main(int argc, char** argv) {
+  unimatch::bench::MetricsDumper metrics_dumper("cost_saving");
   const double scale = bench::ParseScale(argc, argv);
   auto env = bench::MakeEnv("books", scale);
 

@@ -14,6 +14,7 @@
 using namespace unimatch;
 
 int main(int argc, char** argv) {
+  unimatch::bench::MetricsDumper metrics_dumper("fig3_incremental");
   const double scale = bench::ParseScale(argc, argv);
   const int max_ahead = 4;
 

@@ -14,6 +14,7 @@
 using namespace unimatch;
 
 int main(int argc, char** argv) {
+  unimatch::bench::MetricsDumper metrics_dumper("incremental_vs_scratch");
   const double scale = bench::ParseScale(argc, argv);
 
   TablePrinter table(

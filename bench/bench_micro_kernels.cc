@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/common.h"
 #include "src/ann/hnsw.h"
 #include "src/ann/index.h"
 #include "src/loss/losses.h"
@@ -144,5 +145,10 @@ BENCHMARK(BM_IvfSearch)->Arg(10000)->Arg(100000);
 
 }  // namespace
 }  // namespace unimatch
+
+// google-benchmark owns main(); a file-scope dumper still fires at exit.
+namespace {
+unimatch::bench::MetricsDumper metrics_dumper("micro_kernels");
+}  // namespace
 
 BENCHMARK_MAIN();

@@ -21,6 +21,7 @@ using namespace unimatch;
 using loss::TabularStudy;
 
 int main() {
+  unimatch::bench::MetricsDumper metrics_dumper("table01_bce_optima");
   loss::TabularStudyConfig cfg;
   cfg.num_users = 8;
   cfg.num_items = 8;

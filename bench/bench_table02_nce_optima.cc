@@ -39,6 +39,7 @@ double CenteredError(Centering c, const Tensor& phi, const Tensor& target) {
 }  // namespace
 
 int main() {
+  unimatch::bench::MetricsDumper metrics_dumper("table02_nce_optima");
   loss::TabularStudyConfig cfg;
   cfg.num_users = 8;
   cfg.num_items = 8;

@@ -13,6 +13,7 @@
 using namespace unimatch;
 
 int main(int argc, char** argv) {
+  unimatch::bench::MetricsDumper metrics_dumper("table03_datasets");
   const double scale = bench::ParseScale(argc, argv);
 
   struct PaperRow {

@@ -30,6 +30,7 @@ std::string SeqToString(const std::vector<int64_t>& ids, int64_t row,
 }  // namespace
 
 int main(int argc, char** argv) {
+  unimatch::bench::MetricsDumper metrics_dumper("table04_05_samples");
   auto env = bench::MakeEnv("books", bench::ParseScale(argc, argv));
   const auto& splits = env->splits;
   const int max_len = splits.config.window.max_seq_len;

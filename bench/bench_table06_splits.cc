@@ -9,6 +9,7 @@
 using namespace unimatch;
 
 int main(int argc, char** argv) {
+  unimatch::bench::MetricsDumper metrics_dumper("table06_splits");
   const double scale = bench::ParseScale(argc, argv);
   TablePrinter table(
       "Table VI: statistics of the datasets after train/test splitting");

@@ -12,6 +12,7 @@
 using namespace unimatch;
 
 int main(int argc, char** argv) {
+  unimatch::bench::MetricsDumper metrics_dumper("table07_grid");
   const double scale = bench::ParseScale(argc, argv);
   TablePrinter table(
       "Table VII: grid-searched hyperparameters by validation NDCG");

@@ -12,6 +12,7 @@
 using namespace unimatch;
 
 int main(int argc, char** argv) {
+  unimatch::bench::MetricsDumper metrics_dumper("table08_bce_vs_bbcnce");
   const double scale = bench::ParseScale(argc, argv);
 
   struct RowSpec {

@@ -7,6 +7,7 @@
 #include "bench/common.h"
 
 int main(int argc, char** argv) {
+  unimatch::bench::MetricsDumper metrics_dumper("table09_losses_amazon");
   return unimatch::bench::RunLossComparisonTable(
       {"books", "electronics"},
       "Table IX: multinomial-scope losses on the Amazon-style datasets\n"

@@ -4,6 +4,7 @@
 #include "bench/common.h"
 
 int main(int argc, char** argv) {
+  unimatch::bench::MetricsDumper metrics_dumper("table10_losses_qa");
   return unimatch::bench::RunLossComparisonTable(
       {"e_comp", "w_comp"},
       "Table X: multinomial-scope losses on the QuickAudience-style "

@@ -14,6 +14,7 @@
 using namespace unimatch;
 
 int main(int argc, char** argv) {
+  unimatch::bench::MetricsDumper metrics_dumper("table11_popularity");
   const double scale = bench::ParseScale(argc, argv);
   const auto& losses = bench::MultinomialLosses();
 

@@ -16,6 +16,7 @@
 using namespace unimatch;
 
 int main(int argc, char** argv) {
+  unimatch::bench::MetricsDumper metrics_dumper("table12_model_agnostic");
   const double scale = bench::ParseScale(argc, argv);
   auto env = bench::MakeEnv("w_comp", scale);
 

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <iostream>
 
+#include "src/obs/obs.h"
 #include "src/util/logging.h"
 
 namespace unimatch::bench {
@@ -189,6 +190,29 @@ int RunLossComparisonTable(const std::vector<std::string>& datasets,
         rank_of(bbc, [](const eval::EvalResult& r) { return r.avg_ndcg(); }));
   }
   return 0;
+}
+
+MetricsDumper::MetricsDumper(std::string bench_name)
+    : bench_name_(std::move(bench_name)) {}
+
+std::string MetricsDumper::path() const {
+  std::string dir = ".";
+  if (const char* d = std::getenv("UNIMATCH_METRICS_DIR")) dir = d;
+  return dir + "/BENCH_" + bench_name_ + "_metrics.json";
+}
+
+MetricsDumper::~MetricsDumper() {
+#if !defined(UNIMATCH_METRICS_DISABLED)
+  if (!obs::MetricsEnabled()) return;
+  const std::string out = path();
+  const Status st = obs::WriteMetricsJsonFile(out);
+  if (st.ok()) {
+    std::fprintf(stderr, "[obs] metrics written to %s\n", out.c_str());
+  } else {
+    std::fprintf(stderr, "[obs] metrics dump failed: %s\n",
+                 st.ToString().c_str());
+  }
+#endif
 }
 
 double ParseScale(int argc, char** argv) {

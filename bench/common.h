@@ -90,6 +90,27 @@ inline std::string Pct(double v) { return FixedDigits(100.0 * v, 2); }
 /// environment variable; defaults to 1.
 double ParseScale(int argc, char** argv);
 
+/// Declared first thing in a bench's main(), dumps the observability
+/// registry (src/obs) to `BENCH_<name>_metrics.json` when the bench exits —
+/// next to the bench's other outputs, so successive runs leave a perf
+/// trajectory. The directory defaults to the working directory and can be
+/// overridden with UNIMATCH_METRICS_DIR; UNIMATCH_METRICS=0 (or building
+/// with UNIMATCH_METRICS=OFF) suppresses the dump entirely.
+class MetricsDumper {
+ public:
+  explicit MetricsDumper(std::string bench_name);
+  ~MetricsDumper();
+
+  MetricsDumper(const MetricsDumper&) = delete;
+  MetricsDumper& operator=(const MetricsDumper&) = delete;
+
+  /// The path the dump will be written to.
+  std::string path() const;
+
+ private:
+  std::string bench_name_;
+};
+
 }  // namespace unimatch::bench
 
 #endif  // UNIMATCH_BENCH_COMMON_H_

@@ -5,6 +5,7 @@
 #include <queue>
 #include <unordered_set>
 
+#include "src/obs/obs.h"
 #include "src/util/logging.h"
 
 namespace unimatch::ann {
@@ -24,6 +25,9 @@ Status HnswIndex::Build(const Tensor& vectors) {
   if (vectors.dim(0) == 0) {
     return Status::InvalidArgument("empty index");
   }
+  UM_SCOPED_TIMER("ann.hnsw.build.ms");
+  UM_COUNTER_INC("ann.hnsw.builds");
+  UM_GAUGE_SET("ann.hnsw.nodes", static_cast<double>(vectors.dim(0)));
   vectors_ = vectors.Clone();
   const int64_t n = vectors_.dim(0);
   Rng rng(config_.seed);
@@ -120,6 +124,8 @@ std::vector<std::pair<float, int64_t>> HnswIndex::SearchLayer(
       }
     }
   }
+  UM_COUNTER_ADD("ann.hnsw.nodes_visited",
+                 static_cast<int64_t>(visited.size()));
   std::vector<Entry> out;
   out.reserve(best.size());
   while (!best.empty()) {
@@ -160,6 +166,8 @@ void HnswIndex::Prune(int64_t node, int layer) {
 }
 
 std::vector<SearchResult> HnswIndex::Search(const float* query, int k) const {
+  UM_SCOPED_TIMER("ann.hnsw.search.ms");
+  UM_COUNTER_INC("ann.hnsw.searches");
   UM_CHECK_GT(k, 0);
   UM_CHECK_GE(entry_point_, 0);
   int64_t entry = entry_point_;

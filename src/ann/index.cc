@@ -6,6 +6,7 @@
 #include <queue>
 #include <unordered_set>
 
+#include "src/obs/obs.h"
 #include "src/util/logging.h"
 #include "src/util/random.h"
 
@@ -67,6 +68,8 @@ Status BruteForceIndex::Build(const Tensor& vectors) {
 
 std::vector<SearchResult> BruteForceIndex::Search(const float* query,
                                                   int k) const {
+  UM_SCOPED_TIMER("ann.brute.search.ms");
+  UM_COUNTER_INC("ann.brute.searches");
   UM_CHECK_GT(k, 0);
   const int64_t n = size(), d = dim();
   TopK top(k);
@@ -80,6 +83,8 @@ Status IvfIndex::Build(const Tensor& vectors) {
   if (vectors.rank() != 2) {
     return Status::InvalidArgument("index expects a [N, d] matrix");
   }
+  UM_SCOPED_TIMER("ann.ivf.build.ms");
+  UM_COUNTER_INC("ann.ivf.builds");
   vectors_ = vectors.Clone();
   const int64_t n = vectors_.dim(0), d = vectors_.dim(1);
   if (n == 0) return Status::InvalidArgument("empty index");
@@ -143,6 +148,8 @@ Status IvfIndex::Build(const Tensor& vectors) {
 }
 
 std::vector<SearchResult> IvfIndex::Search(const float* query, int k) const {
+  UM_SCOPED_TIMER("ann.ivf.search.ms");
+  UM_COUNTER_INC("ann.ivf.searches");
   UM_CHECK_GT(k, 0);
   UM_CHECK(!lists_.empty());
   const int64_t d = dim();

@@ -1,6 +1,7 @@
 #include "src/core/unimatch.h"
 
 #include "src/nn/serialize.h"
+#include "src/obs/obs.h"
 #include "src/util/logging.h"
 
 namespace unimatch::core {
@@ -57,6 +58,8 @@ Status UniMatchEngine::FitIncrementalMonth(const data::InteractionLog& log,
 }
 
 Status UniMatchEngine::RebuildIndexes() {
+  UM_SCOPED_TIMER("core.index.rebuild.ms");
+  UM_COUNTER_INC("core.index.rebuilds");
   item_embeddings_ = model_->InferItemEmbeddings();
   std::vector<std::vector<int64_t>> histories(splits_.histories.begin(),
                                               splits_.histories.end());
@@ -77,6 +80,8 @@ Result<std::vector<Scored>> UniMatchEngine::RecommendItems(data::UserId user,
   if (splits_.histories[user].empty()) {
     return Status::NotFound("user has no interaction history");
   }
+  UM_SCOPED_TIMER("core.recommend.ms");
+  UM_COUNTER_INC("core.recommend.calls");
   const int64_t d = model_->config().embedding_dim;
   const float* uvec = user_embeddings_.data() + user * d;
   std::vector<Scored> out;
@@ -111,6 +116,8 @@ Result<std::vector<Scored>> UniMatchEngine::TargetUsers(data::ItemId item,
   if (item < 0 || item >= model_->config().num_items) {
     return Status::NotFound("unknown item id");
   }
+  UM_SCOPED_TIMER("core.target.ms");
+  UM_COUNTER_INC("core.target.calls");
   const int64_t d = model_->config().embedding_dim;
   const float* ivec = item_embeddings_.data() + item * d;
   std::vector<Scored> out;

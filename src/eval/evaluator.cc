@@ -3,7 +3,9 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "src/obs/obs.h"
 #include "src/util/logging.h"
+#include "src/util/timer.h"
 
 namespace unimatch::eval {
 
@@ -14,6 +16,9 @@ Evaluator::Evaluator(const data::DatasetSplits* splits,
 EvalResult Evaluator::Evaluate(const model::TwoTowerModel& model,
                                RetrievedLists* retrieved,
                                PerCaseMetrics* per_case) const {
+  UM_TRACE_SPAN("eval.evaluate");
+  UM_SCOPED_TIMER("eval.evaluate.ms");
+  UM_COUNTER_INC("eval.evaluations");
   const int64_t d = model.config().embedding_dim;
   const int top_n = protocol_->config().top_n;
 
@@ -34,8 +39,10 @@ EvalResult Evaluator::Evaluate(const model::TwoTowerModel& model,
     user_slot[user_list[k]] = static_cast<int64_t>(k);
     histories.push_back(splits_->histories[user_list[k]]);
   }
+  WallTimer embed_timer;
   const Tensor user_emb = model.InferUserEmbeddings(histories);
   const Tensor item_emb = model.InferItemEmbeddings();
+  UM_HISTOGRAM_OBSERVE("eval.embed.ms", embed_timer.ElapsedMillis());
 
   auto dot = [&](const float* a, const float* b) {
     float acc = 0.0f;
@@ -105,12 +112,16 @@ EvalResult Evaluator::Evaluate(const model::TwoTowerModel& model,
     }
   }
   out.ut = {ut_acc.recall(), ut_acc.ndcg(), ut_acc.count};
+  UM_COUNTER_ADD("eval.ir.cases", ir_acc.count);
+  UM_COUNTER_ADD("eval.ut.cases", ut_acc.count);
   return out;
 }
 
 EvalResult Evaluator::EvaluateScorer(
     const std::function<double(data::UserId, data::ItemId)>& score,
     RetrievedLists* retrieved) const {
+  UM_SCOPED_TIMER("eval.scorer.ms");
+  UM_COUNTER_INC("eval.scorer.evaluations");
   const int top_n = protocol_->config().top_n;
   EvalResult out;
   if (retrieved != nullptr) {

@@ -1,0 +1,60 @@
+// Snapshot + serialization for the metrics registry: a point-in-time value
+// capture, a JSON writer/parser pair (so bench metrics files round-trip into
+// tooling), and a plain-text dump for eyeballing.
+
+#ifndef UNIMATCH_OBS_EXPORT_H_
+#define UNIMATCH_OBS_EXPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace unimatch::obs {
+
+class MetricRegistry;
+
+struct HistogramSnapshot {
+  int64_t count = 0;
+  double sum = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  std::vector<double> bounds;
+  std::vector<int64_t> bucket_counts;  // bounds.size() + 1 (overflow last)
+
+  bool operator==(const HistogramSnapshot&) const = default;
+};
+
+/// Point-in-time capture of every registered metric.
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+  /// name -> unit, for every metric registered with a non-empty unit.
+  std::map<std::string, std::string> units;
+
+  bool operator==(const MetricsSnapshot&) const = default;
+};
+
+/// Captures the current values of `registry`.
+MetricsSnapshot TakeSnapshot(const MetricRegistry& registry);
+
+/// Writes the snapshot as JSON (schema "unimatch.metrics.v1", see
+/// docs/OBSERVABILITY.md). Doubles are printed with max_digits10 precision
+/// so ParseSnapshotJson recovers them exactly.
+void WriteSnapshotJson(const MetricsSnapshot& snapshot, std::ostream& os);
+
+/// Parses a JSON document produced by WriteSnapshotJson.
+Result<MetricsSnapshot> ParseSnapshotJson(const std::string& json);
+
+/// Dumps the global registry as JSON to `path` (atomically enough for bench
+/// use: write then close). Returns IOError on failure.
+Status WriteMetricsJsonFile(const std::string& path);
+
+}  // namespace unimatch::obs
+
+#endif  // UNIMATCH_OBS_EXPORT_H_

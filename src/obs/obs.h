@@ -1,0 +1,93 @@
+// Instrumentation entry point. Include this (only this) from instrumented
+// code and use the UM_* macros below; they compile to nothing when the
+// library is built with -DUNIMATCH_METRICS_DISABLED (CMake:
+// -DUNIMATCH_METRICS=OFF), and check the runtime toggle otherwise.
+//
+// Each macro resolves its metric once per call site (function-local static
+// pointer) so the steady-state cost is one branch + one relaxed atomic op.
+// Metric names: see docs/OBSERVABILITY.md for the full reference and the
+// naming convention (`<module>.<subject>.<aspect>`, unit suffix for timers).
+
+#ifndef UNIMATCH_OBS_OBS_H_
+#define UNIMATCH_OBS_OBS_H_
+
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+#define UM_OBS_CONCAT_INNER(a, b) a##b
+#define UM_OBS_CONCAT(a, b) UM_OBS_CONCAT_INNER(a, b)
+
+#if defined(UNIMATCH_METRICS_DISABLED)
+
+#define UM_COUNTER_ADD(name, delta) \
+  do {                              \
+  } while (0)
+#define UM_COUNTER_INC(name) \
+  do {                       \
+  } while (0)
+#define UM_GAUGE_SET(name, value) \
+  do {                            \
+  } while (0)
+#define UM_HISTOGRAM_OBSERVE(name, value) \
+  do {                                    \
+  } while (0)
+#define UM_SCOPED_TIMER(name) \
+  do {                        \
+  } while (0)
+#define UM_TRACE_SPAN(name) \
+  do {                      \
+  } while (0)
+
+#else  // metrics compiled in
+
+/// Adds `delta` to the counter `name`.
+#define UM_COUNTER_ADD(name, delta)                                  \
+  do {                                                               \
+    static ::unimatch::obs::Counter* um_obs_counter =                \
+        ::unimatch::obs::MetricRegistry::Global()->GetCounter(name); \
+    if (::unimatch::obs::MetricsEnabled()) {                         \
+      um_obs_counter->Add(delta);                                    \
+    }                                                                \
+  } while (0)
+
+#define UM_COUNTER_INC(name) UM_COUNTER_ADD(name, 1)
+
+/// Sets the gauge `name` to `value` (stored as double).
+#define UM_GAUGE_SET(name, value)                                  \
+  do {                                                             \
+    static ::unimatch::obs::Gauge* um_obs_gauge =                  \
+        ::unimatch::obs::MetricRegistry::Global()->GetGauge(name); \
+    if (::unimatch::obs::MetricsEnabled()) {                       \
+      um_obs_gauge->Set(value);                                    \
+    }                                                              \
+  } while (0)
+
+/// Observes `value` into the histogram `name` (default latency buckets, ms).
+#define UM_HISTOGRAM_OBSERVE(name, value)                                  \
+  do {                                                                     \
+    static ::unimatch::obs::Histogram* um_obs_hist =                       \
+        ::unimatch::obs::MetricRegistry::Global()->GetHistogram(name,      \
+                                                                "ms");     \
+    if (::unimatch::obs::MetricsEnabled()) {                               \
+      um_obs_hist->Observe(value);                                         \
+    }                                                                      \
+  } while (0)
+
+/// Times the enclosing scope into the latency histogram `name` (ms).
+#define UM_SCOPED_TIMER(name)                                            \
+  static ::unimatch::obs::Histogram* UM_OBS_CONCAT(um_obs_timer_hist_,   \
+                                                   __LINE__) =           \
+      ::unimatch::obs::MetricRegistry::Global()->GetHistogram((name),    \
+                                                              "ms");     \
+  ::unimatch::obs::ScopedTimer UM_OBS_CONCAT(um_obs_timer_, __LINE__)(   \
+      UM_OBS_CONCAT(um_obs_timer_hist_, __LINE__))
+
+/// Opens a nested trace span for the enclosing scope; records
+/// "span.<path>" (ms) on exit. `name` must be a string literal.
+#define UM_TRACE_SPAN(name) \
+  ::unimatch::obs::TraceSpan UM_OBS_CONCAT(um_obs_span_, __LINE__)((name))
+
+#endif  // UNIMATCH_METRICS_DISABLED
+
+#endif  // UNIMATCH_OBS_OBS_H_

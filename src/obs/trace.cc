@@ -1,0 +1,104 @@
+#include "src/obs/trace.h"
+
+#include <mutex>
+#include <thread>
+
+namespace unimatch::obs {
+
+namespace {
+
+thread_local std::vector<const char*> tls_span_stack;
+
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+struct TraceBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;  // ring when full
+  size_t capacity = 0;
+  size_t next = 0;  // ring write cursor once events.size() == capacity
+
+  void Append(TraceEvent event) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (capacity == 0) return;
+    if (events.size() < capacity) {
+      events.push_back(std::move(event));
+    } else {
+      events[next] = std::move(event);
+      next = (next + 1) % capacity;
+    }
+  }
+};
+
+TraceBuffer& Buffer() {
+  static TraceBuffer* buffer = new TraceBuffer();
+  return *buffer;
+}
+
+uint64_t ThisThreadId() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
+}  // namespace
+
+void EnableTraceEvents(size_t capacity) {
+  TraceBuffer& buf = Buffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.capacity = capacity;
+  buf.events.clear();
+  buf.next = 0;
+  TraceEpoch();  // pin the epoch no later than enablement
+}
+
+std::vector<TraceEvent> DrainTraceEvents() {
+  TraceBuffer& buf = Buffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  // Unroll the ring so callers see oldest-first.
+  std::vector<TraceEvent> out;
+  out.reserve(buf.events.size());
+  const size_t n = buf.events.size();
+  const size_t start = n == buf.capacity ? buf.next : 0;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(std::move(buf.events[(start + i) % n]));
+  }
+  buf.events.clear();
+  buf.next = 0;
+  return out;
+}
+
+TraceSpan::TraceSpan(const char* name) : start_(Clock::now()) {
+  tls_span_stack.push_back(name);
+}
+
+TraceSpan::~TraceSpan() {
+  const std::string path = CurrentPath();
+  tls_span_stack.pop_back();
+  if (!MetricsEnabled()) return;
+  const double duration_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start_).count();
+  MetricRegistry::Global()
+      ->GetHistogram("span." + path, "ms")
+      ->Observe(duration_ms);
+  TraceEvent event;
+  event.path = path;
+  event.start_ms =
+      std::chrono::duration<double, std::milli>(start_ - TraceEpoch()).count();
+  event.duration_ms = duration_ms;
+  event.thread_id = ThisThreadId();
+  Buffer().Append(std::move(event));
+}
+
+std::string TraceSpan::CurrentPath() {
+  std::string path;
+  for (const char* name : tls_span_stack) {
+    if (!path.empty()) path += '/';
+    path += name;
+  }
+  return path;
+}
+
+int TraceSpan::Depth() { return static_cast<int>(tls_span_stack.size()); }
+
+}  // namespace unimatch::obs

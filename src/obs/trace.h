@@ -1,0 +1,89 @@
+// RAII wall-clock instrumentation: ScopedTimer feeds a latency histogram;
+// TraceSpan additionally maintains a thread-local span stack so nested
+// phases produce hierarchical "span.<outer>/<inner>" metrics, and can feed a
+// bounded in-memory trace-event buffer for offline profiling.
+
+#ifndef UNIMATCH_OBS_TRACE_H_
+#define UNIMATCH_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace unimatch::obs {
+
+/// Records its lifetime, in milliseconds, into a histogram on destruction.
+/// Prefer the UM_SCOPED_TIMER macro, which caches the histogram lookup.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram)
+      : histogram_(histogram), start_(Clock::now()) {}
+  /// Convenience: resolves (or registers) the histogram by name, unit "ms".
+  explicit ScopedTimer(const char* name)
+      : ScopedTimer(MetricRegistry::Global()->GetHistogram(name, "ms")) {}
+  ~ScopedTimer() {
+    if (MetricsEnabled() && histogram_ != nullptr) {
+      histogram_->Observe(ElapsedMs());
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Histogram* histogram_;
+  Clock::time_point start_;
+};
+
+/// One completed span, as captured by the trace-event buffer.
+struct TraceEvent {
+  std::string path;      // "outer/inner" slash-joined span names
+  double start_ms = 0;   // offset from process trace epoch
+  double duration_ms = 0;
+  uint64_t thread_id = 0;
+};
+
+/// Opt-in collection of completed spans into a bounded ring buffer
+/// (capacity 0 — the default — disables collection; spans still feed their
+/// histograms). Not compiled out by UNIMATCH_METRICS=OFF by itself; callers
+/// go through the UM_TRACE_SPAN macro, which is.
+void EnableTraceEvents(size_t capacity);
+/// Returns and clears the buffered events (oldest first; under contention
+/// the ring keeps the most recent `capacity` spans).
+std::vector<TraceEvent> DrainTraceEvents();
+
+/// Nested phase marker. On destruction records its duration into the
+/// histogram "span.<full/path>" where the path joins every live TraceSpan
+/// on this thread, and appends a TraceEvent when the buffer is enabled.
+/// `name` must outlive the span (string literals in practice).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Slash-joined names of the live spans on the calling thread
+  /// ("" when none).
+  static std::string CurrentPath();
+  /// Number of live spans on the calling thread.
+  static int Depth();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace unimatch::obs
+
+#endif  // UNIMATCH_OBS_TRACE_H_

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <unordered_map>
 
+#include "src/obs/obs.h"
+
 namespace unimatch::serving {
 
 Result<std::vector<AudienceEntry>> BuildAudience(
@@ -14,6 +16,10 @@ Result<std::vector<AudienceEntry>> BuildAudience(
   if (request.audience_size <= 0) {
     return Status::InvalidArgument("audience_size must be positive");
   }
+  UM_SCOPED_TIMER("serving.audience.build.ms");
+  UM_COUNTER_INC("serving.audience.requests");
+  UM_COUNTER_ADD("serving.audience.item_lookups",
+                 static_cast<int64_t>(request.items.size()));
   std::vector<AudienceEntry> all;
   for (data::ItemId item : request.items) {
     // Over-fetch when exclusive so dedup can still fill each audience.
@@ -28,6 +34,8 @@ Result<std::vector<AudienceEntry>> BuildAudience(
   }
   if (!request.exclusive) {
     // Trim each item to size (they were fetched exactly sized).
+    UM_COUNTER_ADD("serving.audience.entries",
+                   static_cast<int64_t>(all.size()));
     return all;
   }
   // Exclusive assignment: order all candidate pairs by score and greedily
@@ -46,6 +54,7 @@ Result<std::vector<AudienceEntry>> BuildAudience(
     ++filled[e.item];
     out.push_back(e);
   }
+  UM_COUNTER_ADD("serving.audience.entries", static_cast<int64_t>(out.size()));
   return out;
 }
 
@@ -80,10 +89,17 @@ Result<std::vector<NewsletterEntry>> BuildNewsletter(
   if (request.items_per_user <= 0) {
     return Status::InvalidArgument("items_per_user must be positive");
   }
+  UM_SCOPED_TIMER("serving.newsletter.build.ms");
+  UM_COUNTER_INC("serving.newsletter.requests");
+  UM_COUNTER_ADD("serving.newsletter.user_lookups",
+                 static_cast<int64_t>(request.users.size()));
   std::vector<NewsletterEntry> out;
   for (data::UserId user : request.users) {
     auto items = engine.RecommendItems(user, request.items_per_user);
-    if (!items.ok()) continue;  // no history / unknown -> skip recipient
+    if (!items.ok()) {
+      UM_COUNTER_INC("serving.newsletter.skipped_users");
+      continue;  // no history / unknown -> skip recipient
+    }
     out.push_back({user, std::move(items).value()});
   }
   return out;

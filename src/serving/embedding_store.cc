@@ -5,6 +5,8 @@
 #include <cstring>
 #include <memory>
 
+#include "src/obs/obs.h"
+
 namespace unimatch::serving {
 
 namespace {
@@ -46,6 +48,9 @@ Result<Tensor> ReadMatrix(std::FILE* f) {
 
 Status SaveEmbeddings(const EmbeddingBundle& bundle,
                       const std::string& path) {
+  UM_SCOPED_TIMER("serving.store.save.ms");
+  UM_COUNTER_INC("serving.store.saves");
+  UM_GAUGE_SET("serving.store.version", static_cast<double>(bundle.version));
   FilePtr f(std::fopen(path.c_str(), "wb"));
   if (!f) return Status::IOError("cannot open for write: " + path);
   if (std::fwrite(kMagic, 4, 1, f.get()) != 1 ||
@@ -59,6 +64,8 @@ Status SaveEmbeddings(const EmbeddingBundle& bundle,
 }
 
 Result<EmbeddingBundle> LoadEmbeddings(const std::string& path) {
+  UM_SCOPED_TIMER("serving.store.load.ms");
+  UM_COUNTER_INC("serving.store.loads");
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (!f) return Status::IOError("cannot open for read: " + path);
   char magic[4];
@@ -95,7 +102,10 @@ Result<double> EmbeddingChurn(const Tensor& before, const Tensor& after) {
     }
     total += std::sqrt(sq);
   }
-  return total / static_cast<double>(n);
+  const double churn = total / static_cast<double>(n);
+  UM_COUNTER_INC("serving.store.churn_checks");
+  UM_GAUGE_SET("serving.store.churn.last", churn);
+  return churn;
 }
 
 }  // namespace unimatch::serving

@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/obs.h"
 #include "src/util/threadpool.h"
 
 namespace unimatch {
 
 void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
           float alpha, const float* a, const float* b, float beta, float* c) {
+  UM_COUNTER_INC("tensor.gemm.calls");
+  UM_COUNTER_ADD("tensor.gemm.flops", 2 * m * n * k);
   // Handle the transposed-A cases by explicit indexing here (they are rare:
   // only used in backward passes), and dispatch the two common layouts to the
   // threaded row kernel.
@@ -85,6 +88,7 @@ void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
+  UM_COUNTER_INC("tensor.matmul.calls");
   UM_CHECK_EQ(a.rank(), 2);
   UM_CHECK_EQ(b.rank(), 2);
   const int64_t m = trans_a ? a.dim(1) : a.dim(0);
@@ -99,6 +103,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
 
 Tensor BatchMatMul(const Tensor& a, const Tensor& b, bool trans_a,
                    bool trans_b) {
+  UM_COUNTER_INC("tensor.batch_matmul.calls");
   UM_CHECK_EQ(a.rank(), 3);
   UM_CHECK_EQ(b.rank(), 3);
   UM_CHECK_EQ(a.dim(0), b.dim(0));

@@ -1,5 +1,6 @@
 #include "src/train/incremental_study.h"
 
+#include "src/obs/obs.h"
 #include "src/util/logging.h"
 
 namespace unimatch::train {
@@ -16,6 +17,9 @@ std::vector<IncrementalPoint> RunIncrementalStudy(
   std::vector<IncrementalPoint> points;
   int32_t trained_through = -1;
   for (int ahead = max_ahead; ahead >= 1; --ahead) {
+    UM_TRACE_SPAN("train.incremental.point");
+    UM_SCOPED_TIMER("train.incremental.point.ms");
+    UM_GAUGE_SET("train.incremental.months_ahead", ahead);
     const int32_t horizon = test_month - ahead;  // last month fed
     Status st = trainer.TrainMonths(trained_through + 1, horizon);
     UM_CHECK(st.ok()) << st.ToString();

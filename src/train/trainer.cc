@@ -4,6 +4,7 @@
 
 #include "src/data/batcher.h"
 #include "src/nn/serialize.h"
+#include "src/obs/obs.h"
 #include "src/util/logging.h"
 
 namespace unimatch::train {
@@ -56,6 +57,10 @@ Status Trainer::TrainMonths(int32_t first_month, int32_t last_month) {
 Status Trainer::TrainMonth(int32_t month) {
   const auto indices = splits_->train.IndicesOfMonth(month);
   if (indices.empty()) return Status::OK();
+  UM_TRACE_SPAN("train.month");
+  UM_SCOPED_TIMER("train.month.ms");
+  UM_COUNTER_INC("train.months");
+  UM_GAUGE_SET("train.month.last", month);
   UNIMATCH_RETURN_IF_ERROR(TrainIndices(indices, config_.epochs_per_month));
   if (config_.lr_decay_per_month != 1.0f) {
     optimizer_->SetLearningRate(optimizer_->learning_rate() *
@@ -110,8 +115,12 @@ Status Trainer::TrainWithEarlyStopping(
 }
 
 Status Trainer::RunEpoch(const std::vector<int64_t>& indices) {
+  UM_TRACE_SPAN("train.epoch");
+  UM_SCOPED_TIMER("train.epoch.ms");
+  UM_COUNTER_INC("train.epochs");
   const int max_len = splits_->config.window.max_seq_len;
   const bool multinomial = loss::IsMultinomialLoss(config_.loss);
+  const int64_t records_before = records_processed_;
   double loss_sum = 0.0;
   int64_t loss_count = 0;
 
@@ -121,6 +130,7 @@ Status Trainer::RunEpoch(const std::vector<int64_t>& indices) {
     data::Batch batch;
     if (config_.loss == loss::LossKind::kSsm) EnsureSsmSampler();
     while (it.Next(&batch)) {
+      UM_SCOPED_TIMER("train.step.ms");
       nn::Variable users =
           model_->EncodeUsers(batch.history_ids, batch.lengths, &rng_);
       nn::Variable items = model_->EncodeItems(batch.targets);
@@ -173,6 +183,7 @@ Status Trainer::RunEpoch(const std::vector<int64_t>& indices) {
       const size_t end =
           std::min(shuffled.size(), begin + config_.batch_size);
       if (end - begin < 2) break;
+      UM_SCOPED_TIMER("train.step.ms");
       std::vector<int64_t> idx(shuffled.begin() + begin,
                                shuffled.begin() + end);
       Tensor labels;
@@ -197,6 +208,9 @@ Status Trainer::RunEpoch(const std::vector<int64_t>& indices) {
     }
   }
   last_epoch_loss_ = loss_count > 0 ? loss_sum / loss_count : 0.0;
+  UM_COUNTER_ADD("train.steps", loss_count);
+  UM_COUNTER_ADD("train.records", records_processed_ - records_before);
+  UM_GAUGE_SET("train.epoch.loss", last_epoch_loss_);
   return Status::OK();
 }
 

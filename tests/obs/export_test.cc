@@ -1,0 +1,99 @@
+#include "src/obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/obs/metrics.h"
+
+namespace unimatch::obs {
+namespace {
+
+MetricRegistry& PopulatedRegistry() {
+  static MetricRegistry* reg = [] {
+    auto* r = new MetricRegistry();
+    r->GetCounter("tensor.gemm.calls", "calls", "GEMM invocations")->Add(42);
+    r->GetCounter("train.steps")->Add(7);
+    r->GetGauge("train.epoch.loss", "nats")->Set(0.693147180559945);
+    Histogram* h = r->GetHistogram("eval.evaluate.ms", "ms");
+    h->Observe(0.2);
+    h->Observe(3.7);
+    h->Observe(120.0);
+    return r;
+  }();
+  return *reg;
+}
+
+TEST(ExportTest, SnapshotCapturesValues) {
+  const MetricsSnapshot snap = TakeSnapshot(PopulatedRegistry());
+  EXPECT_EQ(snap.counters.at("tensor.gemm.calls"), 42);
+  EXPECT_EQ(snap.counters.at("train.steps"), 7);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("train.epoch.loss"), 0.693147180559945);
+  const HistogramSnapshot& h = snap.histograms.at("eval.evaluate.ms");
+  EXPECT_EQ(h.count, 3);
+  EXPECT_DOUBLE_EQ(h.sum, 0.2 + 3.7 + 120.0);
+  EXPECT_EQ(h.bucket_counts.size(), h.bounds.size() + 1);
+  EXPECT_EQ(snap.units.at("tensor.gemm.calls"), "calls");
+  EXPECT_EQ(snap.units.at("eval.evaluate.ms"), "ms");
+  EXPECT_EQ(snap.units.count("train.steps"), 0u);  // no unit registered
+}
+
+TEST(ExportTest, JsonRoundTripIsExact) {
+  const MetricsSnapshot snap = TakeSnapshot(PopulatedRegistry());
+  std::ostringstream os;
+  WriteSnapshotJson(snap, os);
+  const Result<MetricsSnapshot> parsed = ParseSnapshotJson(os.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value(), snap);
+}
+
+TEST(ExportTest, EmptySnapshotRoundTrips) {
+  const MetricsSnapshot empty;
+  std::ostringstream os;
+  WriteSnapshotJson(empty, os);
+  const Result<MetricsSnapshot> parsed = ParseSnapshotJson(os.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value(), empty);
+}
+
+TEST(ExportTest, EscapedNamesRoundTrip) {
+  MetricsSnapshot snap;
+  snap.counters["weird\"name\\with\nescapes"] = 9;
+  snap.units["weird\"name\\with\nescapes"] = "\tcalls";
+  std::ostringstream os;
+  WriteSnapshotJson(snap, os);
+  const Result<MetricsSnapshot> parsed = ParseSnapshotJson(os.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value(), snap);
+}
+
+TEST(ExportTest, ParseRejectsMalformedJson) {
+  EXPECT_FALSE(ParseSnapshotJson("").ok());
+  EXPECT_FALSE(ParseSnapshotJson("{\"counters\": {").ok());
+  EXPECT_FALSE(ParseSnapshotJson("{\"schema\": \"other.v9\"}").ok());
+  EXPECT_FALSE(ParseSnapshotJson("{\"counters\": {\"a\": }}").ok());
+}
+
+TEST(ExportTest, WriteMetricsJsonFileProducesParsableFile) {
+  const std::string path = ::testing::TempDir() + "obs_export_test.json";
+  // Ensure the global registry has at least one metric.
+  MetricRegistry::Global()->GetCounter("exporttest.calls")->Add(1);
+  ASSERT_TRUE(WriteMetricsJsonFile(path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const Result<MetricsSnapshot> parsed = ParseSnapshotJson(buf.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_GE(parsed.value().counters.at("exporttest.calls"), 1);
+  std::remove(path.c_str());
+}
+
+TEST(ExportTest, WriteMetricsJsonFileFailsOnBadPath) {
+  EXPECT_FALSE(WriteMetricsJsonFile("/nonexistent-dir/x/y.json").ok());
+}
+
+}  // namespace
+}  // namespace unimatch::obs

@@ -1,0 +1,110 @@
+#include "src/obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/obs/metrics.h"
+
+namespace unimatch::obs {
+namespace {
+
+TEST(TraceSpanTest, PathNestsAndUnwinds) {
+  EXPECT_EQ(TraceSpan::Depth(), 0);
+  EXPECT_EQ(TraceSpan::CurrentPath(), "");
+  {
+    TraceSpan outer("outer");
+    EXPECT_EQ(TraceSpan::Depth(), 1);
+    EXPECT_EQ(TraceSpan::CurrentPath(), "outer");
+    {
+      TraceSpan inner("inner");
+      EXPECT_EQ(TraceSpan::Depth(), 2);
+      EXPECT_EQ(TraceSpan::CurrentPath(), "outer/inner");
+    }
+    EXPECT_EQ(TraceSpan::CurrentPath(), "outer");
+  }
+  EXPECT_EQ(TraceSpan::Depth(), 0);
+}
+
+TEST(TraceSpanTest, SpanStackIsThreadLocal) {
+  TraceSpan outer("tracetest.main");
+  std::string other_thread_path = "unset";
+  std::thread t([&] { other_thread_path = TraceSpan::CurrentPath(); });
+  t.join();
+  EXPECT_EQ(other_thread_path, "");
+  EXPECT_EQ(TraceSpan::CurrentPath(), "tracetest.main");
+}
+
+TEST(TraceSpanTest, RecordsHistogramUnderSpanPath) {
+  { TraceSpan span("tracetest.recorded"); }
+  const Histogram* h =
+      MetricRegistry::Global()->FindHistogram("span.tracetest.recorded");
+  ASSERT_NE(h, nullptr);
+  EXPECT_GE(h->count(), 1);
+}
+
+TEST(TraceSpanTest, RuntimeDisableSkipsRecording) {
+  EnableMetrics(false);
+  { TraceSpan span("tracetest.disabled"); }
+  EnableMetrics(true);
+  EXPECT_EQ(MetricRegistry::Global()->FindHistogram("span.tracetest.disabled"),
+            nullptr);
+}
+
+TEST(TraceEventsTest, BufferCollectsAndDrains) {
+  EnableTraceEvents(16);
+  {
+    TraceSpan outer("tracetest.ev_outer");
+    TraceSpan inner("tracetest.ev_inner");
+  }
+  const auto events = DrainTraceEvents();
+  EnableTraceEvents(0);
+  ASSERT_EQ(events.size(), 2u);
+  // Inner span closes first.
+  EXPECT_EQ(events[0].path, "tracetest.ev_outer/tracetest.ev_inner");
+  EXPECT_EQ(events[1].path, "tracetest.ev_outer");
+  EXPECT_GE(events[0].duration_ms, 0.0);
+  EXPECT_GE(events[0].start_ms, 0.0);
+  EXPECT_EQ(events[0].thread_id, events[1].thread_id);
+  // Drained: buffer is empty now.
+  EXPECT_TRUE(DrainTraceEvents().empty());
+}
+
+TEST(TraceEventsTest, RingKeepsMostRecent) {
+  EnableTraceEvents(3);
+  for (int i = 0; i < 5; ++i) {
+    TraceSpan span("tracetest.ring");
+  }
+  const auto events = DrainTraceEvents();
+  EnableTraceEvents(0);
+  ASSERT_EQ(events.size(), 3u);
+  // Oldest-first ordering within the kept window.
+  EXPECT_LE(events[0].start_ms, events[1].start_ms);
+  EXPECT_LE(events[1].start_ms, events[2].start_ms);
+}
+
+TEST(TraceEventsTest, DisabledBufferCollectsNothing) {
+  EnableTraceEvents(0);
+  { TraceSpan span("tracetest.nobuf"); }
+  EXPECT_TRUE(DrainTraceEvents().empty());
+}
+
+TEST(ScopedTimerTest, ObservesOnDestruction) {
+  Histogram h({1e9});  // one giant bucket: everything lands in it
+  {
+    ScopedTimer timer(&h);
+    EXPECT_GE(timer.ElapsedMs(), 0.0);
+  }
+  EXPECT_EQ(h.count(), 1);
+}
+
+TEST(ScopedTimerTest, RuntimeDisableSkipsObservation) {
+  Histogram h({1e9});
+  EnableMetrics(false);
+  { ScopedTimer timer(&h); }
+  EnableMetrics(true);
+  EXPECT_EQ(h.count(), 0);
+}
+
+}  // namespace
+}  // namespace unimatch::obs

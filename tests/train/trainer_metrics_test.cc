@@ -1,0 +1,138 @@
+// Smoke test: one trained epoch must leave the documented observability
+// footprint (docs/OBSERVABILITY.md) in the global metric registry.
+
+#include <gtest/gtest.h>
+
+#include "src/data/synthetic.h"
+#include "src/obs/obs.h"
+#include "src/train/trainer.h"
+
+namespace unimatch::train {
+namespace {
+
+#if !defined(UNIMATCH_METRICS_DISABLED)
+
+int64_t CounterValue(const std::string& name) {
+  const obs::Counter* c = obs::MetricRegistry::Global()->FindCounter(name);
+  return c == nullptr ? 0 : c->value();
+}
+
+int64_t HistogramCount(const std::string& name) {
+  const obs::Histogram* h =
+      obs::MetricRegistry::Global()->FindHistogram(name);
+  return h == nullptr ? 0 : h->count();
+}
+
+TEST(TrainerMetricsTest, OneEpochEmitsExpectedMetrics) {
+  data::SyntheticConfig cfg;
+  cfg.num_users = 400;
+  cfg.num_items = 80;
+  cfg.num_months = 5;
+  cfg.target_interactions = 5000;
+  cfg.seed = 7;
+  const data::InteractionLog log = data::GenerateSynthetic(cfg);
+  const data::DatasetSplits splits = data::MakeSplits(log, data::SplitConfig{});
+
+  model::TwoTowerConfig mc;
+  mc.num_items = cfg.num_items;
+  mc.embedding_dim = 8;
+  model::TwoTowerModel model(mc);
+  TrainConfig tc;
+  tc.epochs_per_month = 1;
+  tc.batch_size = 64;
+  Trainer trainer(&model, &splits, tc);
+
+  const int64_t steps_before = CounterValue("train.steps");
+  const int64_t epochs_before = CounterValue("train.epochs");
+  const int64_t gemm_before = CounterValue("tensor.gemm.calls");
+  const int64_t flops_before = CounterValue("tensor.gemm.flops");
+  const int64_t step_timings_before = HistogramCount("train.step.ms");
+  const int64_t epoch_timings_before = HistogramCount("train.epoch.ms");
+
+  ASSERT_TRUE(trainer.TrainIndices(splits.train.AllIndices(), 1).ok());
+
+  EXPECT_EQ(CounterValue("train.epochs"), epochs_before + 1);
+  EXPECT_EQ(CounterValue("train.steps"), steps_before + trainer.total_steps());
+  EXPECT_GT(CounterValue("tensor.gemm.calls"), gemm_before);
+  EXPECT_GT(CounterValue("tensor.gemm.flops"), flops_before);
+  EXPECT_EQ(HistogramCount("train.step.ms"),
+            step_timings_before + trainer.total_steps());
+  EXPECT_EQ(HistogramCount("train.epoch.ms"), epoch_timings_before + 1);
+
+  // The loss gauge mirrors the trainer's own accounting.
+  const obs::Gauge* loss =
+      obs::MetricRegistry::Global()->FindGauge("train.epoch.loss");
+  ASSERT_NE(loss, nullptr);
+  EXPECT_DOUBLE_EQ(loss->value(), trainer.last_epoch_loss());
+
+  // Every name this test saw must be documented in docs/OBSERVABILITY.md;
+  // the names below are the contract (update the doc if they change).
+  for (const char* name :
+       {"train.steps", "train.epochs", "train.records", "tensor.gemm.calls",
+        "tensor.gemm.flops"}) {
+    EXPECT_NE(obs::MetricRegistry::Global()->FindCounter(name), nullptr)
+        << name;
+  }
+  for (const char* name : {"train.step.ms", "train.epoch.ms",
+                           "span.train.epoch"}) {
+    EXPECT_NE(obs::MetricRegistry::Global()->FindHistogram(name), nullptr)
+        << name;
+  }
+}
+
+TEST(TrainerMetricsTest, MonthScheduleEmitsMonthMetrics) {
+  data::SyntheticConfig cfg;
+  cfg.num_users = 300;
+  cfg.num_items = 60;
+  cfg.num_months = 4;
+  cfg.target_interactions = 3000;
+  cfg.seed = 11;
+  const data::InteractionLog log = data::GenerateSynthetic(cfg);
+  const data::DatasetSplits splits = data::MakeSplits(log, data::SplitConfig{});
+
+  model::TwoTowerConfig mc;
+  mc.num_items = cfg.num_items;
+  mc.embedding_dim = 8;
+  model::TwoTowerModel model(mc);
+  TrainConfig tc;
+  tc.epochs_per_month = 1;
+  Trainer trainer(&model, &splits, tc);
+
+  const int64_t months_before = CounterValue("train.months");
+  ASSERT_TRUE(trainer.TrainMonths(0, splits.test_month - 1).ok());
+  EXPECT_GT(CounterValue("train.months"), months_before);
+  EXPECT_GT(HistogramCount("train.month.ms"), 0);
+  // Nested span path: month -> epoch.
+  EXPECT_GT(HistogramCount("span.train.month/train.epoch"), 0);
+}
+
+#else  // UNIMATCH_METRICS_DISABLED
+
+TEST(TrainerMetricsTest, DisabledBuildEmitsNothing) {
+  // With UNIMATCH_METRICS=OFF the macros are no-ops: a trained epoch must
+  // leave the registry empty of trainer metrics.
+  data::SyntheticConfig cfg;
+  cfg.num_users = 300;
+  cfg.num_items = 60;
+  cfg.num_months = 4;
+  cfg.target_interactions = 3000;
+  const data::InteractionLog log = data::GenerateSynthetic(cfg);
+  const data::DatasetSplits splits = data::MakeSplits(log, data::SplitConfig{});
+  model::TwoTowerConfig mc;
+  mc.num_items = cfg.num_items;
+  mc.embedding_dim = 8;
+  model::TwoTowerModel model(mc);
+  TrainConfig tc;
+  tc.epochs_per_month = 1;
+  Trainer trainer(&model, &splits, tc);
+  ASSERT_TRUE(trainer.TrainIndices(splits.train.AllIndices(), 1).ok());
+  EXPECT_EQ(obs::MetricRegistry::Global()->FindCounter("train.steps"),
+            nullptr);
+  EXPECT_EQ(obs::MetricRegistry::Global()->FindHistogram("train.epoch.ms"),
+            nullptr);
+}
+
+#endif  // UNIMATCH_METRICS_DISABLED
+
+}  // namespace
+}  // namespace unimatch::train
