@@ -93,7 +93,9 @@ TEST(HnswIndexTest, ScoresDescendingAndDistinct) {
   std::unordered_set<int64_t> seen;
   for (size_t i = 0; i < r.size(); ++i) {
     EXPECT_TRUE(seen.insert(r[i].id).second);
-    if (i > 0) EXPECT_GE(r[i - 1].score, r[i].score);
+    if (i > 0) {
+      EXPECT_GE(r[i - 1].score, r[i].score);
+    }
   }
 }
 

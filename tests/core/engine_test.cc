@@ -68,7 +68,9 @@ TEST_F(EngineFixture, RecommendItemsForKnownUser) {
     EXPECT_GE((*rec)[i].id, 0);
     EXPECT_LT((*rec)[i].id, 80);
     distinct.insert((*rec)[i].id);
-    if (i > 0) EXPECT_GE((*rec)[i - 1].score, (*rec)[i].score);
+    if (i > 0) {
+      EXPECT_GE((*rec)[i - 1].score, (*rec)[i].score);
+    }
   }
   EXPECT_EQ(distinct.size(), 10u);
 }
