@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "src/obs/obs.h"
+#include "src/util/contract.h"
 #include "src/util/logging.h"
 
 namespace unimatch::ann {
@@ -28,6 +29,9 @@ Status HnswIndex::Build(const Tensor& vectors) {
   UM_SCOPED_TIMER("ann.hnsw.build.ms");
   UM_COUNTER_INC("ann.hnsw.builds");
   UM_GAUGE_SET("ann.hnsw.nodes", static_cast<double>(vectors.dim(0)));
+  // A NaN embedding poisons greedy search comparisons silently; reject it
+  // at the boundary instead.
+  UM_CHECK_FINITE(vectors) << "HnswIndex::Build embeddings";
   vectors_ = vectors.Clone();
   const int64_t n = vectors_.dim(0);
   Rng rng(config_.seed);

@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "src/obs/obs.h"
+#include "src/util/contract.h"
 #include "src/util/logging.h"
 #include "src/util/random.h"
 
@@ -62,6 +63,7 @@ Status BruteForceIndex::Build(const Tensor& vectors) {
   if (vectors.rank() != 2) {
     return Status::InvalidArgument("index expects a [N, d] matrix");
   }
+  UM_CHECK_FINITE(vectors) << "BruteForceIndex::Build embeddings";
   vectors_ = vectors.Clone();
   return Status::OK();
 }
@@ -85,6 +87,8 @@ Status IvfIndex::Build(const Tensor& vectors) {
   }
   UM_SCOPED_TIMER("ann.ivf.build.ms");
   UM_COUNTER_INC("ann.ivf.builds");
+  // NaN embeddings would silently lose the centroid-assignment comparisons.
+  UM_CHECK_FINITE(vectors) << "IvfIndex::Build embeddings";
   vectors_ = vectors.Clone();
   const int64_t n = vectors_.dim(0), d = vectors_.dim(1);
   if (n == 0) return Status::InvalidArgument("empty index");

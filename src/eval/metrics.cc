@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "src/util/contract.h"
 #include "src/util/logging.h"
 
 namespace unimatch::eval {
@@ -22,6 +23,7 @@ std::vector<int64_t> SortedIndices(const std::vector<float>& scores) {
 double RecallAtN(const std::vector<float>& scores,
                  const std::vector<bool>& is_positive, int n) {
   UM_CHECK_EQ(scores.size(), is_positive.size());
+  UM_CONTRACT(n > 0) << "RecallAtN cutoff, got n=" << n;
   const int64_t num_pos =
       std::count(is_positive.begin(), is_positive.end(), true);
   if (num_pos == 0) return 0.0;
@@ -38,6 +40,7 @@ double RecallAtN(const std::vector<float>& scores,
 double NdcgAtN(const std::vector<float>& scores,
                const std::vector<bool>& is_positive, int n) {
   UM_CHECK_EQ(scores.size(), is_positive.size());
+  UM_CONTRACT(n > 0) << "NdcgAtN cutoff, got n=" << n;
   const int64_t num_pos =
       std::count(is_positive.begin(), is_positive.end(), true);
   if (num_pos == 0) return 0.0;
@@ -68,6 +71,7 @@ int64_t RankOf(const std::vector<float>& scores, int64_t index) {
 }
 
 std::vector<int64_t> TopN(const std::vector<float>& scores, int n) {
+  UM_CONTRACT(n > 0) << "TopN cutoff, got n=" << n;
   auto idx = SortedIndices(scores);
   if (static_cast<int64_t>(idx.size()) > n) idx.resize(n);
   return idx;

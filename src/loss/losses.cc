@@ -1,5 +1,6 @@
 #include "src/loss/losses.h"
 
+#include "src/util/contract.h"
 #include "src/util/logging.h"
 
 namespace unimatch::loss {
@@ -59,12 +60,15 @@ NceSettings SettingsFor(LossKind kind) {
 nn::Variable NceFamilyLoss(const nn::Variable& scores, const Tensor& log_pu,
                            const Tensor& log_pi,
                            const NceSettings& settings) {
-  UM_CHECK_EQ(scores.rank(), 2);
+  UM_CONTRACT(scores.rank() == 2 && scores.dim(0) == scores.dim(1))
+      << "NceFamilyLoss needs a square [B, B] score matrix, got "
+      << contract::ShapeOf(scores);
   const int64_t b = scores.dim(0);
-  UM_CHECK_EQ(scores.dim(1), b);
-  UM_CHECK_EQ(log_pu.numel(), b);
-  UM_CHECK_EQ(log_pi.numel(), b);
-  UM_CHECK(settings.alpha > 0.0f || settings.beta > 0.0f);
+  UM_CHECK_SHAPE(log_pu.numel() == b, scores, log_pu) << "log_pu marginals";
+  UM_CHECK_SHAPE(log_pi.numel() == b, scores, log_pi) << "log_pi marginals";
+  UM_CONTRACT(settings.alpha > 0.0f || settings.beta > 0.0f)
+      << "at least one of alpha/beta must be positive";
+  UM_CHECK_FINITE(scores.value()) << "NceFamilyLoss scores";
 
   nn::Variable total;
   if (settings.alpha > 0.0f) {
@@ -102,13 +106,16 @@ nn::Variable SampledSoftmaxLoss(const nn::Variable& pos_scores,
                                 const nn::Variable& neg_scores,
                                 const Tensor& log_q_pos,
                                 const Tensor& log_q_neg) {
-  UM_CHECK_EQ(pos_scores.rank(), 1);
-  UM_CHECK_EQ(neg_scores.rank(), 2);
+  UM_CHECK_SHAPE(pos_scores.rank() == 1 && neg_scores.rank() == 2 &&
+                     neg_scores.dim(0) == pos_scores.dim(0),
+                 pos_scores, neg_scores)
+      << "SampledSoftmaxLoss scores";
   const int64_t b = pos_scores.dim(0);
   const int64_t s = neg_scores.dim(1);
-  UM_CHECK_EQ(neg_scores.dim(0), b);
-  UM_CHECK_EQ(log_q_pos.numel(), b);
-  UM_CHECK_EQ(log_q_neg.numel(), s);
+  UM_CHECK_SHAPE(log_q_pos.numel() == b, pos_scores, log_q_pos)
+      << "SampledSoftmaxLoss positive proposal log-probs";
+  UM_CHECK_SHAPE(log_q_neg.numel() == s, neg_scores, log_q_neg)
+      << "SampledSoftmaxLoss negative proposal log-probs";
 
   Tensor neg_log_q_pos = log_q_pos.Clone();
   neg_log_q_pos.ScaleInPlace(-1.0f);

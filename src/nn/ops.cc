@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/tensor/tensor_ops.h"
+#include "src/util/contract.h"
 
 namespace unimatch::nn {
 
@@ -34,7 +35,7 @@ Variable UnaryElementwise(const Variable& a, Fwd fwd, Dfdx dfdx,
 }  // namespace
 
 Variable Add(const Variable& a, const Variable& b) {
-  UM_CHECK(a.value().same_shape(b.value()));
+  UM_CHECK_SHAPE(a.value().same_shape(b.value()), a, b) << "Add";
   Tensor out = a.value().Clone();
   out.AddInPlace(b.value());
   return MakeOpVariable(
@@ -47,7 +48,7 @@ Variable Add(const Variable& a, const Variable& b) {
 }
 
 Variable Sub(const Variable& a, const Variable& b) {
-  UM_CHECK(a.value().same_shape(b.value()));
+  UM_CHECK_SHAPE(a.value().same_shape(b.value()), a, b) << "Sub";
   Tensor out = a.value().Clone();
   out.AddInPlace(b.value(), -1.0f);
   return MakeOpVariable(
@@ -62,7 +63,7 @@ Variable Sub(const Variable& a, const Variable& b) {
 }
 
 Variable Mul(const Variable& a, const Variable& b) {
-  UM_CHECK(a.value().same_shape(b.value()));
+  UM_CHECK_SHAPE(a.value().same_shape(b.value()), a, b) << "Mul";
   Tensor out(a.shape());
   const float* x = a.value().data();
   const float* z = b.value().data();
@@ -197,9 +198,8 @@ Variable Transpose(const Variable& a) {
 }
 
 Variable ConcatCols(const Variable& a, const Variable& b) {
-  UM_CHECK_EQ(a.rank(), 2);
-  UM_CHECK_EQ(b.rank(), 2);
-  UM_CHECK_EQ(a.dim(0), b.dim(0));
+  UM_CHECK_SHAPE(a.rank() == 2 && b.rank() == 2 && a.dim(0) == b.dim(0), a, b)
+      << "ConcatCols";
   const int64_t m = a.dim(0), n1 = a.dim(1), n2 = b.dim(1);
   Tensor out({m, n1 + n2});
   for (int64_t i = 0; i < m; ++i) {
@@ -225,9 +225,8 @@ Variable ConcatCols(const Variable& a, const Variable& b) {
 }
 
 Variable ConcatRows(const Variable& a, const Variable& b) {
-  UM_CHECK_EQ(a.rank(), 2);
-  UM_CHECK_EQ(b.rank(), 2);
-  UM_CHECK_EQ(a.dim(1), b.dim(1));
+  UM_CHECK_SHAPE(a.rank() == 2 && b.rank() == 2 && a.dim(1) == b.dim(1), a, b)
+      << "ConcatRows";
   const int64_t m1 = a.dim(0), m2 = b.dim(0), n = a.dim(1);
   Tensor out({m1 + m2, n});
   std::copy(a.value().data(), a.value().data() + m1 * n, out.data());
@@ -275,8 +274,8 @@ Variable MatMul(const Variable& a, const Variable& b, bool trans_a,
 }
 
 Variable AddRowVector(const Variable& x, const Variable& v) {
-  UM_CHECK_EQ(x.rank(), 2);
-  UM_CHECK_EQ(v.numel(), x.dim(1));
+  UM_CHECK_SHAPE(x.rank() == 2 && v.numel() == x.dim(1), x, v)
+      << "AddRowVector";
   const int64_t m = x.dim(0), n = x.dim(1);
   Tensor out = x.value().Clone();
   for (int64_t i = 0; i < m; ++i) {
@@ -299,8 +298,8 @@ Variable AddRowVector(const Variable& x, const Variable& v) {
 }
 
 Variable AddColVector(const Variable& x, const Variable& v) {
-  UM_CHECK_EQ(x.rank(), 2);
-  UM_CHECK_EQ(v.numel(), x.dim(0));
+  UM_CHECK_SHAPE(x.rank() == 2 && v.numel() == x.dim(0), x, v)
+      << "AddColVector";
   const int64_t m = x.dim(0), n = x.dim(1);
   Tensor out = x.value().Clone();
   for (int64_t i = 0; i < m; ++i) {
@@ -355,8 +354,9 @@ Variable TakeColumn(const Variable& a, int64_t j) {
 }
 
 Variable RowwiseDot(const Variable& a, const Variable& b) {
-  UM_CHECK_EQ(a.rank(), 2);
-  UM_CHECK(a.value().same_shape(b.value()));
+  UM_CONTRACT(a.rank() == 2) << "RowwiseDot input shape "
+                             << contract::ShapeOf(a);
+  UM_CHECK_SHAPE(a.value().same_shape(b.value()), a, b) << "RowwiseDot";
   const int64_t m = a.dim(0), d = a.dim(1);
   Tensor out({m});
   for (int64_t i = 0; i < m; ++i) {
@@ -506,10 +506,11 @@ Variable LogSoftmax(const Variable& a, int dim) {
 
 Variable LayerNorm(const Variable& x, const Variable& gain,
                    const Variable& bias, float eps) {
-  UM_CHECK_EQ(x.rank(), 2);
+  UM_CONTRACT(x.rank() == 2) << "LayerNorm input shape "
+                             << contract::ShapeOf(x);
   const int64_t n = x.dim(0), d = x.dim(1);
-  UM_CHECK_EQ(gain.numel(), d);
-  UM_CHECK_EQ(bias.numel(), d);
+  UM_CHECK_SHAPE(gain.numel() == d, x, gain) << "LayerNorm gain";
+  UM_CHECK_SHAPE(bias.numel() == d, x, bias) << "LayerNorm bias";
   Tensor out(x.shape());
   Tensor xhat(x.shape());
   Tensor inv_std({n});
@@ -598,7 +599,8 @@ Variable Dropout(const Variable& a, float p, Rng* rng) {
 }
 
 Variable BCEWithLogits(const Variable& logits, const Tensor& labels) {
-  UM_CHECK(logits.value().same_shape(labels));
+  UM_CHECK_SHAPE(logits.value().same_shape(labels), logits, labels)
+      << "BCEWithLogits";
   const int64_t n = logits.numel();
   UM_CHECK_GT(n, 0);
   // loss_i = max(x,0) - x*y + log(1 + exp(-|x|)).

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/util/contract.h"
+
 namespace unimatch::nn {
 
 double Optimizer::ClipGradNorm(double max_norm) {
@@ -12,6 +14,8 @@ double Optimizer::ClipGradNorm(double max_norm) {
     sq += n * n;
   }
   const double norm = std::sqrt(sq);
+  UM_CONTRACT(std::isfinite(norm))
+      << "gradient norm is non-finite before clipping (" << norm << ")";
   if (norm > max_norm && norm > 0.0) {
     const float scale = static_cast<float>(max_norm / norm);
     for (auto& p : params_) {
@@ -26,6 +30,7 @@ double Optimizer::ClipGradNorm(double max_norm) {
 void Sgd::Step() {
   for (auto& p : params_) {
     if (!p.variable.grad_defined()) continue;
+    UM_CHECK_FINITE(p.variable.grad()) << "param " << p.name;
     p.variable.mutable_value().AddInPlace(p.variable.grad(), -lr_);
   }
 }
@@ -40,6 +45,7 @@ void Adagrad::Step() {
   for (size_t i = 0; i < params_.size(); ++i) {
     auto& p = params_[i].variable;
     if (!p.grad_defined()) continue;
+    UM_CHECK_FINITE(p.grad()) << "param " << params_[i].name;
     float* w = p.mutable_value().data();
     const float* g = p.grad().data();
     float* a = accum_[i].data();
@@ -73,6 +79,7 @@ void Adam::Step() {
   for (size_t i = 0; i < params_.size(); ++i) {
     auto& p = params_[i].variable;
     if (!p.grad_defined()) continue;
+    UM_CHECK_FINITE(p.grad()) << "param " << params_[i].name;
     float* w = p.mutable_value().data();
     const float* g = p.grad().data();
     float* m = m_[i].data();

@@ -107,7 +107,7 @@ const std::vector<double>& LatencyBucketsMs() {
 }
 
 MetricRegistry* MetricRegistry::Global() {
-  static MetricRegistry* registry = new MetricRegistry();
+  static MetricRegistry* registry = new MetricRegistry();  // NOLINT(naked-new)
   return registry;
 }
 

@@ -33,7 +33,7 @@ struct TraceBuffer {
 };
 
 TraceBuffer& Buffer() {
-  static TraceBuffer* buffer = new TraceBuffer();
+  static TraceBuffer* buffer = new TraceBuffer();  // NOLINT(naked-new)
   return *buffer;
 }
 

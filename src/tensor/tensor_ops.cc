@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/obs/obs.h"
+#include "src/util/contract.h"
 #include "src/util/threadpool.h"
 
 namespace unimatch {
@@ -89,13 +90,15 @@ void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
 
 Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
   UM_COUNTER_INC("tensor.matmul.calls");
-  UM_CHECK_EQ(a.rank(), 2);
-  UM_CHECK_EQ(b.rank(), 2);
+  UM_CHECK_SHAPE(a.rank() == 2 && b.rank() == 2, a, b)
+      << "MatMul needs rank-2 operands";
   const int64_t m = trans_a ? a.dim(1) : a.dim(0);
   const int64_t ka = trans_a ? a.dim(0) : a.dim(1);
   const int64_t kb = trans_b ? b.dim(1) : b.dim(0);
   const int64_t n = trans_b ? b.dim(0) : b.dim(1);
-  UM_CHECK_EQ(ka, kb);
+  UM_CHECK_SHAPE(ka == kb, a, b)
+      << "MatMul inner dimensions (trans_a=" << trans_a
+      << ", trans_b=" << trans_b << ")";
   Tensor c({m, n});
   Gemm(trans_a, trans_b, m, n, ka, 1.0f, a.data(), b.data(), 0.0f, c.data());
   return c;
@@ -104,15 +107,16 @@ Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
 Tensor BatchMatMul(const Tensor& a, const Tensor& b, bool trans_a,
                    bool trans_b) {
   UM_COUNTER_INC("tensor.batch_matmul.calls");
-  UM_CHECK_EQ(a.rank(), 3);
-  UM_CHECK_EQ(b.rank(), 3);
-  UM_CHECK_EQ(a.dim(0), b.dim(0));
+  UM_CHECK_SHAPE(a.rank() == 3 && b.rank() == 3 && a.dim(0) == b.dim(0), a, b)
+      << "BatchMatMul needs rank-3 operands with equal batch dims";
   const int64_t bs = a.dim(0);
   const int64_t m = trans_a ? a.dim(2) : a.dim(1);
   const int64_t ka = trans_a ? a.dim(1) : a.dim(2);
   const int64_t kb = trans_b ? b.dim(2) : b.dim(1);
   const int64_t n = trans_b ? b.dim(1) : b.dim(2);
-  UM_CHECK_EQ(ka, kb);
+  UM_CHECK_SHAPE(ka == kb, a, b)
+      << "BatchMatMul inner dimensions (trans_a=" << trans_a
+      << ", trans_b=" << trans_b << ")";
   Tensor c({bs, m, n});
   const int64_t a_stride = a.dim(1) * a.dim(2);
   const int64_t b_stride = b.dim(1) * b.dim(2);
@@ -125,8 +129,9 @@ Tensor BatchMatMul(const Tensor& a, const Tensor& b, bool trans_a,
 }
 
 void SoftmaxRows(const Tensor& in, Tensor* out) {
-  UM_CHECK_EQ(in.rank(), 2);
-  UM_CHECK(in.same_shape(*out));
+  UM_CONTRACT(in.rank() == 2) << "SoftmaxRows input shape "
+                              << contract::ShapeOf(in);
+  UM_CHECK_SHAPE(in.same_shape(*out), in, *out) << "SoftmaxRows";
   const int64_t m = in.dim(0), n = in.dim(1);
   for (int64_t i = 0; i < m; ++i) {
     const float* x = in.data() + i * n;
@@ -144,8 +149,9 @@ void SoftmaxRows(const Tensor& in, Tensor* out) {
 }
 
 void LogSoftmaxRows(const Tensor& in, Tensor* out) {
-  UM_CHECK_EQ(in.rank(), 2);
-  UM_CHECK(in.same_shape(*out));
+  UM_CONTRACT(in.rank() == 2) << "LogSoftmaxRows input shape "
+                              << contract::ShapeOf(in);
+  UM_CHECK_SHAPE(in.same_shape(*out), in, *out) << "LogSoftmaxRows";
   const int64_t m = in.dim(0), n = in.dim(1);
   for (int64_t i = 0; i < m; ++i) {
     const float* x = in.data() + i * n;
@@ -160,10 +166,13 @@ void LogSoftmaxRows(const Tensor& in, Tensor* out) {
 }
 
 void L2NormalizeRows(const Tensor& in, Tensor* out, Tensor* norms, float eps) {
-  UM_CHECK_EQ(in.rank(), 2);
-  UM_CHECK(in.same_shape(*out));
+  UM_CONTRACT(in.rank() == 2) << "L2NormalizeRows input shape "
+                              << contract::ShapeOf(in);
+  UM_CHECK_SHAPE(in.same_shape(*out), in, *out) << "L2NormalizeRows";
   const int64_t m = in.dim(0), n = in.dim(1);
-  if (norms != nullptr) UM_CHECK_EQ(norms->numel(), m);
+  if (norms != nullptr) {
+    UM_CHECK_SHAPE(norms->numel() == m, in, *norms) << "L2NormalizeRows norms";
+  }
   for (int64_t i = 0; i < m; ++i) {
     const float* x = in.data() + i * n;
     float* y = out->data() + i * n;
@@ -177,9 +186,10 @@ void L2NormalizeRows(const Tensor& in, Tensor* out, Tensor* norms, float eps) {
 }
 
 void ReduceSumRows(const Tensor& in, Tensor* out) {
-  UM_CHECK_EQ(in.rank(), 2);
+  UM_CONTRACT(in.rank() == 2) << "ReduceSumRows input shape "
+                              << contract::ShapeOf(in);
   const int64_t m = in.dim(0), n = in.dim(1);
-  UM_CHECK_EQ(out->numel(), m);
+  UM_CHECK_SHAPE(out->numel() == m, in, *out) << "ReduceSumRows";
   for (int64_t i = 0; i < m; ++i) {
     const float* x = in.data() + i * n;
     double s = 0.0;
@@ -189,9 +199,10 @@ void ReduceSumRows(const Tensor& in, Tensor* out) {
 }
 
 void ReduceSumCols(const Tensor& in, Tensor* out) {
-  UM_CHECK_EQ(in.rank(), 2);
+  UM_CONTRACT(in.rank() == 2) << "ReduceSumCols input shape "
+                              << contract::ShapeOf(in);
   const int64_t m = in.dim(0), n = in.dim(1);
-  UM_CHECK_EQ(out->numel(), n);
+  UM_CHECK_SHAPE(out->numel() == n, in, *out) << "ReduceSumCols";
   out->SetZero();
   for (int64_t i = 0; i < m; ++i) {
     const float* x = in.data() + i * n;

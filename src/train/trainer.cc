@@ -5,6 +5,7 @@
 #include "src/data/batcher.h"
 #include "src/nn/serialize.h"
 #include "src/obs/obs.h"
+#include "src/util/contract.h"
 #include "src/util/logging.h"
 
 namespace unimatch::train {
@@ -162,6 +163,9 @@ Status Trainer::RunEpoch(const std::vector<int64_t>& indices) {
                                        loss::SettingsFor(config_.loss));
         records_processed_ += batch.batch_size;
       }
+      UM_CHECK_FINITE(loss_var.value())
+          << loss::LossKindToString(config_.loss) << " loss at step "
+          << total_steps_;
       nn::Backward(loss_var);
       if (config_.grad_clip > 0.0f) {
         optimizer_->ClipGradNorm(config_.grad_clip);
@@ -195,6 +199,8 @@ Status Trainer::RunEpoch(const std::vector<int64_t>& indices) {
       nn::Variable items = model_->EncodeItems(batch.targets);
       nn::Variable scores = model_->ScorePairs(users, items);
       nn::Variable loss_var = loss::BceLoss(scores, labels);
+      UM_CHECK_FINITE(loss_var.value())
+          << "BCE loss at step " << total_steps_;
       nn::Backward(loss_var);
       if (config_.grad_clip > 0.0f) {
         optimizer_->ClipGradNorm(config_.grad_clip);

@@ -1,0 +1,106 @@
+// Runtime contracts for the tensor/autograd boundary.
+//
+//   UM_CONTRACT(cond) << "extra context";
+//   UM_CHECK_SHAPE(a.same_shape(b), a, b) << "elementwise add";
+//   UM_CHECK_FINITE(grad) << "param " << name;
+//
+// Contracts document and enforce *caller obligations* at module boundaries
+// (shape compatibility, finite values). On violation they abort with the
+// file:line of the call site plus the offending shapes/values, so a bad gemm
+// or a NaN gradient fails loudly at the boundary instead of corrupting the
+// run. They are compiled out with -DUNIMATCH_CONTRACTS_DISABLED (CMake:
+// -DUNIMATCH_CONTRACTS=OFF), analogous to the UM_* metrics macros, so the
+// hot path can shed the checks once a configuration is trusted.
+//
+// This is distinct from UM_CHECK (util/logging.h), which guards programmer
+// invariants and stays active in every build.
+
+#ifndef UNIMATCH_UTIL_CONTRACT_H_
+#define UNIMATCH_UTIL_CONTRACT_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/logging.h"
+
+namespace unimatch::contract {
+
+/// "[2, 3, 16]" (rank-0 renders as "[]").
+inline std::string FormatDims(const std::vector<int64_t>& dims) {
+  std::string s = "[";
+  for (size_t i = 0; i < dims.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += std::to_string(dims[i]);
+  }
+  s += "]";
+  return s;
+}
+
+/// Shape of anything exposing .shape() (Tensor, nn::Variable).
+template <typename ShapedT>
+std::string ShapeOf(const ShapedT& t) {
+  return FormatDims(t.shape());
+}
+inline std::string ShapeOf(const std::vector<int64_t>& dims) {
+  return FormatDims(dims);
+}
+
+/// Flat index of the first NaN/Inf element, or -1 when all finite. Works on
+/// anything exposing .data() -> const float* and .numel().
+template <typename TensorT>
+int64_t FirstNonFinite(const TensorT& t) {
+  const float* p = t.data();
+  const int64_t n = t.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    if (!std::isfinite(p[i])) return i;
+  }
+  return -1;
+}
+
+template <typename TensorT>
+bool AllFinite(const TensorT& t) {
+  return FirstNonFinite(t) < 0;
+}
+
+}  // namespace unimatch::contract
+
+#if defined(UNIMATCH_CONTRACTS_DISABLED)
+
+// Compiled-out form: the condition and any streamed operands stay inside a
+// `while (false && ...)` so they are type-checked (no unused-variable
+// warnings under -Werror) but never evaluated, and the optimizer drops the
+// whole statement.
+#define UM_CONTRACT(cond) \
+  while (false && (cond)) UM_LOG_FATAL.stream()
+
+#else
+
+/// Aborts with file:line when `cond` is false. Extra context can be streamed
+/// after the macro.
+#define UM_CONTRACT(cond)                    \
+  (cond) ? (void)0                           \
+         : ::unimatch::internal::Voidify() & \
+               UM_LOG_FATAL.stream() << "Contract violated: " #cond " "
+
+#endif  // UNIMATCH_CONTRACTS_DISABLED
+
+/// Asserts a shape-compatibility predicate over two shaped values (Tensor,
+/// nn::Variable, or a raw Shape) and reports both shapes on failure, e.g.
+///   UM_CHECK_SHAPE(ka == kb, a, b) << "matmul inner dims";
+#define UM_CHECK_SHAPE(cond, lhs, rhs)                            \
+  UM_CONTRACT(cond) << "[lhs shape "                              \
+                    << ::unimatch::contract::ShapeOf(lhs)         \
+                    << " vs rhs shape "                           \
+                    << ::unimatch::contract::ShapeOf(rhs) << "] "
+
+/// Asserts every element of `t` is finite (no NaN/Inf); reports the first
+/// offending flat index and the shape on failure.
+#define UM_CHECK_FINITE(t)                                              \
+  UM_CONTRACT(::unimatch::contract::AllFinite(t))                       \
+      << "[" #t " has non-finite element at flat index "                \
+      << ::unimatch::contract::FirstNonFinite(t) << ", shape "          \
+      << ::unimatch::contract::ShapeOf(t) << "] "
+
+#endif  // UNIMATCH_UTIL_CONTRACT_H_

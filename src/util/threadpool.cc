@@ -83,7 +83,8 @@ void ThreadPool::WorkerLoop() {
 }
 
 ThreadPool* ThreadPool::Global() {
-  static ThreadPool* pool = new ThreadPool();
+  // Intentionally leaked: workers must outlive static destructors.
+  static ThreadPool* pool = new ThreadPool();  // NOLINT(naked-new)
   return pool;
 }
 

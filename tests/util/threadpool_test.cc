@@ -69,5 +69,72 @@ TEST(ThreadPoolTest, GlobalPoolIsSingleton) {
   EXPECT_EQ(ThreadPool::Global(), ThreadPool::Global());
 }
 
+TEST(ThreadPoolTest, ConcurrentScheduleFromMultipleThreads) {
+  // Hammer Schedule from several external producer threads at once; the
+  // queue, pending counter, and Wait handshake must stay consistent.
+  ThreadPool pool(4);
+  constexpr int kProducers = 8;
+  constexpr int kTasksPerProducer = 250;
+  std::atomic<int> counter{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool, &counter] {
+      for (int i = 0; i < kTasksPerProducer; ++i) {
+        pool.Schedule([&counter] { counter.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  pool.Wait();
+  EXPECT_EQ(counter.load(), kProducers * kTasksPerProducer);
+}
+
+TEST(ThreadPoolTest, ScheduleFromWorkerTask) {
+  // A task scheduling a follow-up task onto the same pool must not
+  // deadlock, and Wait must cover the transitively scheduled work.
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.Schedule([&pool, &counter] {
+      pool.Schedule([&counter] { counter.fetch_add(1); });
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 16);
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForFromMultipleThreads) {
+  // Two driver threads issuing ParallelFor on a shared pool concurrently;
+  // each blocks until its own range completes.
+  ThreadPool pool(4);
+  std::atomic<int64_t> sum_a{0};
+  std::atomic<int64_t> sum_b{0};
+  std::thread driver_a([&] {
+    pool.ParallelFor(0, 2000, [&](int64_t i) { sum_a.fetch_add(i); },
+                     /*min_shard=*/32);
+  });
+  std::thread driver_b([&] {
+    pool.ParallelFor(0, 3000, [&](int64_t i) { sum_b.fetch_add(i); },
+                     /*min_shard=*/32);
+  });
+  driver_a.join();
+  driver_b.join();
+  EXPECT_EQ(sum_a.load(), 2000LL * 1999 / 2);
+  EXPECT_EQ(sum_b.load(), 3000LL * 2999 / 2);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsOutstandingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Schedule([&counter] { counter.fetch_add(1); });
+    }
+    // No Wait(): destruction must still run everything already queued.
+  }
+  EXPECT_EQ(counter.load(), 64);
+}
+
 }  // namespace
 }  // namespace unimatch

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# One-shot correctness gate, suitable as a CI entrypoint:
+#   1. tools/lint.py (repo-local static rules)
+#   2. asan-ubsan preset: configure + build + ctest -L tier1
+#   3. tsan preset:       configure + build + ctest -L tier1
+#
+# Usage: tools/check.sh [--jobs N] [--skip-tsan] [--skip-asan]
+# Runs from any cwd; exits non-zero on the first failing stage.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+RUN_ASAN=1
+RUN_TSAN=1
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --jobs) JOBS="$2"; shift 2 ;;
+    --skip-asan) RUN_ASAN=0; shift ;;
+    --skip-tsan) RUN_TSAN=0; shift ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+stage() { printf '\n==== %s ====\n' "$*"; }
+
+stage "lint (tools/lint.py)"
+python3 tools/lint.py --self-test
+python3 tools/lint.py
+
+run_preset() {
+  local preset="$1"
+  stage "configure [$preset]"
+  cmake --preset "$preset"
+  stage "build [$preset]"
+  cmake --build --preset "$preset" -j "$JOBS"
+  stage "ctest -L tier1 [$preset]"
+  ctest --test-dir "build-$preset" -L tier1 --output-on-failure -j "$JOBS"
+}
+
+[[ "$RUN_ASAN" == 1 ]] && run_preset asan-ubsan
+[[ "$RUN_TSAN" == 1 ]] && run_preset tsan
+
+stage "all checks passed"

@@ -1,0 +1,250 @@
+#!/usr/bin/env python3
+"""Repo-local lint rules that clang-tidy cannot express.
+
+Dependency-free (stdlib only). Registered as the `lint_custom` ctest so it
+gates every build; run it directly with:
+
+    python3 tools/lint.py            # lint the whole tree
+    python3 tools/lint.py src/a.cc   # lint specific files
+    python3 tools/lint.py --self-test
+
+Rules (see docs/STATIC_ANALYSIS.md):
+  include-guard   headers use UNIMATCH_<PATH>_H_ guards (src/ prefix dropped)
+  include-cc      never #include a .cc file
+  naked-new       no naked new/delete outside src/tensor/ (own raw memory
+                  with containers/smart pointers)
+  cout            no std::cout in src/ (use util/logging.h; tools may take
+                  an std::ostream&)
+  raw-thread      no direct std::thread/std::jthread outside
+                  util/threadpool.* (route parallelism through the pool)
+
+Suppress a finding with a trailing `// NOLINT(<rule>): why` comment on the
+offending line.
+"""
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+LINT_DIRS = ("src", "tests", "bench", "examples")
+
+RULES = ("include-guard", "include-cc", "naked-new", "cout", "raw-thread")
+
+_NOLINT_RE = re.compile(r"NOLINT\(([a-z-]+)\)")
+_INCLUDE_CC_RE = re.compile(r'^\s*#\s*include\s+["<][^">]*\.cc[">]')
+_NEW_RE = re.compile(r"\bnew\b(?!\s*\()")  # `new (nothrow)` not used here
+_DELETE_RE = re.compile(r"\bdelete\b(\s*\[\s*\])?")
+_DELETED_FN_RE = re.compile(r"=\s*delete\b")
+_COUT_RE = re.compile(r"\bstd::cout\b")
+_RAW_THREAD_RE = re.compile(r"\bstd::j?thread\b(?!::)")
+
+
+def strip_comments_and_strings(text):
+    """Blanks comments and string/char literals, preserving line structure."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        else:  # string or char
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def expected_guard(relpath):
+    path = relpath[len("src/"):] if relpath.startswith("src/") else relpath
+    return "UNIMATCH_" + re.sub(r"[/.\-]", "_", path).upper() + "_"
+
+
+def suppressed(raw_line, rule):
+    return rule in _NOLINT_RE.findall(raw_line)
+
+
+def check_file(relpath, text, errors):
+    raw_lines = text.splitlines()
+    code_lines = strip_comments_and_strings(text).splitlines()
+    in_src = relpath.startswith("src/")
+    in_tensor = relpath.startswith("src/tensor/")
+    is_threadpool = relpath in ("src/util/threadpool.h",
+                                "src/util/threadpool.cc")
+
+    def report(lineno, rule, message):
+        if not suppressed(raw_lines[lineno - 1], rule):
+            errors.append("%s:%d: [%s] %s" % (relpath, lineno, rule, message))
+
+    if relpath.endswith(".h"):
+        guard = expected_guard(relpath)
+        ifndef_line = None
+        for idx, line in enumerate(code_lines):
+            m = re.match(r"\s*#\s*ifndef\s+(\S+)", line)
+            if m:
+                ifndef_line = idx + 1
+                if m.group(1) != guard:
+                    report(ifndef_line, "include-guard",
+                           "include guard is %s, expected %s" %
+                           (m.group(1), guard))
+                else:
+                    nxt = code_lines[idx + 1] if idx + 1 < len(
+                        code_lines) else ""
+                    if not re.match(r"\s*#\s*define\s+%s\s*$" %
+                                    re.escape(guard), nxt):
+                        report(ifndef_line + 1, "include-guard",
+                               "#ifndef %s not followed by its #define" %
+                               guard)
+                break
+        if ifndef_line is None:
+            report(1, "include-guard",
+                   "header has no include guard (expected %s)" % guard)
+
+    for idx, line in enumerate(code_lines):
+        lineno = idx + 1
+        # Matched against the raw line: the stripper blanks the "..." path.
+        if _INCLUDE_CC_RE.match(raw_lines[idx]):
+            report(lineno, "include-cc", "never #include a .cc file")
+        if in_src:
+            if not in_tensor:
+                if _NEW_RE.search(line):
+                    report(lineno, "naked-new",
+                           "naked `new` outside src/tensor/; use a "
+                           "container or smart pointer")
+                for m in _DELETE_RE.finditer(line):
+                    if not _DELETED_FN_RE.search(line[:m.end()]):
+                        report(lineno, "naked-new",
+                               "naked `delete` outside src/tensor/")
+            if _COUT_RE.search(line):
+                report(lineno, "cout",
+                       "std::cout in src/; log via util/logging.h or take "
+                       "an std::ostream&")
+            if not is_threadpool and _RAW_THREAD_RE.search(line):
+                report(lineno, "raw-thread",
+                       "direct std::thread outside util/threadpool.*; "
+                       "use ThreadPool")
+    return errors
+
+
+def iter_files(paths):
+    if paths:
+        for p in paths:
+            yield os.path.relpath(os.path.abspath(p), REPO_ROOT)
+        return
+    for top in LINT_DIRS:
+        root_dir = os.path.join(REPO_ROOT, top)
+        for dirpath, _, filenames in os.walk(root_dir):
+            for name in sorted(filenames):
+                if name.endswith((".cc", ".h")):
+                    yield os.path.relpath(os.path.join(dirpath, name),
+                                          REPO_ROOT)
+
+
+def run(paths):
+    errors = []
+    count = 0
+    for relpath in iter_files(paths):
+        full = os.path.join(REPO_ROOT, relpath)
+        relpath = relpath.replace(os.sep, "/")
+        try:
+            with open(full, encoding="utf-8") as f:
+                text = f.read()
+        except OSError as e:
+            errors.append("%s: unreadable: %s" % (relpath, e))
+            continue
+        count += 1
+        check_file(relpath, text, errors)
+    for e in errors:
+        print(e)
+    print("lint.py: %d file(s), %d error(s)" % (count, len(errors)))
+    return 1 if errors else 0
+
+
+def self_test():
+    """Seeds one violation per rule and asserts each is caught."""
+    cases = {
+        "include-guard": ("src/util/bad.h", "#ifndef WRONG_H_\n"
+                                            "#define WRONG_H_\n#endif\n"),
+        "include-cc": ("src/a.cc", '#include "src/b.cc"\n'),
+        "naked-new": ("src/nn/x.cc", "int* p = new int[3];\n"),
+        "cout": ("src/train/t.cc", "void f() { std::cout << 1; }\n"),
+        "raw-thread": ("src/eval/e.cc", "std::thread t([]{});\n"),
+    }
+    failures = []
+    for rule, (path, body) in cases.items():
+        errors = check_file(path, body, [])
+        if not any("[%s]" % rule in e for e in errors):
+            failures.append("seeded %s violation not detected in:\n%s" %
+                            (rule, body))
+            continue
+        # A NOLINT on the reported line must suppress the finding.
+        lineno = int(errors[0].split(":")[1])
+        lines = body.splitlines()
+        lines[lineno - 1] += "  // NOLINT(%s): ok" % rule
+        if check_file(path, "\n".join(lines) + "\n", []):
+            failures.append("NOLINT(%s) did not suppress" % rule)
+    clean = ("src/ok.h", "#ifndef UNIMATCH_OK_H_\n#define UNIMATCH_OK_H_\n"
+             "// new ideas in a comment are fine\n"
+             "void F(const char* s = \"new\");\n"
+             "struct S { S(const S&) = delete; };\n"
+             "using Id = std::thread::id;  // type alias, not a thread\n"
+             "#endif  // UNIMATCH_OK_H_\n")
+    false_positives = check_file(*clean, [])
+    if false_positives:
+        failures.append("false positives on clean file: %s" % false_positives)
+    for f in failures:
+        print("SELF-TEST FAIL: %s" % f)
+    print("lint.py --self-test: %d case(s), %d failure(s)" %
+          (len(cases) + 1, len(failures)))
+    return 1 if failures else 0
+
+
+def main(argv):
+    if "--self-test" in argv:
+        return self_test()
+    return run([a for a in argv if not a.startswith("-")])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
