@@ -1,8 +1,20 @@
 // Kernel microbenchmarks (google-benchmark): the hot paths behind training
 // and serving — gemm, embedding gather/scatter, the loss forward+backward,
 // and ANN queries.
+//
+// Besides the google-benchmark suite, main() first runs a direct
+// reference-vs-vectorized gemm comparison and writes the GFLOP/s numbers to
+// BENCH_kernels.json (same directory convention as the BENCH_*_metrics.json
+// dumps; see docs/PERFORMANCE.md for the format). UNIMATCH_BENCH_SMOKE=1
+// shrinks both parts to a CI-friendly quick mode.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "bench/common.h"
 #include "src/ann/hnsw.h"
@@ -11,7 +23,11 @@
 #include "src/model/two_tower.h"
 #include "src/nn/ops.h"
 #include "src/nn/seq_ops.h"
+#include "src/obs/obs.h"
+#include "src/tensor/kernels.h"
 #include "src/tensor/tensor_ops.h"
+#include "src/util/logging.h"
+#include "src/util/timer.h"
 
 namespace unimatch {
 namespace {
@@ -143,12 +159,126 @@ void BM_IvfSearch(benchmark::State& state) {
 }
 BENCHMARK(BM_IvfSearch)->Arg(10000)->Arg(100000);
 
+// ---------------------------------------------------------------------------
+// Direct before/after gemm measurement -> BENCH_kernels.json.
+// ---------------------------------------------------------------------------
+
+bool SmokeMode() {
+  const char* env = std::getenv("UNIMATCH_BENCH_SMOKE");
+  return env != nullptr && std::strcmp(env, "0") != 0 && env[0] != '\0';
+}
+
+struct GemmShape {
+  int64_t m, n, k;
+  bool trans_b;  // false: axpy-layout kernel, true: dot-layout kernel
+};
+
+// Times `fn` (one full gemm per call): repeats until `min_seconds` of work,
+// returns GFLOP/s. One untimed warmup call primes caches and dispatch.
+template <typename Fn>
+double TimeGemmGflops(const GemmShape& s, double min_seconds, const Fn& fn) {
+  fn();
+  int64_t iters = 0;
+  WallTimer timer;
+  double elapsed = 0.0;
+  do {
+    fn();
+    ++iters;
+    elapsed = timer.ElapsedSeconds();
+  } while (elapsed < min_seconds);
+  const double flops =
+      2.0 * static_cast<double>(s.m) * static_cast<double>(s.n) *
+      static_cast<double>(s.k) * static_cast<double>(iters);
+  return flops / elapsed / 1e9;
+}
+
+// Measures the frozen scalar baseline vs the single-threaded vectorized row
+// kernel (the kernel layer is called directly so the comparison excludes
+// ThreadPool sharding: this is the per-core story).
+void WriteKernelsJson(bool smoke) {
+  const double min_seconds = smoke ? 0.05 : 0.4;
+  const std::vector<GemmShape> shapes = smoke
+      ? std::vector<GemmShape>{{256, 64, 512, false}}
+      : std::vector<GemmShape>{{256, 64, 512, false},
+                               {256, 64, 512, true},
+                               {64, 64, 64, false},
+                               {128, 128, 128, false}};
+  Rng rng(42);
+
+  std::string dir = ".";
+  if (const char* env = std::getenv("UNIMATCH_METRICS_DIR")) {
+    if (env[0] != '\0') dir = env;
+  }
+  const std::string path = dir + "/BENCH_kernels.json";
+  std::ofstream out(path);
+  if (!out) {
+    UM_LOG(WARNING) << "cannot write " << path;
+    return;
+  }
+  out << "{\n  \"bench\": \"micro_kernels\",\n  \"backend\": \""
+      << kernels::BackendName(kernels::ActiveBackend()) << "\",\n"
+      << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+      << "  \"gemm\": [";
+  bool first = true;
+  for (const GemmShape& s : shapes) {
+    Tensor a = Tensor::Randn({s.m, s.k}, 1.0f, &rng);
+    Tensor b = s.trans_b ? Tensor::Randn({s.n, s.k}, 1.0f, &rng)
+                         : Tensor::Randn({s.k, s.n}, 1.0f, &rng);
+    Tensor c({s.m, s.n});
+    const double ref = TimeGemmGflops(s, min_seconds, [&] {
+      kernels::GemmReference(false, s.trans_b, s.m, s.n, s.k, 1.0f, a.data(),
+                             b.data(), 0.0f, c.data());
+    });
+    const double vec = TimeGemmGflops(s, min_seconds, [&] {
+      if (s.trans_b) {
+        kernels::GemmRowsDot(0, s.m, s.n, s.k, 1.0f, a.data(), s.k, 1,
+                             b.data(), 0.0f, c.data());
+      } else {
+        kernels::GemmRowsAxpy(0, s.m, s.n, s.k, 1.0f, a.data(), s.k, 1,
+                              b.data(), 0.0f, c.data());
+      }
+    });
+    const double speedup = ref > 0.0 ? vec / ref : 0.0;
+    UM_GAUGE_SET("bench.kernels.gemm_speedup", speedup);
+    out << (first ? "" : ",") << "\n    {\"m\": " << s.m << ", \"n\": " << s.n
+        << ", \"k\": " << s.k
+        << ", \"trans_b\": " << (s.trans_b ? "true" : "false")
+        << ", \"reference_gflops\": " << ref << ", \"kernel_gflops\": " << vec
+        << ", \"speedup\": " << speedup << "}";
+    first = false;
+  }
+  out << "\n  ]\n}\n";
+  UM_LOG(INFO) << "wrote " << path;
+}
+
+bool HasBenchmarkFilter(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_filter", 18) == 0) return true;
+  }
+  return false;
+}
+
 }  // namespace
 }  // namespace unimatch
 
-// google-benchmark owns main(); a file-scope dumper still fires at exit.
-namespace {
-unimatch::bench::MetricsDumper metrics_dumper("micro_kernels");
-}  // namespace
+int main(int argc, char** argv) {
+  unimatch::bench::MetricsDumper metrics_dumper("micro_kernels");
+  const bool smoke = unimatch::SmokeMode();
+  unimatch::WriteKernelsJson(smoke);
 
-BENCHMARK_MAIN();
+  std::vector<char*> args(argv, argv + argc);
+  // Quick mode: unless the caller picked their own filter, trim the
+  // google-benchmark suite to one small gemm so CI stays fast.
+  std::string smoke_filter = "--benchmark_filter=BM_Gemm/64$";
+  if (smoke && !unimatch::HasBenchmarkFilter(argc, argv)) {
+    args.push_back(smoke_filter.data());
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,21 +2,39 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 #include <queue>
 #include <unordered_set>
 
 #include "src/obs/obs.h"
+#include "src/tensor/kernels.h"
 #include "src/util/contract.h"
 #include "src/util/logging.h"
+#include "src/util/threadpool.h"
 
 namespace unimatch::ann {
 
+namespace {
+
+// Below this many nodes the per-insert work is too small for the locking
+// overhead of the parallel build to pay off.
+constexpr int64_t kParallelBuildMinNodes = 128;
+
+}  // namespace
+
+struct HnswIndex::BuildSync {
+  explicit BuildSync(int64_t n) : node_locks(n) {}
+  // node_locks[i] guards layers_[l][i] for every layer l. Multi-node
+  // sections (Connect) lock the smaller node id first so lock order is
+  // deterministic and deadlock-free.
+  std::vector<std::mutex> node_locks;
+  // Guards entry_point_ and the build-time entry level.
+  std::mutex entry_mutex;
+};
+
 float HnswIndex::Score(const float* query, int64_t node) const {
   const int64_t d = dim();
-  const float* v = vectors_.data() + node * d;
-  float acc = 0.0f;
-  for (int64_t j = 0; j < d; ++j) acc += query[j] * v[j];
-  return acc;
+  return kernels::DotF32(query, vectors_.data() + node * d, d);
 }
 
 Status HnswIndex::Build(const Tensor& vectors) {
@@ -51,45 +69,80 @@ Status HnswIndex::Build(const Tensor& vectors) {
   }
 
   layers_.assign(max_level + 1, Adjacency(n));
-  entry_point_ = -1;
-  int entry_level = -1;
+  // Node 0 seeds the graph; everyone else inserts against it.
+  entry_point_ = 0;
+  int entry_level = node_level_[0];
 
-  for (int64_t i = 0; i < n; ++i) {
-    const int level = node_level_[i];
-    if (entry_point_ < 0) {
-      entry_point_ = i;
-      entry_level = level;
-      continue;
-    }
-    const float* q = vectors_.data() + i * dim();
-    int64_t entry = entry_point_;
-    // Greedy descent through layers above this node's level.
-    for (int l = entry_level; l > level; --l) {
-      entry = GreedyStep(q, entry, l);
-    }
-    // Insert with beam search on each layer from min(level, entry_level)
-    // down to 0.
-    for (int l = std::min(level, entry_level); l >= 0; --l) {
-      auto candidates = SearchLayer(q, entry, config_.ef_construction, l);
-      Connect(i, l, candidates);
-      entry = candidates.empty() ? entry : candidates.front().second;
-    }
-    if (level > entry_level) {
-      entry_point_ = i;
-      entry_level = level;
-    }
+  ThreadPool* pool = config_.pool;
+  if (pool != nullptr && pool->num_threads() > 1 &&
+      n > kParallelBuildMinNodes) {
+    UM_COUNTER_INC("ann.hnsw.build.parallel");
+    UM_GAUGE_SET("ann.hnsw.build.threads",
+                 static_cast<double>(pool->num_threads()));
+    BuildSync sync(n);
+    pool->ParallelFor(
+        1, n, [&](int64_t i) { InsertNode(i, &entry_level, &sync); },
+        /*min_shard=*/8);
+  } else {
+    for (int64_t i = 1; i < n; ++i) InsertNode(i, &entry_level, nullptr);
   }
   return Status::OK();
 }
 
-int64_t HnswIndex::GreedyStep(const float* query, int64_t entry,
-                              int layer) const {
+void HnswIndex::InsertNode(int64_t i, int* entry_level, BuildSync* sync) {
+  const int level = node_level_[i];
+  const float* q = vectors_.data() + i * dim();
+  int64_t entry;
+  int elevel;
+  if (sync != nullptr) {
+    std::lock_guard<std::mutex> lk(sync->entry_mutex);
+    entry = entry_point_;
+    elevel = *entry_level;
+  } else {
+    entry = entry_point_;
+    elevel = *entry_level;
+  }
+  // Greedy descent through layers above this node's level.
+  for (int l = elevel; l > level; --l) {
+    entry = GreedyStep(q, entry, l, sync);
+  }
+  // Insert with beam search on each layer from min(level, elevel) down to 0.
+  for (int l = std::min(level, elevel); l >= 0; --l) {
+    auto candidates = SearchLayer(q, entry, config_.ef_construction, l, sync);
+    Connect(i, l, candidates, sync);
+    entry = candidates.empty() ? entry : candidates.front().second;
+  }
+  if (level > elevel) {
+    if (sync != nullptr) {
+      std::lock_guard<std::mutex> lk(sync->entry_mutex);
+      // Re-check: another thread may have raised the entry meanwhile.
+      if (level > *entry_level) {
+        entry_point_ = i;
+        *entry_level = level;
+      }
+    } else {
+      entry_point_ = i;
+      *entry_level = level;
+    }
+  }
+}
+
+int64_t HnswIndex::GreedyStep(const float* query, int64_t entry, int layer,
+                              BuildSync* sync) const {
   int64_t current = entry;
   float best = Score(query, current);
+  std::vector<int64_t> snapshot;
   bool improved = true;
   while (improved) {
     improved = false;
-    for (int64_t nb : layers_[layer][current]) {
+    const std::vector<int64_t>* nbrs = &layers_[layer][current];
+    if (sync != nullptr) {
+      // Concurrent inserts mutate adjacency lists; walk a locked copy.
+      std::lock_guard<std::mutex> lk(sync->node_locks[current]);
+      snapshot = layers_[layer][current];
+      nbrs = &snapshot;
+    }
+    for (int64_t nb : *nbrs) {
       const float s = Score(query, nb);
       if (s > best) {
         best = s;
@@ -102,12 +155,14 @@ int64_t HnswIndex::GreedyStep(const float* query, int64_t entry,
 }
 
 std::vector<std::pair<float, int64_t>> HnswIndex::SearchLayer(
-    const float* query, int64_t entry, int ef, int layer) const {
+    const float* query, int64_t entry, int ef, int layer,
+    BuildSync* sync) const {
   // Max-heap of candidates to expand; min-heap of current best `ef`.
   using Entry = std::pair<float, int64_t>;
   std::priority_queue<Entry> candidates;                 // best first
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> best;
   std::unordered_set<int64_t> visited;
+  std::vector<int64_t> snapshot;
 
   const float es = Score(query, entry);
   candidates.push({es, entry});
@@ -118,7 +173,13 @@ std::vector<std::pair<float, int64_t>> HnswIndex::SearchLayer(
     const auto [cs, cn] = candidates.top();
     candidates.pop();
     if (static_cast<int>(best.size()) >= ef && cs < best.top().first) break;
-    for (int64_t nb : layers_[layer][cn]) {
+    const std::vector<int64_t>* nbrs = &layers_[layer][cn];
+    if (sync != nullptr) {
+      std::lock_guard<std::mutex> lk(sync->node_locks[cn]);
+      snapshot = layers_[layer][cn];
+      nbrs = &snapshot;
+    }
+    for (int64_t nb : *nbrs) {
       if (!visited.insert(nb).second) continue;
       const float s = Score(query, nb);
       if (static_cast<int>(best.size()) < ef || s > best.top().first) {
@@ -142,16 +203,28 @@ std::vector<std::pair<float, int64_t>> HnswIndex::SearchLayer(
 
 void HnswIndex::Connect(
     int64_t node, int layer,
-    const std::vector<std::pair<float, int64_t>>& candidates) {
+    const std::vector<std::pair<float, int64_t>>& candidates,
+    BuildSync* sync) {
   const int max_links = layer == 0 ? 2 * config_.m : config_.m;
   auto& adj = layers_[layer];
   const int take = std::min<int>(max_links, candidates.size());
   for (int k = 0; k < take; ++k) {
     const int64_t nb = candidates[k].second;
     if (nb == node) continue;
-    adj[node].push_back(nb);
-    adj[nb].push_back(node);
-    if (static_cast<int>(adj[nb].size()) > max_links) Prune(nb, layer);
+    if (sync != nullptr) {
+      // Lock both endpoints, smaller node id first (deterministic order,
+      // no deadlock against a concurrent Connect of the reverse pair).
+      std::mutex& first = sync->node_locks[std::min(node, nb)];
+      std::mutex& second = sync->node_locks[std::max(node, nb)];
+      std::scoped_lock lk(first, second);
+      adj[node].push_back(nb);
+      adj[nb].push_back(node);
+      if (static_cast<int>(adj[nb].size()) > max_links) Prune(nb, layer);
+    } else {
+      adj[node].push_back(nb);
+      adj[nb].push_back(node);
+      if (static_cast<int>(adj[nb].size()) > max_links) Prune(nb, layer);
+    }
   }
 }
 

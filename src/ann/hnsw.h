@@ -13,10 +13,15 @@
 #ifndef UNIMATCH_ANN_HNSW_H_
 #define UNIMATCH_ANN_HNSW_H_
 
+#include <utility>
 #include <vector>
 
 #include "src/ann/index.h"
 #include "src/util/random.h"
+
+namespace unimatch {
+class ThreadPool;
+}  // namespace unimatch
 
 namespace unimatch::ann {
 
@@ -28,6 +33,12 @@ struct HnswConfig {
   /// Beam width during search (>= k for good recall).
   int ef_search = 64;
   uint64_t seed = 17;
+  /// Optional pool for parallel graph construction. With nullptr (or a
+  /// 1-thread pool, or a small catalog) Build stays serial and fully
+  /// deterministic for a given seed. A multi-thread pool parallelizes the
+  /// node insertions with per-node locks: the resulting graph depends on
+  /// insertion interleaving (recall properties hold, exact edges vary).
+  ThreadPool* pool = nullptr;
 };
 
 class HnswIndex : public Index {
@@ -52,17 +63,28 @@ class HnswIndex : public Index {
   // from a layer have an empty list.
   using Adjacency = std::vector<std::vector<int64_t>>;
 
+  // Per-node + entry-point locks, live only while a parallel Build runs.
+  // nullptr (serial build, and every post-build Search) means lock-free
+  // access to the adjacency lists.
+  struct BuildSync;
+
   float Score(const float* query, int64_t node) const;
   // Greedy single-entry descent on one layer.
-  int64_t GreedyStep(const float* query, int64_t entry, int layer) const;
+  int64_t GreedyStep(const float* query, int64_t entry, int layer,
+                     BuildSync* sync = nullptr) const;
   // Beam search on one layer; returns up to `ef` best (score, node) pairs,
   // best first.
-  std::vector<std::pair<float, int64_t>> SearchLayer(const float* query,
-                                                     int64_t entry, int ef,
-                                                     int layer) const;
+  std::vector<std::pair<float, int64_t>> SearchLayer(
+      const float* query, int64_t entry, int ef, int layer,
+      BuildSync* sync = nullptr) const;
   void Connect(int64_t node, int layer,
-               const std::vector<std::pair<float, int64_t>>& candidates);
+               const std::vector<std::pair<float, int64_t>>& candidates,
+               BuildSync* sync = nullptr);
   void Prune(int64_t node, int layer);
+  // Full insertion of node i: greedy descent from the current entry point,
+  // beam search + Connect per layer, entry-point raise. `entry_level` is the
+  // level of entry_point_ (guarded by sync->entry_mutex when parallel).
+  void InsertNode(int64_t i, int* entry_level, BuildSync* sync);
 
   HnswConfig config_;
   Tensor vectors_;

@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "src/obs/obs.h"
+#include "src/tensor/kernels.h"
 #include "src/util/contract.h"
 #include "src/util/logging.h"
 #include "src/util/random.h"
@@ -16,9 +17,7 @@ namespace unimatch::ann {
 namespace {
 
 float Dot(const float* a, const float* b, int64_t d) {
-  float acc = 0.0f;
-  for (int64_t j = 0; j < d; ++j) acc += a[j] * b[j];
-  return acc;
+  return kernels::DotF32(a, b, d);
 }
 
 // Keeps the k largest (score, id) pairs using a min-heap, then returns them
@@ -130,20 +129,15 @@ Status IvfIndex::Build(const Tensor& vectors) {
     Tensor sums({nlist, d});
     std::vector<int64_t> counts(nlist, 0);
     for (int64_t i = 0; i < n; ++i) {
-      const float* v = vectors_.data() + i * d;
-      float* s = sums.data() + assign[i] * d;
-      for (int64_t j = 0; j < d; ++j) s[j] += v[j];
+      kernels::AxpyF32(d, 1.0f, vectors_.data() + i * d,
+                       sums.data() + assign[i] * d);
       ++counts[assign[i]];
     }
     for (int64_t c = 0; c < nlist; ++c) {
       if (counts[c] == 0) continue;
-      float* ctr = centroids_.data() + c * d;
-      const float* s = sums.data() + c * d;
-      double norm = 0.0;
-      for (int64_t j = 0; j < d; ++j) norm += static_cast<double>(s[j]) * s[j];
-      const float inv =
-          norm > 0.0 ? static_cast<float>(1.0 / std::sqrt(norm)) : 0.0f;
-      for (int64_t j = 0; j < d; ++j) ctr[j] = s[j] * inv;
+      // An all-zero sum normalizes to zero either way (0 / eps == 0).
+      kernels::L2NormalizeF32(d, sums.data() + c * d,
+                              centroids_.data() + c * d, 1e-12f);
     }
   }
   lists_.assign(nlist, {});

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "src/obs/obs.h"
+#include "src/tensor/kernels.h"
 #include "src/util/logging.h"
 #include "src/util/timer.h"
 
@@ -45,9 +46,7 @@ EvalResult Evaluator::Evaluate(const model::TwoTowerModel& model,
   UM_HISTOGRAM_OBSERVE("eval.embed.ms", embed_timer.ElapsedMillis());
 
   auto dot = [&](const float* a, const float* b) {
-    float acc = 0.0f;
-    for (int64_t j = 0; j < d; ++j) acc += a[j] * b[j];
-    return acc;
+    return kernels::DotF32(a, b, d);
   };
   auto uvec = [&](data::UserId u) {
     return user_emb.data() + user_slot.at(u) * d;

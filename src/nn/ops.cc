@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/tensor/kernels.h"
 #include "src/tensor/tensor_ops.h"
 #include "src/util/contract.h"
 
@@ -360,26 +361,18 @@ Variable RowwiseDot(const Variable& a, const Variable& b) {
   const int64_t m = a.dim(0), d = a.dim(1);
   Tensor out({m});
   for (int64_t i = 0; i < m; ++i) {
-    const float* pa = a.value().data() + i * d;
-    const float* pb = b.value().data() + i * d;
-    float acc = 0.0f;
-    for (int64_t j = 0; j < d; ++j) acc += pa[j] * pb[j];
-    out.at(i) = acc;
+    out.at(i) = kernels::DotF32(a.value().data() + i * d,
+                                b.value().data() + i * d, d);
   }
   return MakeOpVariable(
       std::move(out), {a, b},
       [a, b, m, d](VarNode& node) {
+        // Fresh Tensors are zero-filled, so the axpy accumulate is exact.
         Tensor ga(a.shape()), gb(b.shape());
         for (int64_t i = 0; i < m; ++i) {
           const float g = node.grad.at(i);
-          const float* pa = a.value().data() + i * d;
-          const float* pb = b.value().data() + i * d;
-          float* pga = ga.data() + i * d;
-          float* pgb = gb.data() + i * d;
-          for (int64_t j = 0; j < d; ++j) {
-            pga[j] = g * pb[j];
-            pgb[j] = g * pa[j];
-          }
+          kernels::AxpyF32(d, g, b.value().data() + i * d, ga.data() + i * d);
+          kernels::AxpyF32(d, g, a.value().data() + i * d, gb.data() + i * d);
         }
         a.node()->AccumulateGrad(ga);
         b.node()->AccumulateGrad(gb);
@@ -403,8 +396,7 @@ Variable L2NormalizeRows(const Variable& a, float eps) {
           const float* py = y.data() + i * d;
           const float* pg = node.grad.data() + i * d;
           float* po = gin.data() + i * d;
-          float dot = 0.0f;
-          for (int64_t j = 0; j < d; ++j) dot += py[j] * pg[j];
+          const float dot = kernels::DotF32(py, pg, d);
           const float inv = 1.0f / norms.at(i);
           for (int64_t j = 0; j < d; ++j) {
             po[j] = (pg[j] - py[j] * dot) * inv;

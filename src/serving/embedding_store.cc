@@ -4,8 +4,10 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <vector>
 
 #include "src/obs/obs.h"
+#include "src/tensor/kernels.h"
 
 namespace unimatch::serving {
 
@@ -94,13 +96,13 @@ Result<double> EmbeddingChurn(const Tensor& before, const Tensor& after) {
   const int64_t n = before.dim(0), d = before.dim(1);
   if (n == 0) return 0.0;
   double total = 0.0;
+  std::vector<float> diff(d);
   for (int64_t i = 0; i < n; ++i) {
-    double sq = 0.0;
-    for (int64_t j = 0; j < d; ++j) {
-      const double diff = after.at(i, j) - before.at(i, j);
-      sq += diff * diff;
-    }
-    total += std::sqrt(sq);
+    // diff = after_row - before_row, then ||diff||_2 via the dot kernel.
+    std::memcpy(diff.data(), after.data() + i * d, sizeof(float) * d);
+    kernels::AxpyF32(d, -1.0f, before.data() + i * d, diff.data());
+    total += std::sqrt(
+        static_cast<double>(kernels::DotF32(diff.data(), diff.data(), d)));
   }
   const double churn = total / static_cast<double>(n);
   UM_COUNTER_INC("serving.store.churn_checks");

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "src/tensor/kernels.h"
+
 namespace unimatch {
 
 int64_t ShapeNumel(const Shape& shape) {
@@ -84,14 +86,11 @@ Tensor Tensor::Reshaped(Shape new_shape) const {
 
 void Tensor::AddInPlace(const Tensor& other, float alpha) {
   UM_CHECK(same_shape(other));
-  float* a = data();
-  const float* b = other.data();
-  for (int64_t i = 0; i < numel_; ++i) a[i] += alpha * b[i];
+  kernels::AxpyF32(numel_, alpha, other.data(), data());
 }
 
 void Tensor::ScaleInPlace(float alpha) {
-  float* a = data();
-  for (int64_t i = 0; i < numel_; ++i) a[i] *= alpha;
+  kernels::ScaleAddF32(numel_, 0.0f, data(), alpha, data());
 }
 
 double Tensor::Sum() const {

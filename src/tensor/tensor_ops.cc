@@ -4,87 +4,61 @@
 #include <cmath>
 
 #include "src/obs/obs.h"
+#include "src/tensor/kernels.h"
 #include "src/util/contract.h"
 #include "src/util/threadpool.h"
 
 namespace unimatch {
 
+namespace {
+
+// Above this many multiply-adds a Gemm call shards row blocks across the
+// global pool; below it the dispatch overhead would dominate.
+constexpr int64_t kGemmParallelFlops = 1 << 18;
+// Rows per shard. Multiples of the micro-kernel's 4-row tile so parallel
+// splits never break register tiling.
+constexpr int64_t kGemmRowBlock = 32;
+
+}  // namespace
+
 void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
           float alpha, const float* a, const float* b, float beta, float* c) {
   UM_COUNTER_INC("tensor.gemm.calls");
-  UM_COUNTER_ADD("tensor.gemm.flops", 2 * m * n * k);
-  // Handle the transposed-A cases by explicit indexing here (they are rare:
-  // only used in backward passes), and dispatch the two common layouts to the
-  // threaded row kernel.
-  if (!trans_a) {
-    auto run = [&](int64_t r0, int64_t r1) {
-      for (int64_t i = r0; i < r1; ++i) {
-        float* crow = c + i * n;
-        if (beta == 0.0f) {
-          std::fill(crow, crow + n, 0.0f);
-        } else if (beta != 1.0f) {
-          for (int64_t j = 0; j < n; ++j) crow[j] *= beta;
-        }
-        const float* arow = a + i * k;
-        if (!trans_b) {
-          for (int64_t p = 0; p < k; ++p) {
-            const float av = alpha * arow[p];
-            if (av == 0.0f) continue;
-            const float* brow = b + p * n;
-            for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-          }
-        } else {
-          for (int64_t j = 0; j < n; ++j) {
-            const float* brow = b + j * k;
-            float acc = 0.0f;
-            for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-            crow[j] += alpha * acc;
-          }
-        }
-      }
-    };
-    const int64_t flops = m * n * k;
-    if (flops > (1 << 18)) {
-      ThreadPool::Global()->ParallelFor(
-          0, m, [&](int64_t i) { run(i, i + 1); }, /*min_shard=*/8);
-    } else {
-      run(0, m);
-    }
-    return;
-  }
+  // Widen before multiplying so the flop estimate cannot overflow a narrower
+  // intermediate even if the dimension types ever shrink.
+  const int64_t flops = int64_t{2} * m * n * k;
+  UM_COUNTER_ADD("tensor.gemm.flops", flops);
+  UM_CONTRACT(m >= 0 && n >= 0 && k >= 0)
+      << "Gemm dims m=" << m << " n=" << n << " k=" << k;
+  if (m == 0 || n == 0) return;
 
-  // trans_a: A is [k, m].
-  for (int64_t i = 0; i < m; ++i) {
-    float* crow = c + i * n;
-    if (beta == 0.0f) {
-      std::fill(crow, crow + n, 0.0f);
-    } else if (beta != 1.0f) {
-      for (int64_t j = 0; j < n; ++j) crow[j] *= beta;
+  // All four layouts run on the vectorized row kernels (src/tensor/kernels):
+  // A's logical element (i, p) maps to a[i * row_stride + p * col_stride],
+  // and trans_b selects between the axpy ([k, n] B) and dot ([n, k] B)
+  // kernel shapes. Every case — including the transposed-A backward layouts
+  // that used to be serial — shards C row blocks across the pool.
+  const int64_t a_row_stride = trans_a ? 1 : k;
+  const int64_t a_col_stride = trans_a ? m : 1;
+  auto run_rows = [&](int64_t r0, int64_t r1) {
+    if (!trans_b) {
+      kernels::GemmRowsAxpy(r0, r1, n, k, alpha, a, a_row_stride, a_col_stride,
+                            b, beta, c);
+    } else {
+      kernels::GemmRowsDot(r0, r1, n, k, alpha, a, a_row_stride, a_col_stride,
+                           b, beta, c);
     }
-  }
-  if (!trans_b) {
-    // C[i,j] += alpha * sum_p A[p,i] * B[p,j].
-    for (int64_t p = 0; p < k; ++p) {
-      const float* arow = a + p * m;
-      const float* brow = b + p * n;
-      for (int64_t i = 0; i < m; ++i) {
-        const float av = alpha * arow[i];
-        if (av == 0.0f) continue;
-        float* crow = c + i * n;
-        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
+  };
+  if (flops > kGemmParallelFlops && m > kGemmRowBlock) {
+    const int64_t num_blocks = (m + kGemmRowBlock - 1) / kGemmRowBlock;
+    ThreadPool::Global()->ParallelFor(
+        0, num_blocks,
+        [&](int64_t block) {
+          const int64_t r0 = block * kGemmRowBlock;
+          run_rows(r0, std::min(m, r0 + kGemmRowBlock));
+        },
+        /*min_shard=*/1);
   } else {
-    // A is [k, m], B is [n, k]: C[i,j] += alpha * sum_p A[p,i] * B[j,p].
-    for (int64_t i = 0; i < m; ++i) {
-      float* crow = c + i * n;
-      for (int64_t j = 0; j < n; ++j) {
-        const float* brow = b + j * k;
-        float acc = 0.0f;
-        for (int64_t p = 0; p < k; ++p) acc += a[p * m + i] * brow[p];
-        crow[j] += alpha * acc;
-      }
-    }
+    run_rows(0, m);
   }
 }
 
@@ -174,14 +148,9 @@ void L2NormalizeRows(const Tensor& in, Tensor* out, Tensor* norms, float eps) {
     UM_CHECK_SHAPE(norms->numel() == m, in, *norms) << "L2NormalizeRows norms";
   }
   for (int64_t i = 0; i < m; ++i) {
-    const float* x = in.data() + i * n;
-    float* y = out->data() + i * n;
-    double ss = 0.0;
-    for (int64_t j = 0; j < n; ++j) ss += static_cast<double>(x[j]) * x[j];
-    const float norm = std::max(static_cast<float>(std::sqrt(ss)), eps);
+    const float norm =
+        kernels::L2NormalizeF32(n, in.data() + i * n, out->data() + i * n, eps);
     if (norms != nullptr) norms->at(i) = norm;
-    const float inv = 1.0f / norm;
-    for (int64_t j = 0; j < n; ++j) y[j] = x[j] * inv;
   }
 }
 

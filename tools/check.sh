@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # One-shot correctness gate, suitable as a CI entrypoint:
 #   1. tools/lint.py (repo-local static rules)
-#   2. asan-ubsan preset: configure + build + ctest -L tier1
-#   3. tsan preset:       configure + build + ctest -L tier1
+#   2. release preset:    configure + build + kernel equivalence tests
+#      (tier1 tests matching Kernels|Hnsw — the vectorized-vs-reference
+#      suite on the optimized, runtime-dispatched build)
+#   3. asan-ubsan preset: configure + build + ctest -L tier1
+#   4. tsan preset:       configure + build + ctest -L tier1
 #
-# Usage: tools/check.sh [--jobs N] [--skip-tsan] [--skip-asan]
+# Usage: tools/check.sh [--jobs N] [--skip-release] [--skip-tsan] [--skip-asan]
 # Runs from any cwd; exits non-zero on the first failing stage.
 
 set -euo pipefail
@@ -12,11 +15,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
+RUN_RELEASE=1
 RUN_ASAN=1
 RUN_TSAN=1
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --jobs) JOBS="$2"; shift 2 ;;
+    --skip-release) RUN_RELEASE=0; shift ;;
     --skip-asan) RUN_ASAN=0; shift ;;
     --skip-tsan) RUN_TSAN=0; shift ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
@@ -38,6 +43,16 @@ run_preset() {
   stage "ctest -L tier1 [$preset]"
   ctest --test-dir "build-$preset" -L tier1 --output-on-failure -j "$JOBS"
 }
+
+if [[ "$RUN_RELEASE" == 1 ]]; then
+  stage "configure [release]"
+  cmake --preset release
+  stage "build [release]"
+  cmake --build --preset release -j "$JOBS" --target unimatch_tests
+  stage "kernel equivalence tests [release]"
+  ctest --test-dir build -L tier1 -R 'Kernels|Hnsw' --output-on-failure \
+    -j "$JOBS"
+fi
 
 [[ "$RUN_ASAN" == 1 ]] && run_preset asan-ubsan
 [[ "$RUN_TSAN" == 1 ]] && run_preset tsan
