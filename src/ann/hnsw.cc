@@ -50,7 +50,7 @@ Status HnswIndex::Build(const Tensor& vectors) {
   // A NaN embedding poisons greedy search comparisons silently; reject it
   // at the boundary instead.
   UM_CHECK_FINITE(vectors) << "HnswIndex::Build embeddings";
-  vectors_ = vectors.Clone();
+  vectors_ = vectors;  // refcounted alias; the index never mutates it
   const int64_t n = vectors_.dim(0);
   Rng rng(config_.seed);
 

@@ -63,7 +63,7 @@ Status BruteForceIndex::Build(const Tensor& vectors) {
     return Status::InvalidArgument("index expects a [N, d] matrix");
   }
   UM_CHECK_FINITE(vectors) << "BruteForceIndex::Build embeddings";
-  vectors_ = vectors.Clone();
+  vectors_ = vectors;  // refcounted alias; the index never mutates it
   return Status::OK();
 }
 
@@ -88,7 +88,7 @@ Status IvfIndex::Build(const Tensor& vectors) {
   UM_COUNTER_INC("ann.ivf.builds");
   // NaN embeddings would silently lose the centroid-assignment comparisons.
   UM_CHECK_FINITE(vectors) << "IvfIndex::Build embeddings";
-  vectors_ = vectors.Clone();
+  vectors_ = vectors;  // refcounted alias; the index never mutates it
   const int64_t n = vectors_.dim(0), d = vectors_.dim(1);
   if (n == 0) return Status::InvalidArgument("empty index");
   int64_t nlist = config_.nlist;

@@ -18,12 +18,22 @@ std::unique_ptr<ann::Index> UniMatchEngine::MakeIndex() const {
   if (config_.index == "hnsw") {
     return std::make_unique<ann::HnswIndex>(config_.hnsw);
   }
+  // Fit() already rejected anything but the known index kinds.
+  UM_CHECK(config_.index == "brute_force");
   return std::make_unique<ann::BruteForceIndex>();
 }
 
 Status UniMatchEngine::Fit(const data::InteractionLog& log) {
   if (fitted_) {
     return Status::FailedPrecondition("engine already fitted");
+  }
+  if (config_.index != "brute_force" && config_.index != "ivf" &&
+      config_.index != "hnsw") {
+    // Fail loudly up front: a typo like "bruteforce" used to silently fall
+    // back to the exact index and masked the intended configuration.
+    return Status::InvalidArgument("unknown EngineConfig::index \"" +
+                                   config_.index +
+                                   "\" (expected brute_force, ivf, or hnsw)");
   }
   if (log.empty()) return Status::InvalidArgument("empty interaction log");
   if (log.NumMonths() < 3) {

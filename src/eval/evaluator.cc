@@ -48,10 +48,12 @@ EvalResult Evaluator::Evaluate(const model::TwoTowerModel& model,
   auto dot = [&](const float* a, const float* b) {
     return kernels::DotF32(a, b, d);
   };
+  // Zero-copy row views into the embedding matrices (bounds-checked,
+  // unlike the raw pointer arithmetic they replace).
   auto uvec = [&](data::UserId u) {
-    return user_emb.data() + user_slot.at(u) * d;
+    return user_emb.Row(user_slot.at(u)).data();
   };
-  auto ivec = [&](data::ItemId i) { return item_emb.data() + i * d; };
+  auto ivec = [&](data::ItemId i) { return item_emb.Row(i).data(); };
 
   EvalResult out;
   if (retrieved != nullptr) {

@@ -217,7 +217,9 @@ Tensor TwoTowerModel::InferItemEmbeddings() const {
   std::vector<int64_t> ids(config_.num_items);
   for (int64_t i = 0; i < config_.num_items; ++i) ids[i] = i;
   nn::Variable emb = Normalize(EncodeItems(ids));
-  return emb.value().Clone();
+  // Tensors are refcounted handles: returning the value aliases the
+  // encoder output instead of copying the whole [num_items, d] matrix.
+  return emb.value();
 }
 
 }  // namespace unimatch::model

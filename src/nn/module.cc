@@ -23,7 +23,12 @@ int64_t Module::NumParameters() const {
 }
 
 Variable Module::RegisterParameter(std::string name, Tensor init) {
-  Variable v(std::move(init), /*requires_grad=*/true);
+  // Parameters live for the whole model lifetime; rehoming them into
+  // unpooled storage keeps them from pinning BufferPool size classes that
+  // the per-step hot path wants to recycle.
+  Tensor owned = Tensor::ZerosUnpooled(init.shape());
+  owned.CopyFrom(init);
+  Variable v(std::move(owned), /*requires_grad=*/true);
   own_params_.push_back({std::move(name), v});
   return v;
 }

@@ -15,20 +15,20 @@ namespace {
 template <typename Fwd, typename Dfdx>
 Variable UnaryElementwise(const Variable& a, Fwd fwd, Dfdx dfdx,
                           const char* name) {
-  Tensor out(a.shape());
+  Tensor out = Tensor::Empty(a.shape());
   const float* x = a.value().data();
   float* y = out.data();
   for (int64_t i = 0; i < a.numel(); ++i) y[i] = fwd(x[i]);
   return MakeOpVariable(
       std::move(out), {a},
       [a, dfdx](VarNode& node) {
-        Tensor gin(a.shape());
+        Tensor gin = Tensor::Empty(a.shape());
         const float* g = node.grad.data();
         const float* x = a.value().data();
         const float* y = node.value.data();
         float* gi = gin.data();
         for (int64_t i = 0; i < a.numel(); ++i) gi[i] = g[i] * dfdx(x[i], y[i]);
-        a.node()->AccumulateGrad(gin);
+        a.node()->AccumulateGrad(std::move(gin));
       },
       name);
 }
@@ -58,14 +58,14 @@ Variable Sub(const Variable& a, const Variable& b) {
         a.node()->AccumulateGrad(node.grad);
         Tensor gneg = node.grad.Clone();
         gneg.ScaleInPlace(-1.0f);
-        b.node()->AccumulateGrad(gneg);
+        b.node()->AccumulateGrad(std::move(gneg));
       },
       "Sub");
 }
 
 Variable Mul(const Variable& a, const Variable& b) {
   UM_CHECK_SHAPE(a.value().same_shape(b.value()), a, b) << "Mul";
-  Tensor out(a.shape());
+  Tensor out = Tensor::Empty(a.shape());
   const float* x = a.value().data();
   const float* z = b.value().data();
   float* y = out.data();
@@ -74,15 +74,16 @@ Variable Mul(const Variable& a, const Variable& b) {
       std::move(out), {a, b},
       [a, b](VarNode& node) {
         const float* g = node.grad.data();
-        Tensor ga(a.shape()), gb(b.shape());
+        Tensor ga = Tensor::Empty(a.shape());
+        Tensor gb = Tensor::Empty(b.shape());
         const float* x = a.value().data();
         const float* z = b.value().data();
         for (int64_t i = 0; i < a.numel(); ++i) {
           ga.data()[i] = g[i] * z[i];
           gb.data()[i] = g[i] * x[i];
         }
-        a.node()->AccumulateGrad(ga);
-        b.node()->AccumulateGrad(gb);
+        a.node()->AccumulateGrad(std::move(ga));
+        b.node()->AccumulateGrad(std::move(gb));
       },
       "Mul");
 }
@@ -97,7 +98,7 @@ Variable ScalarMul(const Variable& a, float s) {
       [a, s](VarNode& node) {
         Tensor g = node.grad.Clone();
         g.ScaleInPlace(s);
-        a.node()->AccumulateGrad(g);
+        a.node()->AccumulateGrad(std::move(g));
       },
       "ScalarMul");
 }
@@ -182,18 +183,18 @@ Variable Reshape(const Variable& a, Shape shape) {
 Variable Transpose(const Variable& a) {
   UM_CHECK_EQ(a.rank(), 2);
   const int64_t m = a.dim(0), n = a.dim(1);
-  Tensor out({n, m});
+  Tensor out = Tensor::Empty({n, m});
   for (int64_t i = 0; i < m; ++i) {
     for (int64_t j = 0; j < n; ++j) out.at(j, i) = a.value().at(i, j);
   }
   return MakeOpVariable(
       std::move(out), {a},
       [a, m, n](VarNode& node) {
-        Tensor g(a.shape());
+        Tensor g = Tensor::Empty(a.shape());
         for (int64_t i = 0; i < m; ++i) {
           for (int64_t j = 0; j < n; ++j) g.at(i, j) = node.grad.at(j, i);
         }
-        a.node()->AccumulateGrad(g);
+        a.node()->AccumulateGrad(std::move(g));
       },
       "Transpose");
 }
@@ -202,7 +203,7 @@ Variable ConcatCols(const Variable& a, const Variable& b) {
   UM_CHECK_SHAPE(a.rank() == 2 && b.rank() == 2 && a.dim(0) == b.dim(0), a, b)
       << "ConcatCols";
   const int64_t m = a.dim(0), n1 = a.dim(1), n2 = b.dim(1);
-  Tensor out({m, n1 + n2});
+  Tensor out = Tensor::Empty({m, n1 + n2});
   for (int64_t i = 0; i < m; ++i) {
     const float* pa = a.value().data() + i * n1;
     const float* pb = b.value().data() + i * n2;
@@ -213,14 +214,15 @@ Variable ConcatCols(const Variable& a, const Variable& b) {
   return MakeOpVariable(
       std::move(out), {a, b},
       [a, b, m, n1, n2](VarNode& node) {
-        Tensor ga(a.shape()), gb(b.shape());
+        Tensor ga = Tensor::Empty(a.shape());
+        Tensor gb = Tensor::Empty(b.shape());
         for (int64_t i = 0; i < m; ++i) {
           const float* g = node.grad.data() + i * (n1 + n2);
           std::copy(g, g + n1, ga.data() + i * n1);
           std::copy(g + n1, g + n1 + n2, gb.data() + i * n2);
         }
-        a.node()->AccumulateGrad(ga);
-        b.node()->AccumulateGrad(gb);
+        a.node()->AccumulateGrad(std::move(ga));
+        b.node()->AccumulateGrad(std::move(gb));
       },
       "ConcatCols");
 }
@@ -229,19 +231,20 @@ Variable ConcatRows(const Variable& a, const Variable& b) {
   UM_CHECK_SHAPE(a.rank() == 2 && b.rank() == 2 && a.dim(1) == b.dim(1), a, b)
       << "ConcatRows";
   const int64_t m1 = a.dim(0), m2 = b.dim(0), n = a.dim(1);
-  Tensor out({m1 + m2, n});
+  Tensor out = Tensor::Empty({m1 + m2, n});
   std::copy(a.value().data(), a.value().data() + m1 * n, out.data());
   std::copy(b.value().data(), b.value().data() + m2 * n,
             out.data() + m1 * n);
   return MakeOpVariable(
       std::move(out), {a, b},
       [a, b, m1, m2, n](VarNode& node) {
-        Tensor ga(a.shape()), gb(b.shape());
+        Tensor ga = Tensor::Empty(a.shape());
+        Tensor gb = Tensor::Empty(b.shape());
         std::copy(node.grad.data(), node.grad.data() + m1 * n, ga.data());
         std::copy(node.grad.data() + m1 * n,
                   node.grad.data() + (m1 + m2) * n, gb.data());
-        a.node()->AccumulateGrad(ga);
-        b.node()->AccumulateGrad(gb);
+        a.node()->AccumulateGrad(std::move(ga));
+        b.node()->AccumulateGrad(std::move(gb));
       },
       "ConcatRows");
 }
@@ -268,8 +271,8 @@ Variable MatMul(const Variable& a, const Variable& b, bool trans_a,
           ga = unimatch::MatMul(b.value(), g, true, true);
           gb = unimatch::MatMul(g, a.value(), true, true);
         }
-        a.node()->AccumulateGrad(ga);
-        b.node()->AccumulateGrad(gb);
+        a.node()->AccumulateGrad(std::move(ga));
+        b.node()->AccumulateGrad(std::move(gb));
       },
       "MatMul");
 }
@@ -288,12 +291,10 @@ Variable AddRowVector(const Variable& x, const Variable& v) {
       std::move(out), {x, v},
       [x, v, m, n](VarNode& node) {
         x.node()->AccumulateGrad(node.grad);
-        Tensor gv(v.shape());
         Tensor flat = node.grad.Reshaped({m, n});
-        Tensor col_sums({n});
+        Tensor col_sums = Tensor::Empty({n});
         ReduceSumCols(flat, &col_sums);
-        std::copy(col_sums.data(), col_sums.data() + n, gv.data());
-        v.node()->AccumulateGrad(gv);
+        v.node()->AccumulateGrad(col_sums.Reshaped(v.shape()));
       },
       "AddRowVector");
 }
@@ -312,12 +313,10 @@ Variable AddColVector(const Variable& x, const Variable& v) {
       std::move(out), {x, v},
       [x, v, m, n](VarNode& node) {
         x.node()->AccumulateGrad(node.grad);
-        Tensor gv(v.shape());
         Tensor flat = node.grad.Reshaped({m, n});
-        Tensor row_sums({m});
+        Tensor row_sums = Tensor::Empty({m});
         ReduceSumRows(flat, &row_sums);
-        std::copy(row_sums.data(), row_sums.data() + m, gv.data());
-        v.node()->AccumulateGrad(gv);
+        v.node()->AccumulateGrad(row_sums.Reshaped(v.shape()));
       },
       "AddColVector");
 }
@@ -326,14 +325,14 @@ Variable TakeDiagonal(const Variable& a) {
   UM_CHECK_EQ(a.rank(), 2);
   UM_CHECK_EQ(a.dim(0), a.dim(1));
   const int64_t n = a.dim(0);
-  Tensor out({n});
+  Tensor out = Tensor::Empty({n});
   for (int64_t i = 0; i < n; ++i) out.at(i) = a.value().at(i, i);
   return MakeOpVariable(
       std::move(out), {a},
       [a, n](VarNode& node) {
-        Tensor g(a.shape());
+        Tensor g(a.shape());  // zero-filled: only the diagonal is written
         for (int64_t i = 0; i < n; ++i) g.at(i, i) = node.grad.at(i);
-        a.node()->AccumulateGrad(g);
+        a.node()->AccumulateGrad(std::move(g));
       },
       "TakeDiagonal");
 }
@@ -342,14 +341,14 @@ Variable TakeColumn(const Variable& a, int64_t j) {
   UM_CHECK_EQ(a.rank(), 2);
   UM_CHECK_LT(j, a.dim(1));
   const int64_t m = a.dim(0);
-  Tensor out({m});
+  Tensor out = Tensor::Empty({m});
   for (int64_t i = 0; i < m; ++i) out.at(i) = a.value().at(i, j);
   return MakeOpVariable(
       std::move(out), {a},
       [a, j, m](VarNode& node) {
-        Tensor g(a.shape());
+        Tensor g(a.shape());  // zero-filled: only column j is written
         for (int64_t i = 0; i < m; ++i) g.at(i, j) = node.grad.at(i);
-        a.node()->AccumulateGrad(g);
+        a.node()->AccumulateGrad(std::move(g));
       },
       "TakeColumn");
 }
@@ -359,7 +358,7 @@ Variable RowwiseDot(const Variable& a, const Variable& b) {
                              << contract::ShapeOf(a);
   UM_CHECK_SHAPE(a.value().same_shape(b.value()), a, b) << "RowwiseDot";
   const int64_t m = a.dim(0), d = a.dim(1);
-  Tensor out({m});
+  Tensor out = Tensor::Empty({m});
   for (int64_t i = 0; i < m; ++i) {
     out.at(i) = kernels::DotF32(a.value().data() + i * d,
                                 b.value().data() + i * d, d);
@@ -374,8 +373,8 @@ Variable RowwiseDot(const Variable& a, const Variable& b) {
           kernels::AxpyF32(d, g, b.value().data() + i * d, ga.data() + i * d);
           kernels::AxpyF32(d, g, a.value().data() + i * d, gb.data() + i * d);
         }
-        a.node()->AccumulateGrad(ga);
-        b.node()->AccumulateGrad(gb);
+        a.node()->AccumulateGrad(std::move(ga));
+        b.node()->AccumulateGrad(std::move(gb));
       },
       "RowwiseDot");
 }
@@ -383,15 +382,15 @@ Variable RowwiseDot(const Variable& a, const Variable& b) {
 Variable L2NormalizeRows(const Variable& a, float eps) {
   UM_CHECK_EQ(a.rank(), 2);
   const int64_t m = a.dim(0), d = a.dim(1);
-  Tensor out(a.shape());
-  Tensor norms({m});
+  Tensor out = Tensor::Empty(a.shape());
+  Tensor norms = Tensor::Empty({m});
   unimatch::L2NormalizeRows(a.value(), &out, &norms, eps);
   Tensor y = out;  // share storage: y is the normalized output
   return MakeOpVariable(
       std::move(out), {a},
       [a, y, norms, m, d](VarNode& node) {
         // dx = (g - y * <y, g>) / ||x||  row-wise.
-        Tensor gin(a.shape());
+        Tensor gin = Tensor::Empty(a.shape());
         for (int64_t i = 0; i < m; ++i) {
           const float* py = y.data() + i * d;
           const float* pg = node.grad.data() + i * d;
@@ -402,7 +401,7 @@ Variable L2NormalizeRows(const Variable& a, float eps) {
             po[j] = (pg[j] - py[j] * dot) * inv;
           }
         }
-        a.node()->AccumulateGrad(gin);
+        a.node()->AccumulateGrad(std::move(gin));
       },
       "L2NormalizeRows");
 }
@@ -416,10 +415,10 @@ Variable SoftmaxImpl(const Variable& a, int dim, bool log_space) {
   // all inside the kernel (cheap for the [B, B] logit matrices involved).
   const Tensor& x = a.value();
   const int64_t m = x.dim(0), n = x.dim(1);
-  Tensor out(a.shape());
+  Tensor out = Tensor::Empty(a.shape());
   auto row_view = [&](const Tensor& t, Tensor* tmp) -> Tensor {
     if (dim == 1) return t;
-    Tensor tr({n, m});
+    Tensor tr = Tensor::Empty({n, m});
     for (int64_t i = 0; i < m; ++i) {
       for (int64_t j = 0; j < n; ++j) tr.at(j, i) = t.at(i, j);
     }
@@ -428,7 +427,7 @@ Variable SoftmaxImpl(const Variable& a, int dim, bool log_space) {
   };
   Tensor tmp_in;
   Tensor in_rows = row_view(x, &tmp_in);
-  Tensor out_rows(in_rows.shape());
+  Tensor out_rows = Tensor::Empty(in_rows.shape());
   if (log_space) {
     LogSoftmaxRows(in_rows, &out_rows);
   } else {
@@ -444,7 +443,7 @@ Variable SoftmaxImpl(const Variable& a, int dim, bool log_space) {
 
   Tensor y = out;
   auto backward = [a, y, dim, m, n, log_space](VarNode& node) {
-    Tensor gin(a.shape());
+    Tensor gin = Tensor::Empty(a.shape());
     const int64_t rows = dim == 1 ? m : n;
     const int64_t cols = dim == 1 ? n : m;
     auto val = [&](const Tensor& t, int64_t r, int64_t c) -> float {
@@ -480,7 +479,7 @@ Variable SoftmaxImpl(const Variable& a, int dim, bool log_space) {
         }
       }
     }
-    a.node()->AccumulateGrad(gin);
+    a.node()->AccumulateGrad(std::move(gin));
   };
   return MakeOpVariable(std::move(out), {a}, backward,
                         log_space ? "LogSoftmax" : "Softmax");
@@ -503,9 +502,9 @@ Variable LayerNorm(const Variable& x, const Variable& gain,
   const int64_t n = x.dim(0), d = x.dim(1);
   UM_CHECK_SHAPE(gain.numel() == d, x, gain) << "LayerNorm gain";
   UM_CHECK_SHAPE(bias.numel() == d, x, bias) << "LayerNorm bias";
-  Tensor out(x.shape());
-  Tensor xhat(x.shape());
-  Tensor inv_std({n});
+  Tensor out = Tensor::Empty(x.shape());
+  Tensor xhat = Tensor::Empty(x.shape());
+  Tensor inv_std = Tensor::Empty({n});
   for (int64_t i = 0; i < n; ++i) {
     const float* px = x.value().data() + i * d;
     double mean = 0.0;
@@ -531,9 +530,9 @@ Variable LayerNorm(const Variable& x, const Variable& gain,
   return MakeOpVariable(
       std::move(out), {x, gain, bias},
       [x, gain, bias, xhat, inv_std, n, d](VarNode& node) {
-        Tensor gx(x.shape());
-        Tensor ggain(gain.shape());
-        Tensor gbias(bias.shape());
+        Tensor gx = Tensor::Empty(x.shape());
+        Tensor ggain(gain.shape());  // zero-filled: accumulated over rows
+        Tensor gbias(bias.shape());  // zero-filled: accumulated over rows
         for (int64_t i = 0; i < n; ++i) {
           const float* g = node.grad.data() + i * d;
           const float* h = xhat.data() + i * d;
@@ -558,9 +557,9 @@ Variable LayerNorm(const Variable& x, const Variable& gain,
             gbias.data()[j] += g[j];
           }
         }
-        x.node()->AccumulateGrad(gx);
-        gain.node()->AccumulateGrad(ggain);
-        bias.node()->AccumulateGrad(gbias);
+        x.node()->AccumulateGrad(std::move(gx));
+        gain.node()->AccumulateGrad(std::move(ggain));
+        bias.node()->AccumulateGrad(std::move(gbias));
       },
       "LayerNorm");
 }
@@ -570,22 +569,22 @@ Variable Dropout(const Variable& a, float p, Rng* rng) {
   UM_CHECK_LT(p, 1.0f);
   if (p == 0.0f) return a;
   const float scale = 1.0f / (1.0f - p);
-  auto mask = std::make_shared<Tensor>(a.shape());
+  auto mask = std::make_shared<Tensor>(Tensor::Empty(a.shape()));
   for (int64_t i = 0; i < a.numel(); ++i) {
     mask->at(i) = rng->Bernoulli(p) ? 0.0f : scale;
   }
-  Tensor out(a.shape());
+  Tensor out = Tensor::Empty(a.shape());
   for (int64_t i = 0; i < a.numel(); ++i) {
     out.at(i) = a.value().at(i) * mask->at(i);
   }
   return MakeOpVariable(
       std::move(out), {a},
       [a, mask](VarNode& node) {
-        Tensor g(a.shape());
+        Tensor g = Tensor::Empty(a.shape());
         for (int64_t i = 0; i < a.numel(); ++i) {
           g.at(i) = node.grad.at(i) * mask->at(i);
         }
-        a.node()->AccumulateGrad(g);
+        a.node()->AccumulateGrad(std::move(g));
       },
       "Dropout");
 }
@@ -610,7 +609,7 @@ Variable BCEWithLogits(const Variable& logits, const Tensor& labels) {
       [logits, labels, n](VarNode& node) {
         // d loss / d x_i = (sigmoid(x_i) - y_i) / n.
         const float g = node.grad.item() / static_cast<float>(n);
-        Tensor gin(logits.shape());
+        Tensor gin = Tensor::Empty(logits.shape());
         const float* x = logits.value().data();
         const float* yl = labels.data();
         for (int64_t i = 0; i < n; ++i) {
@@ -619,7 +618,7 @@ Variable BCEWithLogits(const Variable& logits, const Tensor& labels) {
                                      : std::exp(xi) / (1.0f + std::exp(xi));
           gin.data()[i] = g * (s - yl[i]);
         }
-        logits.node()->AccumulateGrad(gin);
+        logits.node()->AccumulateGrad(std::move(gin));
       },
       "BCEWithLogits");
 }

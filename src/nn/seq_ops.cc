@@ -33,7 +33,7 @@ Variable EmbeddingLookup(const Variable& table,
           float* dst = g.data() + id * d;
           for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
         }
-        table.node()->AccumulateGrad(g);
+        table.node()->AccumulateGrad(std::move(g));
       },
       "EmbeddingLookup");
 }
@@ -78,7 +78,7 @@ Variable ShiftSeq(const Variable& x, int64_t offset) {
             for (int64_t j = 0; j < d; ++j) gi[j] += go[j];
           }
         }
-        x.node()->AccumulateGrad(g);
+        x.node()->AccumulateGrad(std::move(g));
       },
       "ShiftSeq");
 }
@@ -88,7 +88,7 @@ Variable SelectTimeStep(const Variable& x, int64_t t) {
   const int64_t b = x.dim(0), l = x.dim(1), d = x.dim(2);
   UM_CHECK_GE(t, 0);
   UM_CHECK_LT(t, l);
-  Tensor out({b, d});
+  Tensor out = Tensor::Empty({b, d});
   for (int64_t i = 0; i < b; ++i) {
     const float* src = x.value().data() + (i * l + t) * d;
     std::copy(src, src + d, out.data() + i * d);
@@ -102,7 +102,7 @@ Variable SelectTimeStep(const Variable& x, int64_t t) {
           float* dst = g.data() + (i * l + t) * d;
           std::copy(src, src + d, dst);
         }
-        x.node()->AccumulateGrad(g);
+        x.node()->AccumulateGrad(std::move(g));
       },
       "SelectTimeStep");
 }
@@ -111,7 +111,7 @@ Variable StackTimeSteps(const std::vector<Variable>& steps) {
   UM_CHECK(!steps.empty());
   const int64_t l = static_cast<int64_t>(steps.size());
   const int64_t b = steps[0].dim(0), d = steps[0].dim(1);
-  Tensor out({b, l, d});
+  Tensor out = Tensor::Empty({b, l, d});
   for (int64_t t = 0; t < l; ++t) {
     UM_CHECK_EQ(steps[t].dim(0), b);
     UM_CHECK_EQ(steps[t].dim(1), d);
@@ -124,12 +124,12 @@ Variable StackTimeSteps(const std::vector<Variable>& steps) {
       std::move(out), steps,
       [steps, b, l, d](VarNode& node) {
         for (int64_t t = 0; t < l; ++t) {
-          Tensor g({b, d});
+          Tensor g = Tensor::Empty({b, d});
           for (int64_t i = 0; i < b; ++i) {
             const float* src = node.grad.data() + (i * l + t) * d;
             std::copy(src, src + d, g.data() + i * d);
           }
-          steps[t].node()->AccumulateGrad(g);
+          steps[t].node()->AccumulateGrad(std::move(g));
         }
       },
       "StackTimeSteps");
@@ -156,8 +156,8 @@ Variable Bmm(const Variable& a, const Variable& b, bool trans_a,
           ga = BatchMatMul(b.value(), g, true, true);
           gb = BatchMatMul(g, a.value(), true, true);
         }
-        a.node()->AccumulateGrad(ga);
-        b.node()->AccumulateGrad(gb);
+        a.node()->AccumulateGrad(std::move(ga));
+        b.node()->AccumulateGrad(std::move(gb));
       },
       "Bmm");
 }
@@ -203,7 +203,7 @@ Variable MaskedMeanPool(const Variable& x,
             for (int64_t j = 0; j < d; ++j) gi[j] = go[j] * inv;
           }
         }
-        x.node()->AccumulateGrad(g);
+        x.node()->AccumulateGrad(std::move(g));
       },
       "MaskedMeanPool");
 }
@@ -244,7 +244,7 @@ Variable MaskedMaxPool(const Variable& x, const std::vector<int64_t>& lengths) {
             g.at(i, t, j) += node.grad.at(i, j);
           }
         }
-        x.node()->AccumulateGrad(g);
+        x.node()->AccumulateGrad(std::move(g));
       },
       "MaskedMaxPool");
 }
@@ -272,7 +272,7 @@ Variable LastPool(const Variable& x, const std::vector<int64_t>& lengths) {
               g.data() + (static_cast<int64_t>(i) * l + (len - 1)) * d;
           std::copy(go, go + d, gi);
         }
-        x.node()->AccumulateGrad(g);
+        x.node()->AccumulateGrad(std::move(g));
       },
       "LastPool");
 }
@@ -317,7 +317,7 @@ Variable MaskedSoftmaxSeq(const Variable& scores,
             po[t] = py[t] * (pg[t] - static_cast<float>(dot));
           }
         }
-        scores.node()->AccumulateGrad(g);
+        scores.node()->AccumulateGrad(std::move(g));
       },
       "MaskedSoftmaxSeq");
 }
@@ -341,8 +341,8 @@ Variable WeightedPool(const Variable& x, const Variable& w) {
   return MakeOpVariable(
       std::move(out), {x, w},
       [x, w, b, l, d](VarNode& node) {
-        Tensor gx(x.shape());
-        Tensor gw(w.shape());
+        Tensor gx = Tensor::Empty(x.shape());
+        Tensor gw = Tensor::Empty(w.shape());
         for (int64_t i = 0; i < b; ++i) {
           const float* go = node.grad.data() + i * d;
           for (int64_t t = 0; t < l; ++t) {
@@ -357,8 +357,8 @@ Variable WeightedPool(const Variable& x, const Variable& w) {
             gw.at(i, t) = acc;
           }
         }
-        x.node()->AccumulateGrad(gx);
-        w.node()->AccumulateGrad(gw);
+        x.node()->AccumulateGrad(std::move(gx));
+        w.node()->AccumulateGrad(std::move(gw));
       },
       "WeightedPool");
 }
@@ -415,7 +415,7 @@ Variable MaskedSoftmaxLastDim(const Variable& scores,
             }
           }
         }
-        scores.node()->AccumulateGrad(g);
+        scores.node()->AccumulateGrad(std::move(g));
       },
       "MaskedSoftmaxLastDim");
 }
@@ -442,7 +442,7 @@ Variable ApplySeqMask(const Variable& x, const std::vector<int64_t>& lengths) {
           float* dst = g.data() + static_cast<int64_t>(i) * l * d;
           std::copy(src, src + len * d, dst);
         }
-        x.node()->AccumulateGrad(g);
+        x.node()->AccumulateGrad(std::move(g));
       },
       "ApplySeqMask");
 }

@@ -9,10 +9,27 @@ void VarNode::AccumulateGrad(const Tensor& g) {
   if (!requires_grad) return;
   UM_CHECK(g.same_shape(value));
   if (!grad_defined) {
-    grad = g.Clone();
+    // A buffer retained from a previous step (ZeroGrad keeps it) is reused
+    // in place as long as nobody else still aliases it.
+    if (grad.same_shape(g) && grad.storage_unique()) {
+      grad.CopyFrom(g);
+    } else {
+      grad = g.Clone();
+    }
     grad_defined = true;
   } else {
     grad.AddInPlace(g);
+  }
+}
+
+void VarNode::AccumulateGrad(Tensor&& g) {
+  if (!requires_grad) return;
+  UM_CHECK(g.same_shape(value));
+  if (!grad_defined && g.storage_unique()) {
+    grad = std::move(g);
+    grad_defined = true;
+  } else {
+    AccumulateGrad(static_cast<const Tensor&>(g));
   }
 }
 
@@ -25,7 +42,8 @@ Variable::Variable(Tensor value, bool requires_grad) {
 void Variable::ZeroGrad() {
   if (!node_) return;
   node_->grad_defined = false;
-  node_->grad = Tensor();
+  // The grad buffer itself is kept: the next AccumulateGrad overwrites it
+  // in place, so parameters stop reallocating their gradients every step.
   node_->inputs.clear();
   node_->backward = nullptr;
 }

@@ -33,8 +33,15 @@ struct VarNode {
   std::function<void(VarNode&)> backward;
   const char* op = "leaf";
 
-  /// Adds `g` into this node's gradient, allocating it on first use.
+  /// Adds `g` into this node's gradient, allocating it on first use (the
+  /// buffer is retained across ZeroGrad, so steady-state training steps
+  /// reuse it instead of reallocating).
   void AccumulateGrad(const Tensor& g);
+  /// Move form: when `g` is freshly built by a backward closure (sole owner
+  /// of its storage) and this is the first accumulation, the tensor is
+  /// adopted outright — no copy at all. Falls back to the copying overload
+  /// when `g`'s storage is aliased (e.g. a Reshaped view of another grad).
+  void AccumulateGrad(Tensor&& g);
 };
 
 /// A differentiable tensor handle with shared-graph semantics: copying a

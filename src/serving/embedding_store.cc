@@ -96,11 +96,12 @@ Result<double> EmbeddingChurn(const Tensor& before, const Tensor& after) {
   const int64_t n = before.dim(0), d = before.dim(1);
   if (n == 0) return 0.0;
   double total = 0.0;
-  std::vector<float> diff(d);
+  // Pooled scratch row + zero-copy row views into both matrices.
+  Tensor diff = Tensor::Empty({d});
   for (int64_t i = 0; i < n; ++i) {
     // diff = after_row - before_row, then ||diff||_2 via the dot kernel.
-    std::memcpy(diff.data(), after.data() + i * d, sizeof(float) * d);
-    kernels::AxpyF32(d, -1.0f, before.data() + i * d, diff.data());
+    diff.CopyFrom(after.Row(i));
+    kernels::AxpyF32(d, -1.0f, before.Row(i).data(), diff.data());
     total += std::sqrt(
         static_cast<double>(kernels::DotF32(diff.data(), diff.data(), d)));
   }

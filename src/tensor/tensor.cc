@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
 #include "src/tensor/kernels.h"
@@ -31,22 +32,52 @@ std::string ShapeToString(const Shape& shape) {
 Tensor::Tensor(Shape shape)
     : shape_(std::move(shape)),
       numel_(ShapeNumel(shape_)),
-      storage_(std::make_shared<std::vector<float>>(numel_, 0.0f)) {}
+      storage_(Storage::Allocate(numel_)) {
+  std::memset(storage_.data(), 0, static_cast<size_t>(numel_) * sizeof(float));
+}
 
 Tensor::Tensor(Shape shape, std::vector<float> values)
     : shape_(std::move(shape)), numel_(ShapeNumel(shape_)) {
   UM_CHECK_EQ(numel_, static_cast<int64_t>(values.size()));
-  storage_ = std::make_shared<std::vector<float>>(std::move(values));
+  storage_ = Storage::Allocate(numel_);
+  std::memcpy(storage_.data(), values.data(),
+              static_cast<size_t>(numel_) * sizeof(float));
+}
+
+Tensor Tensor::Empty(Shape shape) {
+  Tensor t{NoAllocTag{}};
+  t.shape_ = std::move(shape);
+  t.numel_ = ShapeNumel(t.shape_);
+  t.storage_ = Storage::Allocate(t.numel_);
+  return t;
+}
+
+Tensor Tensor::ZerosUnpooled(Shape shape) {
+  Tensor t{NoAllocTag{}};
+  t.shape_ = std::move(shape);
+  t.numel_ = ShapeNumel(t.shape_);
+  t.storage_ = Storage::AllocateUnpooled(t.numel_);
+  std::memset(t.storage_.data(), 0,
+              static_cast<size_t>(t.numel_) * sizeof(float));
+  return t;
+}
+
+Tensor Tensor::FromExternal(float* data, Shape shape) {
+  Tensor t{NoAllocTag{}};
+  t.shape_ = std::move(shape);
+  t.numel_ = ShapeNumel(t.shape_);
+  t.storage_ = Storage::Borrow(data, t.numel_);
+  return t;
 }
 
 Tensor Tensor::Full(Shape shape, float value) {
-  Tensor t(std::move(shape));
+  Tensor t = Empty(std::move(shape));
   t.Fill(value);
   return t;
 }
 
 Tensor Tensor::Randn(Shape shape, float stddev, Rng* rng) {
-  Tensor t(std::move(shape));
+  Tensor t = Empty(std::move(shape));
   float* p = t.data();
   for (int64_t i = 0; i < t.numel(); ++i) {
     p[i] = static_cast<float>(rng->Gaussian()) * stddev;
@@ -55,7 +86,7 @@ Tensor Tensor::Randn(Shape shape, float stddev, Rng* rng) {
 }
 
 Tensor Tensor::Uniform(Shape shape, float lo, float hi, Rng* rng) {
-  Tensor t(std::move(shape));
+  Tensor t = Empty(std::move(shape));
   float* p = t.data();
   for (int64_t i = 0; i < t.numel(); ++i) {
     p[i] = static_cast<float>(rng->UniformDouble(lo, hi));
@@ -64,23 +95,56 @@ Tensor Tensor::Uniform(Shape shape, float lo, float hi, Rng* rng) {
 }
 
 void Tensor::Fill(float value) {
-  std::fill(storage_->begin(), storage_->end(), value);
+  float* p = data();
+  std::fill(p, p + numel_, value);
+}
+
+void Tensor::CopyFrom(const Tensor& other) {
+  UM_CHECK(same_shape(other));
+  std::memmove(data(), other.data(),
+               static_cast<size_t>(numel_) * sizeof(float));
 }
 
 Tensor Tensor::Clone() const {
-  Tensor t;
-  t.shape_ = shape_;
-  t.numel_ = numel_;
-  t.storage_ = std::make_shared<std::vector<float>>(*storage_);
+  Tensor t = Empty(shape_);
+  std::memcpy(t.data(), data(), static_cast<size_t>(numel_) * sizeof(float));
   return t;
 }
 
 Tensor Tensor::Reshaped(Shape new_shape) const {
   UM_CHECK_EQ(ShapeNumel(new_shape), numel_);
-  Tensor t;
+  Tensor t{NoAllocTag{}};
   t.shape_ = std::move(new_shape);
   t.numel_ = numel_;
   t.storage_ = storage_;
+  return t;
+}
+
+Tensor Tensor::Row(int64_t i) const {
+  UM_CHECK_GE(rank(), 1);
+  UM_CHECK_GE(i, 0);
+  UM_CHECK_LT(i, shape_[0]);
+  Shape row_shape(shape_.begin() + 1, shape_.end());
+  const int64_t stride = ShapeNumel(row_shape);
+  Tensor t{NoAllocTag{}};
+  t.shape_ = std::move(row_shape);
+  t.numel_ = stride;
+  t.storage_ = storage_.View(i * stride, stride);
+  return t;
+}
+
+Tensor Tensor::Slice(int64_t begin, int64_t end) const {
+  UM_CHECK_GE(rank(), 1);
+  UM_CHECK_GE(begin, 0);
+  UM_CHECK_LE(begin, end);
+  UM_CHECK_LE(end, shape_[0]);
+  Shape slice_shape = shape_;
+  slice_shape[0] = end - begin;
+  const int64_t stride = shape_[0] == 0 ? 0 : numel_ / shape_[0];
+  Tensor t{NoAllocTag{}};
+  t.shape_ = std::move(slice_shape);
+  t.numel_ = (end - begin) * stride;
+  t.storage_ = storage_.View(begin * stride, t.numel_);
   return t;
 }
 
@@ -104,12 +168,14 @@ double Tensor::Mean() const { return numel_ == 0 ? 0.0 : Sum() / numel_; }
 
 float Tensor::Min() const {
   UM_CHECK_GT(numel_, 0);
-  return *std::min_element(storage_->begin(), storage_->end());
+  const float* p = data();
+  return *std::min_element(p, p + numel_);
 }
 
 float Tensor::Max() const {
   UM_CHECK_GT(numel_, 0);
-  return *std::max_element(storage_->begin(), storage_->end());
+  const float* p = data();
+  return *std::max_element(p, p + numel_);
 }
 
 double Tensor::L2Norm() const {

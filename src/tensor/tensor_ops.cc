@@ -73,7 +73,9 @@ Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
   UM_CHECK_SHAPE(ka == kb, a, b)
       << "MatMul inner dimensions (trans_a=" << trans_a
       << ", trans_b=" << trans_b << ")";
-  Tensor c({m, n});
+  // Gemm with beta == 0 writes every C element without reading it, so the
+  // output can skip the zero-fill.
+  Tensor c = Tensor::Empty({m, n});
   Gemm(trans_a, trans_b, m, n, ka, 1.0f, a.data(), b.data(), 0.0f, c.data());
   return c;
 }
@@ -91,7 +93,7 @@ Tensor BatchMatMul(const Tensor& a, const Tensor& b, bool trans_a,
   UM_CHECK_SHAPE(ka == kb, a, b)
       << "BatchMatMul inner dimensions (trans_a=" << trans_a
       << ", trans_b=" << trans_b << ")";
-  Tensor c({bs, m, n});
+  Tensor c = Tensor::Empty({bs, m, n});
   const int64_t a_stride = a.dim(1) * a.dim(2);
   const int64_t b_stride = b.dim(1) * b.dim(2);
   const int64_t c_stride = m * n;

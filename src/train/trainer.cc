@@ -5,6 +5,7 @@
 #include "src/data/batcher.h"
 #include "src/nn/serialize.h"
 #include "src/obs/obs.h"
+#include "src/tensor/storage.h"
 #include "src/util/contract.h"
 #include "src/util/logging.h"
 
@@ -121,15 +122,22 @@ Status Trainer::RunEpoch(const std::vector<int64_t>& indices) {
   UM_COUNTER_INC("train.epochs");
   const int max_len = splits_->config.window.max_seq_len;
   const bool multinomial = loss::IsMultinomialLoss(config_.loss);
-  const int64_t records_before = records_processed_;
+  [[maybe_unused]] const int64_t records_before = records_processed_;
   double loss_sum = 0.0;
   int64_t loss_count = 0;
+  [[maybe_unused]] const BufferPool::Stats pool_before =
+      BufferPool::Global()->stats();
 
   if (multinomial) {
     data::BatchIterator it(&splits_->train, &splits_->train_marginals,
                            indices, config_.batch_size, max_len, &rng_);
     data::Batch batch;
     if (config_.loss == loss::LossKind::kSsm) EnsureSsmSampler();
+    // Per-step workspace, reused across every step of the epoch: steady
+    // state allocates nothing here (the last, smaller batch reshapes once).
+    std::vector<int64_t> neg_ids(config_.ssm_num_negatives);
+    Tensor log_q_neg = Tensor::Empty({config_.ssm_num_negatives});
+    Tensor log_q_pos;
     while (it.Next(&batch)) {
       UM_SCOPED_TIMER("train.step.ms");
       nn::Variable users =
@@ -138,14 +146,14 @@ Status Trainer::RunEpoch(const std::vector<int64_t>& indices) {
       nn::Variable loss_var;
       if (config_.loss == loss::LossKind::kSsm) {
         const int s = config_.ssm_num_negatives;
-        std::vector<int64_t> neg_ids(s);
-        Tensor log_q_neg({s});
         for (int k = 0; k < s; ++k) {
           const int64_t slot = ssm_sampler_.Sample(&rng_);
           neg_ids[k] = ssm_items_[slot];
           log_q_neg.at(k) = ssm_log_q_[slot];
         }
-        Tensor log_q_pos({batch.batch_size});
+        if (log_q_pos.numel() != batch.batch_size || log_q_pos.rank() != 1) {
+          log_q_pos = Tensor::Empty({batch.batch_size});
+        }
         for (int64_t r = 0; r < batch.batch_size; ++r) {
           // The positive's proposal probability under the unigram q is its
           // empirical marginal.
@@ -182,14 +190,15 @@ Status Trainer::RunEpoch(const std::vector<int64_t>& indices) {
     // with freshly drawn negatives (1:1 per the paper).
     std::vector<int64_t> shuffled = indices;
     rng_.Shuffle(&shuffled);
+    std::vector<int64_t> idx;  // per-step workspace, reused across steps
+    idx.reserve(config_.batch_size);
     for (size_t begin = 0; begin < shuffled.size();
          begin += config_.batch_size) {
       const size_t end =
           std::min(shuffled.size(), begin + config_.batch_size);
       if (end - begin < 2) break;
       UM_SCOPED_TIMER("train.step.ms");
-      std::vector<int64_t> idx(shuffled.begin() + begin,
-                               shuffled.begin() + end);
+      idx.assign(shuffled.begin() + begin, shuffled.begin() + end);
       Tensor labels;
       data::Batch batch =
           AssembleBceBatch(splits_->train, idx, splits_->train_marginals,
@@ -217,6 +226,20 @@ Status Trainer::RunEpoch(const std::vector<int64_t>& indices) {
   UM_COUNTER_ADD("train.steps", loss_count);
   UM_COUNTER_ADD("train.records", records_processed_ - records_before);
   UM_GAUGE_SET("train.epoch.loss", last_epoch_loss_);
+  if (loss_count > 0) {
+    // Allocation pressure of this epoch, normalized per step: pool acquires
+    // approximate what the pre-pool code paid in heap allocations; misses
+    // are the allocations that actually reached the heap.
+    [[maybe_unused]] const BufferPool::Stats pool_after =
+        BufferPool::Global()->stats();
+    UM_GAUGE_SET("train.pool.acquires_per_step",
+                 static_cast<double>(pool_after.acquires -
+                                     pool_before.acquires) /
+                     static_cast<double>(loss_count));
+    UM_GAUGE_SET("train.pool.heap_allocs_per_step",
+                 static_cast<double>(pool_after.misses - pool_before.misses) /
+                     static_cast<double>(loss_count));
+  }
   return Status::OK();
 }
 

@@ -166,6 +166,17 @@ TEST(EngineValidationTest, QueriesBeforeFitRejected) {
   EXPECT_TRUE(e.LoadCheckpoint("/tmp/x").IsFailedPrecondition());
 }
 
+TEST(EngineValidationTest, UnknownIndexKindRejected) {
+  EngineConfig cfg = SmallEngineConfig();
+  cfg.index = "bruteforce";  // typo: the valid spelling is "brute_force"
+  UniMatchEngine e(cfg);
+  const Status st = e.Fit(EngineLog());
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  EXPECT_NE(st.ToString().find("bruteforce"), std::string::npos)
+      << "error should name the offending value: " << st.ToString();
+  EXPECT_FALSE(e.fitted());
+}
+
 TEST(EngineIvfTest, IvfIndexServesQueries) {
   EngineConfig cfg = SmallEngineConfig();
   cfg.index = "ivf";

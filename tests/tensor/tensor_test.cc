@@ -77,6 +77,30 @@ TEST(TensorDeathTest, ReshapeWrongNumelChecks) {
   EXPECT_DEATH(a.Reshaped({4, 2}), "Check failed");
 }
 
+TEST(TensorDeathTest, FlatIndexBoundsChecked) {
+  Tensor a({2, 3});
+  EXPECT_DEATH(a.at(6), "Check failed");
+  EXPECT_DEATH(a.at(-1), "Check failed");
+}
+
+TEST(TensorDeathTest, Rank2IndexBoundsChecked) {
+  Tensor a({2, 3});
+  EXPECT_DEATH(a.at(2, 0), "Check failed");
+  EXPECT_DEATH(a.at(0, 3), "Check failed");
+  EXPECT_DEATH(a.at(-1, 0), "Check failed");
+  EXPECT_DEATH(a.at(0, -1), "Check failed");
+  Tensor v({3});
+  EXPECT_DEATH(v.at(0, 0), "Check failed");  // rank mismatch
+}
+
+TEST(TensorDeathTest, Rank3IndexBoundsChecked) {
+  Tensor a({2, 3, 4});
+  EXPECT_DEATH(a.at(2, 0, 0), "Check failed");
+  EXPECT_DEATH(a.at(0, 3, 0), "Check failed");
+  EXPECT_DEATH(a.at(0, 0, 4), "Check failed");
+  EXPECT_DEATH(a.at(0, 0, -1), "Check failed");
+}
+
 TEST(TensorTest, AddInPlaceWithAlpha) {
   Tensor a({3}, {1, 2, 3});
   Tensor b({3}, {10, 20, 30});

@@ -17,6 +17,9 @@ Rules (see docs/STATIC_ANALYSIS.md):
                   an std::ostream&)
   raw-thread      no direct std::thread/std::jthread outside
                   util/threadpool.* (route parallelism through the pool)
+  tensor-storage  no std::make_shared<std::vector<float>> in src/ outside
+                  src/tensor/ (float buffers come from the pooled Storage
+                  substrate; see DESIGN.md's memory-management section)
 
 Suppress a finding with a trailing `// NOLINT(<rule>): why` comment on the
 offending line.
@@ -29,7 +32,8 @@ import sys
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 LINT_DIRS = ("src", "tests", "bench", "examples")
 
-RULES = ("include-guard", "include-cc", "naked-new", "cout", "raw-thread")
+RULES = ("include-guard", "include-cc", "naked-new", "cout", "raw-thread",
+         "tensor-storage")
 
 _NOLINT_RE = re.compile(r"NOLINT\(([a-z-]+)\)")
 _INCLUDE_CC_RE = re.compile(r'^\s*#\s*include\s+["<][^">]*\.cc[">]')
@@ -38,6 +42,8 @@ _DELETE_RE = re.compile(r"\bdelete\b(\s*\[\s*\])?")
 _DELETED_FN_RE = re.compile(r"=\s*delete\b")
 _COUT_RE = re.compile(r"\bstd::cout\b")
 _RAW_THREAD_RE = re.compile(r"\bstd::j?thread\b(?!::)")
+_SHARED_FLOAT_VEC_RE = re.compile(
+    r"std::make_shared\s*<\s*std::vector\s*<\s*float\s*>\s*>")
 
 
 def strip_comments_and_strings(text):
@@ -156,6 +162,10 @@ def check_file(relpath, text, errors):
                     if not _DELETED_FN_RE.search(line[:m.end()]):
                         report(lineno, "naked-new",
                                "naked `delete` outside src/tensor/")
+                if _SHARED_FLOAT_VEC_RE.search(line):
+                    report(lineno, "tensor-storage",
+                           "shared_ptr<vector<float>> buffer outside "
+                           "src/tensor/; use Tensor (pooled Storage)")
             if _COUT_RE.search(line):
                 report(lineno, "cout",
                        "std::cout in src/; log via util/logging.h or take "
@@ -210,6 +220,9 @@ def self_test():
         "naked-new": ("src/nn/x.cc", "int* p = new int[3];\n"),
         "cout": ("src/train/t.cc", "void f() { std::cout << 1; }\n"),
         "raw-thread": ("src/eval/e.cc", "std::thread t([]{});\n"),
+        "tensor-storage": ("src/nn/v.cc",
+                           "auto b = std::make_shared<std::vector<float>>"
+                           "(n);\n"),
     }
     failures = []
     for rule, (path, body) in cases.items():
