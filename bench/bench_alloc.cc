@@ -19,6 +19,8 @@
 //   "pool_hit_rate": 0.9995,
 //   "reduction_factor": 2283.0,     // acquires / max(misses, 1 buffer)
 //   "step_ms_mean": 1.84,           // steady-state step latency
+//   "batcher_acquires_per_batch": 0.0,    // AssembleBatchInto reuse epoch
+//   "batcher_heap_allocs_per_batch": 0.0,
 //   "pool_bytes_live": 1234567,
 //   "pool_bytes_pooled": 7654321
 // }
@@ -32,6 +34,7 @@
 #include <string>
 
 #include "bench/common.h"
+#include "src/data/batcher.h"
 #include "src/tensor/storage.h"
 #include "src/util/logging.h"
 #include "src/util/timer.h"
@@ -97,6 +100,31 @@ int Run(int argc, char** argv) {
       std::max(misses_per_step, 1.0 / static_cast<double>(steps));
   const double step_ms_mean = elapsed_ms / static_cast<double>(steps);
 
+  // Batch-assembly workspace reuse, measured in isolation: AssembleBatchInto
+  // overwrites one Batch in place, so steady-state epochs should acquire
+  // (almost) no pool buffers per batch, where the value-returning
+  // AssembleBatch path acquires fresh tensors every time.
+  const int max_len = env->splits.config.window.max_seq_len;
+  Rng batch_rng(7);
+  data::BatchIterator it(&env->splits.train, &env->splits.train_marginals,
+                         train_indices, tc.batch_size, max_len, &batch_rng);
+  data::Batch reuse_batch;
+  // One warmup epoch sizes the workspace; then measure a full reused epoch.
+  int64_t batches = 0;
+  while (it.Next(&reuse_batch)) ++batches;
+  UM_CHECK_GT(batches, 0);
+  it.Reset();
+  const BufferPool::Stats reuse_before = pool->stats();
+  while (it.Next(&reuse_batch)) {
+  }
+  const BufferPool::Stats reuse_after = pool->stats();
+  const double batcher_acquires_per_batch =
+      static_cast<double>(reuse_after.acquires - reuse_before.acquires) /
+      static_cast<double>(batches);
+  const double batcher_heap_allocs_per_batch =
+      static_cast<double>(reuse_after.misses - reuse_before.misses) /
+      static_cast<double>(batches);
+
   std::string dir = ".";
   if (const char* d = std::getenv("UNIMATCH_METRICS_DIR")) {
     if (d[0] != '\0') dir = d;
@@ -117,6 +145,10 @@ int Run(int argc, char** argv) {
       << "  \"pool_hit_rate\": " << hit_rate << ",\n"
       << "  \"reduction_factor\": " << reduction << ",\n"
       << "  \"step_ms_mean\": " << step_ms_mean << ",\n"
+      << "  \"batcher_acquires_per_batch\": " << batcher_acquires_per_batch
+      << ",\n"
+      << "  \"batcher_heap_allocs_per_batch\": "
+      << batcher_heap_allocs_per_batch << ",\n"
       << "  \"pool_bytes_live\": " << after.bytes_live << ",\n"
       << "  \"pool_bytes_pooled\": " << after.bytes_pooled << "\n"
       << "}\n";

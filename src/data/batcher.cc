@@ -6,18 +6,36 @@
 
 namespace unimatch::data {
 
+namespace internal {
+
+void EnsureVectorTensor(Tensor* t, int64_t n) {
+  if (t->rank() == 1 && t->numel() == n && t->storage_unique()) return;
+  *t = Tensor::Empty({n});
+}
+
+}  // namespace internal
+
 Batch AssembleBatch(const SampleSet& samples,
                     const std::vector<int64_t>& indices,
                     const Marginals& marginals, int max_seq_len) {
   Batch b;
+  AssembleBatchInto(samples, indices, marginals, max_seq_len, &b);
+  return b;
+}
+
+void AssembleBatchInto(const SampleSet& samples,
+                       const std::vector<int64_t>& indices,
+                       const Marginals& marginals, int max_seq_len,
+                       Batch* out) {
+  Batch& b = *out;
   b.batch_size = static_cast<int64_t>(indices.size());
   b.seq_len = max_seq_len;
   b.history_ids.assign(b.batch_size * b.seq_len, nn::kPadId);
   b.lengths.resize(b.batch_size);
   b.targets.resize(b.batch_size);
   b.users.resize(b.batch_size);
-  b.log_pu = Tensor({b.batch_size});
-  b.log_pi = Tensor({b.batch_size});
+  internal::EnsureVectorTensor(&b.log_pu, b.batch_size);
+  internal::EnsureVectorTensor(&b.log_pi, b.batch_size);
   for (int64_t r = 0; r < b.batch_size; ++r) {
     const Sample& s = samples[indices[r]];
     const int64_t len =
@@ -33,7 +51,6 @@ Batch AssembleBatch(const SampleSet& samples,
     b.log_pu.at(r) = static_cast<float>(marginals.log_pu(s.user));
     b.log_pi.at(r) = static_cast<float>(marginals.log_pi(s.target));
   }
-  return b;
 }
 
 BatchIterator::BatchIterator(const SampleSet* samples,
@@ -61,10 +78,9 @@ bool BatchIterator::Next(Batch* out) {
   if (cursor_ >= n) return false;
   const int64_t take = std::min<int64_t>(batch_size_, n - cursor_);
   if (take < min_batch_) return false;
-  std::vector<int64_t> idx(indices_.begin() + cursor_,
-                           indices_.begin() + cursor_ + take);
+  idx_.assign(indices_.begin() + cursor_, indices_.begin() + cursor_ + take);
   cursor_ += take;
-  *out = AssembleBatch(*samples_, idx, *marginals_, max_seq_len_);
+  AssembleBatchInto(*samples_, idx_, *marginals_, max_seq_len_, out);
   return true;
 }
 

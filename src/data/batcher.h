@@ -38,6 +38,21 @@ Batch AssembleBatch(const SampleSet& samples,
                     const std::vector<int64_t>& indices,
                     const Marginals& marginals, int max_seq_len);
 
+/// In-place form: reuses `out`'s vectors and tensors when their capacity
+/// and shape allow, so steady-state training stops reallocating per batch.
+/// Every field is fully overwritten.
+void AssembleBatchInto(const SampleSet& samples,
+                       const std::vector<int64_t>& indices,
+                       const Marginals& marginals, int max_seq_len,
+                       Batch* out);
+
+namespace internal {
+/// Reuses `t`'s buffer as a fresh [n] tensor when it is the sole owner and
+/// already the right size; reallocates otherwise. The caller must overwrite
+/// every element (the reuse path does not zero-fill).
+void EnsureVectorTensor(Tensor* t, int64_t n);
+}  // namespace internal
+
 /// Iterates one epoch over a fixed index set in shuffled order, yielding
 /// consecutive batches. The trailing partial batch is dropped when smaller
 /// than `min_batch` (in-batch losses degenerate on tiny batches).
@@ -64,6 +79,8 @@ class BatchIterator {
   int min_batch_;
   Rng* rng_;
   int64_t cursor_ = 0;
+  /// Per-batch index workspace, reused across Next calls.
+  std::vector<int64_t> idx_;
 };
 
 }  // namespace unimatch::data

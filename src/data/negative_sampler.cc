@@ -83,17 +83,28 @@ Batch AssembleBceBatch(const SampleSet& samples,
                        const Marginals& marginals, int max_seq_len,
                        const BceNegativeSampler& sampler, Rng* rng,
                        Tensor* labels) {
-  const int64_t n_pos = static_cast<int64_t>(indices.size());
   Batch b;
+  AssembleBceBatchInto(samples, indices, marginals, max_seq_len, sampler, rng,
+                       &b, labels);
+  return b;
+}
+
+void AssembleBceBatchInto(const SampleSet& samples,
+                          const std::vector<int64_t>& indices,
+                          const Marginals& marginals, int max_seq_len,
+                          const BceNegativeSampler& sampler, Rng* rng,
+                          Batch* out, Tensor* labels) {
+  const int64_t n_pos = static_cast<int64_t>(indices.size());
+  Batch& b = *out;
   b.batch_size = 2 * n_pos;
   b.seq_len = max_seq_len;
   b.history_ids.assign(b.batch_size * b.seq_len, nn::kPadId);
   b.lengths.resize(b.batch_size);
   b.targets.resize(b.batch_size);
   b.users.resize(b.batch_size);
-  b.log_pu = Tensor({b.batch_size});
-  b.log_pi = Tensor({b.batch_size});
-  *labels = Tensor({b.batch_size});
+  internal::EnsureVectorTensor(&b.log_pu, b.batch_size);
+  internal::EnsureVectorTensor(&b.log_pi, b.batch_size);
+  internal::EnsureVectorTensor(labels, b.batch_size);
 
   auto fill_row = [&](int64_t r, UserId user,
                       const std::vector<ItemId>& history, ItemId target,
@@ -120,7 +131,6 @@ Batch AssembleBceBatch(const SampleSet& samples,
     sampler.SampleNegative(s, rng, &neg_user, &neg_item);
     fill_row(n_pos + r, neg_user.user, neg_user.history, neg_item, 0.0f);
   }
-  return b;
 }
 
 }  // namespace unimatch::data

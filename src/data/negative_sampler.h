@@ -74,6 +74,14 @@ Batch AssembleBceBatch(const SampleSet& samples,
                        const BceNegativeSampler& sampler, Rng* rng,
                        Tensor* labels);
 
+/// In-place form of AssembleBceBatch: reuses `out`'s and `labels`'s buffers
+/// when shapes allow (see AssembleBatchInto). Every field is overwritten.
+void AssembleBceBatchInto(const SampleSet& samples,
+                          const std::vector<int64_t>& indices,
+                          const Marginals& marginals, int max_seq_len,
+                          const BceNegativeSampler& sampler, Rng* rng,
+                          Batch* out, Tensor* labels);
+
 }  // namespace unimatch::data
 
 #endif  // UNIMATCH_DATA_NEGATIVE_SAMPLER_H_

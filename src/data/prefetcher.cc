@@ -1,0 +1,54 @@
+#include "src/data/prefetcher.h"
+
+#include <utility>
+
+#include "src/obs/obs.h"
+
+namespace unimatch::data {
+
+BatchPrefetcher::BatchPrefetcher(Producer produce)
+    : produce_(std::move(produce)) {
+  UM_CHECK(produce_ != nullptr);
+  ScheduleProduce();
+}
+
+BatchPrefetcher::~BatchPrefetcher() = default;
+
+void BatchPrefetcher::ScheduleProduce() {
+  ready_.store(false, std::memory_order_relaxed);
+  pool_.Schedule([this] {
+    try {
+      staged_has_ = produce_(&staged_, &staged_labels_);
+    } catch (...) {
+      error_ = std::current_exception();
+      staged_has_ = false;
+    }
+    ready_.store(true, std::memory_order_release);
+  });
+}
+
+bool BatchPrefetcher::Next(Batch* out, Tensor* labels) {
+  // Sampled before blocking: a finished production is a prefetch hit, the
+  // consumer arriving first is a miss (it pays the assembly latency).
+  const bool hit = ready_.load(std::memory_order_acquire);
+  pool_.Wait();
+  if (error_ != nullptr) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+  if (!staged_has_) return false;
+  if (hit) {
+    UM_COUNTER_INC("train.pipeline.prefetch_hit");
+  } else {
+    UM_COUNTER_INC("train.pipeline.prefetch_miss");
+  }
+  // Swapping (not copying) hands the consumer the staged buffers and turns
+  // its previous ones into the next staging workspace.
+  std::swap(*out, staged_);
+  if (labels != nullptr) std::swap(*labels, staged_labels_);
+  ScheduleProduce();
+  return true;
+}
+
+}  // namespace unimatch::data

@@ -1,0 +1,73 @@
+// Double-buffered batch prefetching for the training pipeline.
+//
+// A BatchPrefetcher owns one background worker that assembles batch t+1
+// while the trainer consumes batch t. Next() swaps the staged batch out
+// (reusing the caller's buffers as the next staging area, so the two Batch
+// workspaces ping-pong with no steady-state allocation) and immediately
+// schedules the next production.
+//
+// The producer callback runs only on the background thread, one call at a
+// time, with a full happens-before edge to the consumer on every Next() —
+// safe for stateful producers (iterators, samplers) as long as nothing else
+// touches their state while the prefetcher is alive. Producers whose RNG is
+// shared with the consuming step (e.g. BCE negative sampling combined with
+// dropout) must not be prefetched; the trainer gates on that.
+//
+// Observability: every delivered batch increments
+// train.pipeline.prefetch_hit when the background production had already
+// finished by the time the consumer asked, train.pipeline.prefetch_miss
+// when the consumer had to wait.
+
+#ifndef UNIMATCH_DATA_PREFETCHER_H_
+#define UNIMATCH_DATA_PREFETCHER_H_
+
+#include <atomic>
+#include <exception>
+#include <functional>
+
+#include "src/data/batcher.h"
+#include "src/util/threadpool.h"
+
+namespace unimatch::data {
+
+class BatchPrefetcher {
+ public:
+  /// Fills the batch (and labels, when the loss needs them) and returns
+  /// true, or returns false when the stream is exhausted. Called only from
+  /// the prefetch thread. Must outlive the prefetcher.
+  using Producer = std::function<bool(Batch*, Tensor*)>;
+
+  /// Starts producing the first batch immediately.
+  explicit BatchPrefetcher(Producer produce);
+
+  /// Joins the worker; a production still in flight finishes first.
+  ~BatchPrefetcher();
+
+  BatchPrefetcher(const BatchPrefetcher&) = delete;
+  BatchPrefetcher& operator=(const BatchPrefetcher&) = delete;
+
+  /// Delivers the staged batch into `out` (and `labels` when non-null) and
+  /// kicks off production of the next one. Returns false once the producer
+  /// reported end-of-stream. Rethrows any exception the producer raised.
+  bool Next(Batch* out, Tensor* labels = nullptr);
+
+ private:
+  void ScheduleProduce();
+
+  Producer produce_;
+  Batch staged_;
+  Tensor staged_labels_;
+  bool staged_has_ = false;
+  std::exception_ptr error_;
+  /// True once the in-flight production finished. Read before the Wait()
+  /// only to classify hit vs miss; Wait()'s mutex provides the
+  /// happens-before for the staged data itself.
+  std::atomic<bool> ready_{false};
+  /// Declared last so it is destroyed (joined) before the members the
+  /// worker touches.
+  ThreadPool pool_{1};
+};
+
+}  // namespace unimatch::data
+
+#endif  // UNIMATCH_DATA_PREFETCHER_H_

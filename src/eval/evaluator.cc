@@ -6,6 +6,7 @@
 #include "src/obs/obs.h"
 #include "src/tensor/kernels.h"
 #include "src/util/logging.h"
+#include "src/util/threadpool.h"
 #include "src/util/timer.h"
 
 namespace unimatch::eval {
@@ -65,54 +66,99 @@ EvalResult Evaluator::Evaluate(const model::TwoTowerModel& model,
     per_case->ut_ndcg.clear();
   }
 
+  // Cases are independent given the (read-only) embedding matrices: score
+  // each into its own slot on the shared pool, then fold serially in case
+  // order so accumulator sums and output lists match the serial path
+  // exactly.
+  struct CaseOut {
+    double recall = 0.0;
+    double ndcg = 0.0;
+    std::vector<int64_t> top;  // candidate ids (UserId/ItemId share a rep)
+  };
+  const bool want_top = retrieved != nullptr;
+  ThreadPool* pool = ThreadPool::Global();
+  UM_GAUGE_SET("eval.parallel.workers",
+               static_cast<double>(pool->num_threads()));
+
+  const auto& ir_cases = protocol_->ir_cases();
+  std::vector<CaseOut> ir_out(ir_cases.size());
+  pool->ParallelFor(
+      0, static_cast<int64_t>(ir_cases.size()),
+      [&](int64_t k) {
+        const auto& c = ir_cases[k];
+        std::vector<float> scores;
+        std::vector<bool> pos;
+        std::vector<data::ItemId> cands;
+        scores.reserve(c.negatives.size() + 1);
+        cands.push_back(c.positive);
+        scores.push_back(dot(uvec(c.user), ivec(c.positive)));
+        pos.push_back(true);
+        for (auto i : c.negatives) {
+          cands.push_back(i);
+          scores.push_back(dot(uvec(c.user), ivec(i)));
+          pos.push_back(false);
+        }
+        CaseOut& slot = ir_out[k];
+        slot.ndcg = NdcgAtN(scores, pos, top_n);
+        slot.recall = RecallAtN(scores, pos, top_n);
+        if (want_top) {
+          for (int64_t idx : TopN(scores, top_n)) {
+            slot.top.push_back(cands[idx]);
+          }
+        }
+      },
+      /*min_shard=*/8);
+
   MetricAccumulator ir_acc;
-  for (const auto& c : protocol_->ir_cases()) {
-    std::vector<float> scores;
-    std::vector<bool> pos;
-    std::vector<data::ItemId> cands;
-    scores.reserve(c.negatives.size() + 1);
-    cands.push_back(c.positive);
-    scores.push_back(dot(uvec(c.user), ivec(c.positive)));
-    pos.push_back(true);
-    for (auto i : c.negatives) {
-      cands.push_back(i);
-      scores.push_back(dot(uvec(c.user), ivec(i)));
-      pos.push_back(false);
-    }
-    const double case_ndcg = NdcgAtN(scores, pos, top_n);
-    ir_acc.Add(RecallAtN(scores, pos, top_n), case_ndcg);
-    if (per_case != nullptr) per_case->ir_ndcg.push_back(case_ndcg);
+  for (CaseOut& slot : ir_out) {
+    ir_acc.Add(slot.recall, slot.ndcg);
+    if (per_case != nullptr) per_case->ir_ndcg.push_back(slot.ndcg);
     if (retrieved != nullptr) {
-      std::vector<data::ItemId> top;
-      for (int64_t idx : TopN(scores, top_n)) top.push_back(cands[idx]);
-      retrieved->ir_topn.push_back(std::move(top));
+      retrieved->ir_topn.push_back(std::move(slot.top));
     }
   }
   out.ir = {ir_acc.recall(), ir_acc.ndcg(), ir_acc.count};
 
+  const auto& ut_cases = protocol_->ut_cases();
+  std::vector<CaseOut> ut_out(ut_cases.size());
+  pool->ParallelFor(
+      0, static_cast<int64_t>(ut_cases.size()),
+      [&](int64_t k) {
+        const auto& c = ut_cases[k];
+        std::vector<float> scores;
+        std::vector<bool> pos;
+        std::vector<data::UserId> cands;
+        scores.reserve(c.negative_users.size() + 1);
+        cands.push_back(c.positive_user);
+        scores.push_back(dot(uvec(c.positive_user), ivec(c.item)));
+        pos.push_back(true);
+        for (auto u : c.negative_users) {
+          cands.push_back(u);
+          scores.push_back(dot(uvec(u), ivec(c.item)));
+          pos.push_back(false);
+        }
+        CaseOut& slot = ut_out[k];
+        slot.ndcg = NdcgAtN(scores, pos, top_n);
+        slot.recall = RecallAtN(scores, pos, top_n);
+        if (want_top) {
+          for (int64_t idx : TopN(scores, top_n)) {
+            slot.top.push_back(cands[idx]);
+          }
+        }
+      },
+      /*min_shard=*/8);
+
   MetricAccumulator ut_acc;
-  for (const auto& c : protocol_->ut_cases()) {
-    std::vector<float> scores;
-    std::vector<bool> pos;
-    std::vector<data::UserId> cands;
-    cands.push_back(c.positive_user);
-    scores.push_back(dot(uvec(c.positive_user), ivec(c.item)));
-    pos.push_back(true);
-    for (auto u : c.negative_users) {
-      cands.push_back(u);
-      scores.push_back(dot(uvec(u), ivec(c.item)));
-      pos.push_back(false);
-    }
-    const double case_ndcg = NdcgAtN(scores, pos, top_n);
-    ut_acc.Add(RecallAtN(scores, pos, top_n), case_ndcg);
-    if (per_case != nullptr) per_case->ut_ndcg.push_back(case_ndcg);
+  for (CaseOut& slot : ut_out) {
+    ut_acc.Add(slot.recall, slot.ndcg);
+    if (per_case != nullptr) per_case->ut_ndcg.push_back(slot.ndcg);
     if (retrieved != nullptr) {
-      std::vector<data::UserId> top;
-      for (int64_t idx : TopN(scores, top_n)) top.push_back(cands[idx]);
-      retrieved->ut_topn.push_back(std::move(top));
+      retrieved->ut_topn.push_back(std::move(slot.top));
     }
   }
   out.ut = {ut_acc.recall(), ut_acc.ndcg(), ut_acc.count};
+  UM_COUNTER_ADD("eval.parallel.cases",
+                 static_cast<int64_t>(ir_out.size() + ut_out.size()));
   UM_COUNTER_ADD("eval.ir.cases", ir_acc.count);
   UM_COUNTER_ADD("eval.ut.cases", ut_acc.count);
   return out;

@@ -10,14 +10,27 @@
 namespace unimatch::eval {
 
 namespace {
-std::vector<int64_t> SortedIndices(const std::vector<float>& scores) {
+
+// The first min(k, size) indices in ranking order: score descending, index
+// ascending on ties — a strict total order, so the bounded selection
+// (nth_element + sorting only the winning prefix) returns exactly the
+// prefix a full stable_sort by descending score would. Per-user candidate
+// lists are much longer than the metric cutoffs, so selecting beats the
+// previous full sort.
+std::vector<int64_t> TopIndices(const std::vector<float>& scores, int64_t k) {
   std::vector<int64_t> idx(scores.size());
   std::iota(idx.begin(), idx.end(), 0);
-  std::stable_sort(idx.begin(), idx.end(), [&](int64_t a, int64_t b) {
-    return scores[a] > scores[b];
-  });
+  const auto better = [&](int64_t a, int64_t b) {
+    return scores[a] > scores[b] || (scores[a] == scores[b] && a < b);
+  };
+  if (k < static_cast<int64_t>(idx.size())) {
+    std::nth_element(idx.begin(), idx.begin() + k, idx.end(), better);
+    idx.resize(k);
+  }
+  std::sort(idx.begin(), idx.end(), better);
   return idx;
 }
+
 }  // namespace
 
 double RecallAtN(const std::vector<float>& scores,
@@ -27,9 +40,9 @@ double RecallAtN(const std::vector<float>& scores,
   const int64_t num_pos =
       std::count(is_positive.begin(), is_positive.end(), true);
   if (num_pos == 0) return 0.0;
-  auto idx = SortedIndices(scores);
+  auto idx = TopIndices(scores, n);
   int64_t hits = 0;
-  const int64_t top = std::min<int64_t>(n, static_cast<int64_t>(idx.size()));
+  const int64_t top = static_cast<int64_t>(idx.size());
   for (int64_t r = 0; r < top; ++r) {
     if (is_positive[idx[r]]) ++hits;
   }
@@ -44,8 +57,8 @@ double NdcgAtN(const std::vector<float>& scores,
   const int64_t num_pos =
       std::count(is_positive.begin(), is_positive.end(), true);
   if (num_pos == 0) return 0.0;
-  auto idx = SortedIndices(scores);
-  const int64_t top = std::min<int64_t>(n, static_cast<int64_t>(idx.size()));
+  auto idx = TopIndices(scores, n);
+  const int64_t top = static_cast<int64_t>(idx.size());
   double dcg = 0.0;
   for (int64_t r = 0; r < top; ++r) {
     if (is_positive[idx[r]]) dcg += 1.0 / std::log2(static_cast<double>(r) + 2);
@@ -72,9 +85,7 @@ int64_t RankOf(const std::vector<float>& scores, int64_t index) {
 
 std::vector<int64_t> TopN(const std::vector<float>& scores, int n) {
   UM_CONTRACT(n > 0) << "TopN cutoff, got n=" << n;
-  auto idx = SortedIndices(scores);
-  if (static_cast<int64_t>(idx.size()) > n) idx.resize(n);
-  return idx;
+  return TopIndices(scores, n);
 }
 
 }  // namespace unimatch::eval

@@ -5,6 +5,7 @@
 #include "src/tensor/kernels.h"
 #include "src/tensor/tensor_ops.h"
 #include "src/util/contract.h"
+#include "src/util/parallel.h"
 
 namespace unimatch::nn {
 
@@ -249,6 +250,40 @@ Variable ConcatRows(const Variable& a, const Variable& b) {
       "ConcatRows");
 }
 
+Variable ConcatRowsN(const std::vector<Variable>& parts) {
+  UM_CHECK(!parts.empty());
+  const int64_t n = parts[0].dim(1);
+  int64_t rows = 0;
+  for (const auto& p : parts) {
+    UM_CHECK_SHAPE(p.rank() == 2 && p.dim(1) == n, parts[0], p)
+        << "ConcatRowsN";
+    rows += p.dim(0);
+  }
+  Tensor out = Tensor::Empty({rows, n});
+  int64_t offset = 0;
+  for (const auto& p : parts) {
+    const int64_t cnt = p.dim(0) * n;
+    std::copy(p.value().data(), p.value().data() + cnt,
+              out.data() + offset);
+    offset += cnt;
+  }
+  std::vector<Variable> inputs = parts;
+  return MakeOpVariable(
+      std::move(out), inputs,
+      [inputs, n](VarNode& node) {
+        int64_t offset = 0;
+        for (const auto& p : inputs) {
+          const int64_t cnt = p.dim(0) * n;
+          Tensor gp = Tensor::Empty(p.shape());
+          std::copy(node.grad.data() + offset,
+                    node.grad.data() + offset + cnt, gp.data());
+          p.node()->AccumulateGrad(std::move(gp));
+          offset += cnt;
+        }
+      },
+      "ConcatRowsN");
+}
+
 Variable MatMul(const Variable& a, const Variable& b, bool trans_a,
                 bool trans_b) {
   Tensor out = unimatch::MatMul(a.value(), b.value(), trans_a, trans_b);
@@ -282,17 +317,22 @@ Variable AddRowVector(const Variable& x, const Variable& v) {
       << "AddRowVector";
   const int64_t m = x.dim(0), n = x.dim(1);
   Tensor out = x.value().Clone();
-  for (int64_t i = 0; i < m; ++i) {
-    float* row = out.data() + i * n;
-    const float* pv = v.value().data();
-    for (int64_t j = 0; j < n; ++j) row[j] += pv[j];
-  }
+  RegionParallelFor(
+      0, m,
+      [&](int64_t i) {
+        float* row = out.data() + i * n;
+        const float* pv = v.value().data();
+        for (int64_t j = 0; j < n; ++j) row[j] += pv[j];
+      },
+      /*min_shard=*/32);
   return MakeOpVariable(
       std::move(out), {x, v},
       [x, v, m, n](VarNode& node) {
         x.node()->AccumulateGrad(node.grad);
         Tensor flat = node.grad.Reshaped({m, n});
         Tensor col_sums = Tensor::Empty({n});
+        // ReduceSumCols folds rows in order; it stays serial so the float
+        // accumulation order is independent of the active region.
         ReduceSumCols(flat, &col_sums);
         v.node()->AccumulateGrad(col_sums.Reshaped(v.shape()));
       },
@@ -304,11 +344,14 @@ Variable AddColVector(const Variable& x, const Variable& v) {
       << "AddColVector";
   const int64_t m = x.dim(0), n = x.dim(1);
   Tensor out = x.value().Clone();
-  for (int64_t i = 0; i < m; ++i) {
-    float* row = out.data() + i * n;
-    const float add = v.value().data()[i];
-    for (int64_t j = 0; j < n; ++j) row[j] += add;
-  }
+  RegionParallelFor(
+      0, m,
+      [&](int64_t i) {
+        float* row = out.data() + i * n;
+        const float add = v.value().data()[i];
+        for (int64_t j = 0; j < n; ++j) row[j] += add;
+      },
+      /*min_shard=*/32);
   return MakeOpVariable(
       std::move(out), {x, v},
       [x, v, m, n](VarNode& node) {
@@ -359,20 +402,20 @@ Variable RowwiseDot(const Variable& a, const Variable& b) {
   UM_CHECK_SHAPE(a.value().same_shape(b.value()), a, b) << "RowwiseDot";
   const int64_t m = a.dim(0), d = a.dim(1);
   Tensor out = Tensor::Empty({m});
-  for (int64_t i = 0; i < m; ++i) {
+  RegionParallelFor(0, m, [&](int64_t i) {
     out.at(i) = kernels::DotF32(a.value().data() + i * d,
                                 b.value().data() + i * d, d);
-  }
+  });
   return MakeOpVariable(
       std::move(out), {a, b},
       [a, b, m, d](VarNode& node) {
         // Fresh Tensors are zero-filled, so the axpy accumulate is exact.
         Tensor ga(a.shape()), gb(b.shape());
-        for (int64_t i = 0; i < m; ++i) {
+        RegionParallelFor(0, m, [&](int64_t i) {
           const float g = node.grad.at(i);
           kernels::AxpyF32(d, g, b.value().data() + i * d, ga.data() + i * d);
           kernels::AxpyF32(d, g, a.value().data() + i * d, gb.data() + i * d);
-        }
+        });
         a.node()->AccumulateGrad(std::move(ga));
         b.node()->AccumulateGrad(std::move(gb));
       },
@@ -391,7 +434,7 @@ Variable L2NormalizeRows(const Variable& a, float eps) {
       [a, y, norms, m, d](VarNode& node) {
         // dx = (g - y * <y, g>) / ||x||  row-wise.
         Tensor gin = Tensor::Empty(a.shape());
-        for (int64_t i = 0; i < m; ++i) {
+        RegionParallelFor(0, m, [&](int64_t i) {
           const float* py = y.data() + i * d;
           const float* pg = node.grad.data() + i * d;
           float* po = gin.data() + i * d;
@@ -400,7 +443,7 @@ Variable L2NormalizeRows(const Variable& a, float eps) {
           for (int64_t j = 0; j < d; ++j) {
             po[j] = (pg[j] - py[j] * dot) * inv;
           }
-        }
+        });
         a.node()->AccumulateGrad(std::move(gin));
       },
       "L2NormalizeRows");
@@ -456,7 +499,9 @@ Variable SoftmaxImpl(const Variable& a, int dim, bool log_space) {
         t->at(c, r) = v;
       }
     };
-    for (int64_t i = 0; i < rows; ++i) {
+    // Each (soft) row touches a disjoint slice of gin, so region sharding
+    // is bitwise-exact for both dim values.
+    RegionParallelFor(0, rows, [&](int64_t i) {
       if (log_space) {
         // d log_softmax: dx = g - softmax * sum(g).
         double gsum = 0.0;
@@ -478,7 +523,7 @@ Variable SoftmaxImpl(const Variable& a, int dim, bool log_space) {
               yj * (val(node.grad, i, j) - static_cast<float>(dot)));
         }
       }
-    }
+    });
     a.node()->AccumulateGrad(std::move(gin));
   };
   return MakeOpVariable(std::move(out), {a}, backward,

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/util/contract.h"
+#include "src/util/parallel.h"
 
 namespace unimatch::nn {
 
@@ -50,10 +51,16 @@ void Adagrad::Step() {
     const float* g = p.grad().data();
     float* a = accum_[i].data();
     const int64_t n = p.numel();
-    for (int64_t j = 0; j < n; ++j) {
-      a[j] += g[j] * g[j];
-      w[j] -= lr_ * g[j] / (std::sqrt(a[j]) + eps_);
-    }
+    // Per-element state update: region sharding is bitwise-exact.
+    RegionParallelForRange(
+        0, n,
+        [&](int64_t lo, int64_t hi) {
+          for (int64_t j = lo; j < hi; ++j) {
+            a[j] += g[j] * g[j];
+            w[j] -= lr_ * g[j] / (std::sqrt(a[j]) + eps_);
+          }
+        },
+        /*min_range=*/8192);
   }
 }
 
@@ -85,13 +92,19 @@ void Adam::Step() {
     float* m = m_[i].data();
     float* v = v_[i].data();
     const int64_t n = p.numel();
-    for (int64_t j = 0; j < n; ++j) {
-      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
-      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
-      const float mhat = m[j] / bc1;
-      const float vhat = v[j] / bc2;
-      w[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
-    }
+    // Per-element state update: region sharding is bitwise-exact.
+    RegionParallelForRange(
+        0, n,
+        [&](int64_t lo, int64_t hi) {
+          for (int64_t j = lo; j < hi; ++j) {
+            m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+            v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+            const float mhat = m[j] / bc1;
+            const float vhat = v[j] / bc2;
+            w[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+          }
+        },
+        /*min_range=*/8192);
   }
 }
 

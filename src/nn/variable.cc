@@ -99,16 +99,13 @@ void TopoSort(VarNode* root, std::vector<VarNode*>* order) {
 
 }  // namespace
 
-void Backward(const Variable& root) {
-  UM_CHECK(root.defined());
-  UM_CHECK_EQ(root.numel(), 1);
-  VarNode* root_node = root.node().get();
-  if (!root_node->requires_grad) return;
+namespace {
 
+void RunBackward(VarNode* root_node, Tensor&& seed) {
   std::vector<VarNode*> order;
   TopoSort(root_node, &order);
 
-  root_node->AccumulateGrad(Tensor::Ones(root.value().shape()));
+  root_node->AccumulateGrad(std::move(seed));
 
   // Post-order means inputs come before consumers; walk in reverse so each
   // node's grad is complete before its backward fires.
@@ -118,6 +115,26 @@ void Backward(const Variable& root) {
       node->backward(*node);
     }
   }
+}
+
+}  // namespace
+
+void Backward(const Variable& root) {
+  UM_CHECK(root.defined());
+  UM_CHECK_EQ(root.numel(), 1);
+  VarNode* root_node = root.node().get();
+  if (!root_node->requires_grad) return;
+  RunBackward(root_node, Tensor::Ones(root.value().shape()));
+}
+
+void BackwardFrom(const Variable& root, const Tensor& seed) {
+  UM_CHECK(root.defined());
+  UM_CHECK(seed.same_shape(root.value()));
+  VarNode* root_node = root.node().get();
+  if (!root_node->requires_grad) return;
+  // The handle copy shares the caller's storage, so AccumulateGrad takes the
+  // copying path and the caller's seed tensor stays untouched.
+  RunBackward(root_node, Tensor(seed));
 }
 
 }  // namespace unimatch::nn

@@ -98,6 +98,12 @@ Variable MakeOpVariable(Tensor value, std::vector<Variable> inputs,
 /// ZeroGrad.
 void Backward(const Variable& root);
 
+/// Reverse-mode differentiation from a non-scalar `root`, seeded with an
+/// explicit upstream gradient d(loss)/d(root) of the same shape. Used by the
+/// sharded training step to continue a backward pass below a detached shard
+/// head whose gradient was produced by the main graph's Backward().
+void BackwardFrom(const Variable& root, const Tensor& seed);
+
 }  // namespace unimatch::nn
 
 #endif  // UNIMATCH_NN_VARIABLE_H_

@@ -1,10 +1,12 @@
 #include "src/serving/campaign.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <unordered_map>
 
 #include "src/obs/obs.h"
+#include "src/util/threadpool.h"
 
 namespace unimatch::serving {
 
@@ -20,16 +22,33 @@ Result<std::vector<AudienceEntry>> BuildAudience(
   UM_COUNTER_INC("serving.audience.requests");
   UM_COUNTER_ADD("serving.audience.item_lookups",
                  static_cast<int64_t>(request.items.size()));
+  // Over-fetch when exclusive so dedup can still fill each audience.
+  const int fetch =
+      request.exclusive ? request.audience_size * 2 : request.audience_size;
+  // Per-item lookups are independent reads of a fitted (immutable) engine:
+  // fetch each into its own slot concurrently, then merge serially in
+  // request order so output order and error precedence match the serial
+  // loop (first failing item wins).
+  const int64_t num_items = static_cast<int64_t>(request.items.size());
+  std::vector<std::vector<core::Scored>> fetched(num_items);
+  std::vector<Status> statuses(num_items);
+  ThreadPool::Global()->ParallelFor(
+      0, num_items,
+      [&](int64_t k) {
+        auto users = engine.TargetUsers(request.items[k], fetch);
+        if (!users.ok()) {
+          statuses[k] = users.status();
+          return;
+        }
+        fetched[k] = std::move(users).value();
+      },
+      /*min_shard=*/1);
+  UM_COUNTER_ADD("serving.audience.parallel_items", num_items);
   std::vector<AudienceEntry> all;
-  for (data::ItemId item : request.items) {
-    // Over-fetch when exclusive so dedup can still fill each audience.
-    const int fetch = request.exclusive
-                          ? request.audience_size * 2
-                          : request.audience_size;
-    UNIMATCH_ASSIGN_OR_RETURN(std::vector<core::Scored> users,
-                              engine.TargetUsers(item, fetch));
-    for (const auto& s : users) {
-      all.push_back({item, s.id, s.score});
+  for (int64_t k = 0; k < num_items; ++k) {
+    if (!statuses[k].ok()) return statuses[k];
+    for (const auto& s : fetched[k]) {
+      all.push_back({request.items[k], s.id, s.score});
     }
   }
   if (!request.exclusive) {
@@ -93,14 +112,31 @@ Result<std::vector<NewsletterEntry>> BuildNewsletter(
   UM_COUNTER_INC("serving.newsletter.requests");
   UM_COUNTER_ADD("serving.newsletter.user_lookups",
                  static_cast<int64_t>(request.users.size()));
+  // Recommend for each recipient concurrently (read-only engine), then
+  // merge in request order; recipients whose lookup failed (no history /
+  // unknown) are skipped during the serial merge, same as the serial loop.
+  const int64_t num_users = static_cast<int64_t>(request.users.size());
+  std::vector<std::vector<core::Scored>> fetched(num_users);
+  // Bytes, not vector<bool>: workers write distinct slots concurrently.
+  std::vector<uint8_t> fetched_ok(num_users, 0);
+  ThreadPool::Global()->ParallelFor(
+      0, num_users,
+      [&](int64_t k) {
+        auto items = engine.RecommendItems(request.users[k],
+                                           request.items_per_user);
+        if (!items.ok()) return;
+        fetched[k] = std::move(items).value();
+        fetched_ok[k] = 1;
+      },
+      /*min_shard=*/1);
+  UM_COUNTER_ADD("serving.newsletter.parallel_users", num_users);
   std::vector<NewsletterEntry> out;
-  for (data::UserId user : request.users) {
-    auto items = engine.RecommendItems(user, request.items_per_user);
-    if (!items.ok()) {
+  for (int64_t k = 0; k < num_users; ++k) {
+    if (!fetched_ok[k]) {
       UM_COUNTER_INC("serving.newsletter.skipped_users");
-      continue;  // no history / unknown -> skip recipient
+      continue;
     }
-    out.push_back({user, std::move(items).value()});
+    out.push_back({request.users[k], std::move(fetched[k])});
   }
   return out;
 }

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "src/tensor/kernels.h"
+#include "src/util/parallel.h"
 
 namespace unimatch {
 
@@ -150,11 +151,16 @@ Tensor Tensor::Slice(int64_t begin, int64_t end) const {
 
 void Tensor::AddInPlace(const Tensor& other, float alpha) {
   UM_CHECK(same_shape(other));
-  kernels::AxpyF32(numel_, alpha, other.data(), data());
+  // Elementwise with disjoint ranges: region sharding is bitwise-exact.
+  RegionParallelForRange(0, numel_, [&](int64_t lo, int64_t hi) {
+    kernels::AxpyF32(hi - lo, alpha, other.data() + lo, data() + lo);
+  });
 }
 
 void Tensor::ScaleInPlace(float alpha) {
-  kernels::ScaleAddF32(numel_, 0.0f, data(), alpha, data());
+  RegionParallelForRange(0, numel_, [&](int64_t lo, int64_t hi) {
+    kernels::ScaleAddF32(hi - lo, 0.0f, data() + lo, alpha, data() + lo);
+  });
 }
 
 double Tensor::Sum() const {

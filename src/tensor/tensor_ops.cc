@@ -6,6 +6,7 @@
 #include "src/obs/obs.h"
 #include "src/tensor/kernels.h"
 #include "src/util/contract.h"
+#include "src/util/parallel.h"
 #include "src/util/threadpool.h"
 
 namespace unimatch {
@@ -109,7 +110,8 @@ void SoftmaxRows(const Tensor& in, Tensor* out) {
                               << contract::ShapeOf(in);
   UM_CHECK_SHAPE(in.same_shape(*out), in, *out) << "SoftmaxRows";
   const int64_t m = in.dim(0), n = in.dim(1);
-  for (int64_t i = 0; i < m; ++i) {
+  // Rows are independent, so region sharding is bitwise-exact.
+  RegionParallelFor(0, m, [&](int64_t i) {
     const float* x = in.data() + i * n;
     float* y = out->data() + i * n;
     float mx = x[0];
@@ -121,7 +123,7 @@ void SoftmaxRows(const Tensor& in, Tensor* out) {
     }
     const float inv = static_cast<float>(1.0 / denom);
     for (int64_t j = 0; j < n; ++j) y[j] *= inv;
-  }
+  });
 }
 
 void LogSoftmaxRows(const Tensor& in, Tensor* out) {
@@ -129,7 +131,8 @@ void LogSoftmaxRows(const Tensor& in, Tensor* out) {
                               << contract::ShapeOf(in);
   UM_CHECK_SHAPE(in.same_shape(*out), in, *out) << "LogSoftmaxRows";
   const int64_t m = in.dim(0), n = in.dim(1);
-  for (int64_t i = 0; i < m; ++i) {
+  // Rows are independent, so region sharding is bitwise-exact.
+  RegionParallelFor(0, m, [&](int64_t i) {
     const float* x = in.data() + i * n;
     float* y = out->data() + i * n;
     float mx = x[0];
@@ -138,7 +141,7 @@ void LogSoftmaxRows(const Tensor& in, Tensor* out) {
     for (int64_t j = 0; j < n; ++j) denom += std::exp(x[j] - mx);
     const float lse = mx + static_cast<float>(std::log(denom));
     for (int64_t j = 0; j < n; ++j) y[j] = x[j] - lse;
-  }
+  });
 }
 
 void L2NormalizeRows(const Tensor& in, Tensor* out, Tensor* norms, float eps) {
@@ -149,11 +152,11 @@ void L2NormalizeRows(const Tensor& in, Tensor* out, Tensor* norms, float eps) {
   if (norms != nullptr) {
     UM_CHECK_SHAPE(norms->numel() == m, in, *norms) << "L2NormalizeRows norms";
   }
-  for (int64_t i = 0; i < m; ++i) {
+  RegionParallelFor(0, m, [&](int64_t i) {
     const float norm =
         kernels::L2NormalizeF32(n, in.data() + i * n, out->data() + i * n, eps);
     if (norms != nullptr) norms->at(i) = norm;
-  }
+  });
 }
 
 void ReduceSumRows(const Tensor& in, Tensor* out) {

@@ -3,11 +3,14 @@
 #include <cmath>
 
 #include "src/data/batcher.h"
+#include "src/data/prefetcher.h"
 #include "src/nn/serialize.h"
 #include "src/obs/obs.h"
 #include "src/tensor/storage.h"
+#include "src/train/parallel_step.h"
 #include "src/util/contract.h"
 #include "src/util/logging.h"
+#include "src/util/parallel.h"
 
 namespace unimatch::train {
 
@@ -17,9 +20,13 @@ Trainer::Trainer(model::TwoTowerModel* model,
       splits_(splits),
       config_(std::move(config)),
       rng_(config_.seed) {
+  UM_CONTRACT(config_.num_threads >= 1)
+      << "num_threads must be >= 1, got " << config_.num_threads;
   optimizer_ = nn::MakeOptimizer(config_.optimizer, model_->Parameters(),
                                  config_.learning_rate);
 }
+
+Trainer::~Trainer() = default;
 
 void Trainer::EnsureBceSampler() {
   if (bce_sampler_) return;
@@ -128,6 +135,19 @@ Status Trainer::RunEpoch(const std::vector<int64_t>& indices) {
   [[maybe_unused]] const BufferPool::Stats pool_before =
       BufferPool::Global()->stats();
 
+  const bool parallel = config_.num_threads > 1;
+  if (parallel && !sharded_encoder_) {
+    sharded_encoder_ =
+        std::make_unique<ShardedUserEncoder>(model_, config_.num_threads);
+  }
+  // Routes the row-local op loops (softmax, normalize, optimizer updates)
+  // through the step pool for the duration of the epoch. A null region is
+  // the plain serial behavior.
+  ScopedParallelRegion region(parallel ? sharded_encoder_->pool() : nullptr);
+  if (parallel) {
+    UM_GAUGE_SET("train.pipeline.threads", config_.num_threads);
+  }
+
   if (multinomial) {
     data::BatchIterator it(&splits_->train, &splits_->train_marginals,
                            indices, config_.batch_size, max_len, &rng_);
@@ -138,10 +158,22 @@ Status Trainer::RunEpoch(const std::vector<int64_t>& indices) {
     std::vector<int64_t> neg_ids(config_.ssm_num_negatives);
     Tensor log_q_neg = Tensor::Empty({config_.ssm_num_negatives});
     Tensor log_q_pos;
-    while (it.Next(&batch)) {
+    // BatchIterator::Next is RNG-free (the shuffle happens in Reset), so
+    // prefetching it on a background thread cannot perturb the training
+    // RNG stream. Gated on `parallel` to keep num_threads = 1 exactly the
+    // single-threaded seed behavior.
+    std::unique_ptr<data::BatchPrefetcher> prefetch;
+    if (parallel) {
+      prefetch = std::make_unique<data::BatchPrefetcher>(
+          [&it](data::Batch* b, Tensor* /*labels*/) { return it.Next(b); });
+    }
+    while (prefetch ? prefetch->Next(&batch) : it.Next(&batch)) {
       UM_SCOPED_TIMER("train.step.ms");
       nn::Variable users =
-          model_->EncodeUsers(batch.history_ids, batch.lengths, &rng_);
+          parallel
+              ? sharded_encoder_->Encode(batch.history_ids, batch.lengths,
+                                         &rng_)
+              : model_->EncodeUsers(batch.history_ids, batch.lengths, &rng_);
       nn::Variable items = model_->EncodeItems(batch.targets);
       nn::Variable loss_var;
       if (config_.loss == loss::LossKind::kSsm) {
@@ -175,6 +207,7 @@ Status Trainer::RunEpoch(const std::vector<int64_t>& indices) {
           << loss::LossKindToString(config_.loss) << " loss at step "
           << total_steps_;
       nn::Backward(loss_var);
+      if (parallel) sharded_encoder_->FinishBackward();
       if (config_.grad_clip > 0.0f) {
         optimizer_->ClipGradNorm(config_.grad_clip);
       }
@@ -192,25 +225,45 @@ Status Trainer::RunEpoch(const std::vector<int64_t>& indices) {
     rng_.Shuffle(&shuffled);
     std::vector<int64_t> idx;  // per-step workspace, reused across steps
     idx.reserve(config_.batch_size);
-    for (size_t begin = 0; begin < shuffled.size();
-         begin += config_.batch_size) {
+    size_t begin = 0;
+    auto produce_next = [&](data::Batch* b, Tensor* labels) -> bool {
+      if (begin >= shuffled.size()) return false;
       const size_t end =
           std::min(shuffled.size(), begin + config_.batch_size);
-      if (end - begin < 2) break;
-      UM_SCOPED_TIMER("train.step.ms");
+      if (end - begin < 2) return false;
       idx.assign(shuffled.begin() + begin, shuffled.begin() + end);
-      Tensor labels;
-      data::Batch batch =
-          AssembleBceBatch(splits_->train, idx, splits_->train_marginals,
-                           max_len, *bce_sampler_, &rng_, &labels);
+      begin = end;
+      data::AssembleBceBatchInto(splits_->train, idx,
+                                 splits_->train_marginals, max_len,
+                                 *bce_sampler_, &rng_, b, labels);
+      return true;
+    };
+    // The producer draws negatives from rng_, so it may only run on a
+    // background thread when the consuming step leaves rng_ alone — i.e.
+    // when dropout is off (dropout is the only other rng_ user here).
+    const bool can_prefetch =
+        parallel && model_->config().dropout == 0.0f;
+    std::unique_ptr<data::BatchPrefetcher> prefetch;
+    if (can_prefetch) {
+      prefetch = std::make_unique<data::BatchPrefetcher>(produce_next);
+    }
+    data::Batch batch;
+    Tensor labels;
+    while (prefetch ? prefetch->Next(&batch, &labels)
+                    : produce_next(&batch, &labels)) {
+      UM_SCOPED_TIMER("train.step.ms");
       nn::Variable users =
-          model_->EncodeUsers(batch.history_ids, batch.lengths, &rng_);
+          parallel
+              ? sharded_encoder_->Encode(batch.history_ids, batch.lengths,
+                                         &rng_)
+              : model_->EncodeUsers(batch.history_ids, batch.lengths, &rng_);
       nn::Variable items = model_->EncodeItems(batch.targets);
       nn::Variable scores = model_->ScorePairs(users, items);
       nn::Variable loss_var = loss::BceLoss(scores, labels);
       UM_CHECK_FINITE(loss_var.value())
           << "BCE loss at step " << total_steps_;
       nn::Backward(loss_var);
+      if (parallel) sharded_encoder_->FinishBackward();
       if (config_.grad_clip > 0.0f) {
         optimizer_->ClipGradNorm(config_.grad_clip);
       }

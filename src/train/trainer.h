@@ -17,6 +17,8 @@
 
 namespace unimatch::train {
 
+class ShardedUserEncoder;
+
 struct TrainConfig {
   loss::LossKind loss = loss::LossKind::kBbcNce;
   /// Only used when loss == kBce (Table I strategies).
@@ -36,6 +38,13 @@ struct TrainConfig {
   float lr_decay_per_month = 1.0f;
   /// Shared sampled negatives per batch for SSM.
   int ssm_num_negatives = 100;
+  /// Data-parallel training threads. 1 (the default) runs the exact serial
+  /// path — byte-for-byte identical to previous releases. N > 1 prefetches
+  /// batches on a background thread and shards each step's user tower
+  /// across N threads with a thread-count-independent shard partition, so
+  /// training is deterministic for a given (seed, num_threads) — and, for
+  /// extractor-free towers without dropout, bitwise identical to serial.
+  int num_threads = 1;
   uint64_t seed = 99;
   bool verbose = false;
 };
@@ -45,6 +54,7 @@ class Trainer {
   /// `model` and `splits` must outlive the trainer.
   Trainer(model::TwoTowerModel* model, const data::DatasetSplits* splits,
           TrainConfig config);
+  ~Trainer();
 
   /// Incremental training: feeds each target month in [first, last]
   /// chronologically, `epochs_per_month` epochs each (Sec. III-B3).
@@ -85,6 +95,8 @@ class Trainer {
   Rng rng_;
   std::unique_ptr<nn::Optimizer> optimizer_;
   std::unique_ptr<data::BceNegativeSampler> bce_sampler_;
+  /// Lazily built when config_.num_threads > 1.
+  std::unique_ptr<ShardedUserEncoder> sharded_encoder_;
 
   // SSM proposal distribution (item unigram over training targets).
   AliasSampler ssm_sampler_;

@@ -6,6 +6,15 @@
 
 namespace unimatch {
 
+namespace {
+// Set for the lifetime of any pool's worker thread. ParallelFor called from
+// a worker runs its loop inline: Wait()-ing on a pool from one of its own
+// workers would deadlock, and nested parallelism only oversubscribes.
+thread_local bool tls_in_pool_worker = false;
+}  // namespace
+
+bool ThreadPool::InWorkerThread() { return tls_in_pool_worker; }
+
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads <= 0) {
     num_threads = static_cast<int>(std::thread::hardware_concurrency());
@@ -47,7 +56,7 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end,
   const int64_t n = end - begin;
   if (n <= 0) return;
   const int nt = num_threads();
-  if (n <= min_shard || nt <= 1) {
+  if (n <= min_shard || nt <= 1 || tls_in_pool_worker) {
     for (int64_t i = begin; i < end; ++i) fn(i);
     return;
   }
@@ -65,6 +74,7 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end,
 }
 
 void ThreadPool::WorkerLoop() {
+  tls_in_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {

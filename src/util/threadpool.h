@@ -42,6 +42,10 @@ class ThreadPool {
   /// Process-wide shared pool (lazily constructed).
   static ThreadPool* Global();
 
+  /// True on any pool's worker thread. ParallelFor uses this to run nested
+  /// invocations inline instead of deadlocking on Wait().
+  static bool InWorkerThread();
+
  private:
   void WorkerLoop();
 

@@ -107,5 +107,58 @@ TEST(BatchIteratorTest, NumBatchesCeil) {
   EXPECT_EQ(it.num_batches(), 3);
 }
 
+TEST(AssembleBatchIntoTest, MatchesValueReturningForm) {
+  SampleSet samples = MakeSamples(12);
+  Marginals marg(samples, 5, 7);
+  const std::vector<int64_t> indices = {1, 4, 9, 11};
+  const Batch expected = AssembleBatch(samples, indices, marg, 5);
+  Batch got;
+  // Pre-dirty the workspace with a different shape to prove full overwrite.
+  AssembleBatchInto(samples, {0, 2}, marg, 3, &got);
+  AssembleBatchInto(samples, indices, marg, 5, &got);
+  EXPECT_EQ(got.batch_size, expected.batch_size);
+  EXPECT_EQ(got.seq_len, expected.seq_len);
+  EXPECT_EQ(got.history_ids, expected.history_ids);
+  EXPECT_EQ(got.lengths, expected.lengths);
+  EXPECT_EQ(got.targets, expected.targets);
+  EXPECT_EQ(got.users, expected.users);
+  ASSERT_EQ(got.log_pu.numel(), expected.log_pu.numel());
+  for (int64_t i = 0; i < got.log_pu.numel(); ++i) {
+    EXPECT_EQ(got.log_pu.at(i), expected.log_pu.at(i));
+    EXPECT_EQ(got.log_pi.at(i), expected.log_pi.at(i));
+  }
+}
+
+TEST(AssembleBatchIntoTest, ReusesWorkspaceAcrossSameSizedBatches) {
+  SampleSet samples = MakeSamples(20);
+  Marginals marg(samples, 5, 7);
+  Batch b;
+  AssembleBatchInto(samples, {0, 1, 2, 3}, marg, 4, &b);
+  const float* pu_buf = b.log_pu.data();
+  const float* pi_buf = b.log_pi.data();
+  const int64_t* hist_buf = b.history_ids.data();
+  AssembleBatchInto(samples, {5, 6, 7, 8}, marg, 4, &b);
+  // Same-shaped assembly reuses every workspace buffer in place.
+  EXPECT_EQ(b.log_pu.data(), pu_buf);
+  EXPECT_EQ(b.log_pi.data(), pi_buf);
+  EXPECT_EQ(b.history_ids.data(), hist_buf);
+}
+
+TEST(EnsureVectorTensorTest, ReusesUniqueRightSizedBuffer) {
+  Tensor t = Tensor::Zeros({8});
+  const float* buf = t.data();
+  internal::EnsureVectorTensor(&t, 8);
+  EXPECT_EQ(t.data(), buf);
+  // A second owner forces a fresh allocation (the graph may hold the old
+  // buffer).
+  Tensor alias = t;
+  internal::EnsureVectorTensor(&t, 8);
+  EXPECT_NE(t.data(), alias.data());
+  // Size changes reallocate too.
+  internal::EnsureVectorTensor(&t, 16);
+  EXPECT_EQ(t.numel(), 16);
+  EXPECT_EQ(t.rank(), 1);
+}
+
 }  // namespace
 }  // namespace unimatch::data

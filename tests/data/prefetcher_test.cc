@@ -1,0 +1,159 @@
+#include "src/data/prefetcher.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "src/data/marginals.h"
+#include "src/obs/obs.h"
+#include "src/util/random.h"
+
+namespace unimatch::data {
+namespace {
+
+SampleSet MakeSamples(int n) {
+  std::vector<Sample> samples;
+  for (int i = 0; i < n; ++i) {
+    Sample s;
+    s.user = i % 5;
+    s.target = i % 7;
+    s.day = i;
+    for (int h = 0; h <= i % 4; ++h) s.history.push_back((i + h) % 7);
+    samples.push_back(std::move(s));
+  }
+  return SampleSet(samples);
+}
+
+std::vector<int64_t> AllIndices(int n) {
+  std::vector<int64_t> idx(n);
+  for (int i = 0; i < n; ++i) idx[i] = i;
+  return idx;
+}
+
+void ExpectBatchesEqual(const Batch& a, const Batch& b) {
+  EXPECT_EQ(a.batch_size, b.batch_size);
+  EXPECT_EQ(a.seq_len, b.seq_len);
+  EXPECT_EQ(a.history_ids, b.history_ids);
+  EXPECT_EQ(a.lengths, b.lengths);
+  EXPECT_EQ(a.targets, b.targets);
+  EXPECT_EQ(a.users, b.users);
+  ASSERT_EQ(a.log_pu.numel(), b.log_pu.numel());
+  for (int64_t i = 0; i < a.log_pu.numel(); ++i) {
+    EXPECT_EQ(a.log_pu.at(i), b.log_pu.at(i));
+    EXPECT_EQ(a.log_pi.at(i), b.log_pi.at(i));
+  }
+}
+
+int64_t CounterValue(const char* name) {
+  const obs::Counter* c = obs::MetricRegistry::Global()->FindCounter(name);
+  return c == nullptr ? 0 : c->value();
+}
+
+TEST(PrefetcherTest, DeliversSameSequenceAsDirectIterator) {
+  SampleSet samples = MakeSamples(37);
+  Marginals marg(samples, 5, 7);
+  const auto idx = AllIndices(37);
+
+  Rng direct_rng(11);
+  BatchIterator direct(&samples, &marg, idx, 8, 4, &direct_rng);
+  std::vector<Batch> expected;
+  Batch b;
+  while (direct.Next(&b)) expected.push_back(b);
+  ASSERT_FALSE(expected.empty());
+
+  Rng prefetch_rng(11);
+  BatchIterator it(&samples, &marg, idx, 8, 4, &prefetch_rng);
+  BatchPrefetcher prefetcher(
+      [&it](Batch* out, Tensor*) { return it.Next(out); });
+  std::vector<Batch> got;
+  Batch pb;
+  while (prefetcher.Next(&pb)) got.push_back(pb);
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t k = 0; k < got.size(); ++k) {
+    ExpectBatchesEqual(got[k], expected[k]);
+  }
+  // Exhaustion is sticky.
+  EXPECT_FALSE(prefetcher.Next(&pb));
+}
+
+TEST(PrefetcherTest, DestructionMidStreamJoinsCleanly) {
+  SampleSet samples = MakeSamples(64);
+  Marginals marg(samples, 5, 7);
+  const auto idx = AllIndices(64);
+  Rng rng(3);
+  BatchIterator it(&samples, &marg, idx, 4, 4, &rng);
+  {
+    BatchPrefetcher prefetcher(
+        [&it](Batch* out, Tensor*) { return it.Next(out); });
+    Batch b;
+    ASSERT_TRUE(prefetcher.Next(&b));
+    ASSERT_TRUE(prefetcher.Next(&b));
+    // Destroyed with a production in flight and batches undelivered.
+  }
+  // The iterator survives and can be reused after the prefetcher is gone.
+  Batch b;
+  EXPECT_TRUE(it.Next(&b));
+}
+
+TEST(PrefetcherTest, ProducerExceptionRethrownOnNext) {
+  int calls = 0;
+  BatchPrefetcher prefetcher([&calls](Batch* out, Tensor*) {
+    if (++calls >= 3) throw std::runtime_error("producer failed");
+    out->batch_size = calls;
+    return true;
+  });
+  Batch b;
+  EXPECT_TRUE(prefetcher.Next(&b));
+  EXPECT_EQ(b.batch_size, 1);
+  EXPECT_TRUE(prefetcher.Next(&b));
+  EXPECT_EQ(b.batch_size, 2);
+  EXPECT_THROW(prefetcher.Next(&b), std::runtime_error);
+}
+
+TEST(PrefetcherTest, LabelsTravelWithTheBatch) {
+  int calls = 0;
+  BatchPrefetcher prefetcher([&calls](Batch* out, Tensor* labels) {
+    if (++calls > 4) return false;
+    out->batch_size = calls;
+    *labels = Tensor::Full({2}, static_cast<float>(calls));
+    return true;
+  });
+  Batch b;
+  Tensor labels;
+  for (int expect = 1; expect <= 4; ++expect) {
+    ASSERT_TRUE(prefetcher.Next(&b, &labels));
+    EXPECT_EQ(b.batch_size, expect);
+    ASSERT_EQ(labels.numel(), 2);
+    EXPECT_EQ(labels.at(0), static_cast<float>(expect));
+  }
+  EXPECT_FALSE(prefetcher.Next(&b, &labels));
+}
+
+TEST(PrefetcherTest, EmptyStreamReturnsFalseImmediately) {
+  BatchPrefetcher prefetcher([](Batch*, Tensor*) { return false; });
+  Batch b;
+  EXPECT_FALSE(prefetcher.Next(&b));
+  EXPECT_FALSE(prefetcher.Next(&b));
+}
+
+TEST(PrefetcherTest, DeliveryBumpsHitOrMissCounter) {
+  const int64_t before = CounterValue("train.pipeline.prefetch_hit") +
+                         CounterValue("train.pipeline.prefetch_miss");
+  int calls = 0;
+  BatchPrefetcher prefetcher([&calls](Batch* out, Tensor*) {
+    if (++calls > 3) return false;
+    out->batch_size = calls;
+    return true;
+  });
+  Batch b;
+  int delivered = 0;
+  while (prefetcher.Next(&b)) ++delivered;
+  EXPECT_EQ(delivered, 3);
+  const int64_t after = CounterValue("train.pipeline.prefetch_hit") +
+                        CounterValue("train.pipeline.prefetch_miss");
+  EXPECT_EQ(after - before, delivered);
+}
+
+}  // namespace
+}  // namespace unimatch::data

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "src/util/random.h"
 
@@ -103,6 +105,55 @@ TEST(MetricsPropertyTest, RecallEqualsHitRateWithOnePositive) {
     // NDCG is positive iff recall hit.
     const double n = NdcgAtN(scores, pos, 10);
     EXPECT_EQ(n > 0.0, r == 1.0);
+  }
+}
+
+// The bounded top-k selection must agree exactly with the stable full sort
+// it replaced, including on heavily tied score vectors (ties break toward
+// the lower index, which is what stable_sort over iota order produced).
+TEST(MetricsPropertyTest, BoundedTopKMatchesStableSortReference) {
+  Rng rng(6);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int size = 5 + static_cast<int>(rng.Uniform(60));
+    std::vector<float> scores(size);
+    // Draw from few distinct values so ties dominate.
+    for (auto& s : scores) s = static_cast<float>(rng.Uniform(4)) * 0.25f;
+    std::vector<bool> pos(size, false);
+    for (int p = 0; p < 3; ++p) pos[rng.Uniform(size)] = true;
+
+    std::vector<int64_t> ref(size);
+    std::iota(ref.begin(), ref.end(), 0);
+    std::stable_sort(ref.begin(), ref.end(), [&](int64_t a, int64_t b) {
+      return scores[a] > scores[b];
+    });
+
+    for (int n : {1, 3, 10, size, size + 5}) {
+      const auto top = TopN(scores, n);
+      const int64_t expect = std::min<int64_t>(n, size);
+      ASSERT_EQ(static_cast<int64_t>(top.size()), expect);
+      for (int64_t r = 0; r < expect; ++r) {
+        EXPECT_EQ(top[r], ref[r]) << "trial " << trial << " n=" << n
+                                  << " rank " << r;
+      }
+      // Recall/NDCG over the bounded selection == reference-prefix values.
+      int64_t hits = 0;
+      double dcg = 0.0;
+      for (int64_t r = 0; r < expect; ++r) {
+        if (!pos[ref[r]]) continue;
+        ++hits;
+        dcg += 1.0 / std::log2(static_cast<double>(r) + 2);
+      }
+      const int64_t num_pos = std::count(pos.begin(), pos.end(), true);
+      double ideal = 0.0;
+      for (int64_t r = 0; r < std::min<int64_t>(num_pos, n); ++r) {
+        ideal += 1.0 / std::log2(static_cast<double>(r) + 2);
+      }
+      EXPECT_DOUBLE_EQ(
+          RecallAtN(scores, pos, n),
+          static_cast<double>(hits) /
+              static_cast<double>(std::min<int64_t>(num_pos, n)));
+      EXPECT_DOUBLE_EQ(NdcgAtN(scores, pos, n), dcg / ideal);
+    }
   }
 }
 

@@ -1,0 +1,190 @@
+// Equivalence tests for the parallel training pipeline: for a fixed seed,
+// sharded data-parallel training must reproduce the serial path — exactly
+// (bitwise) for extractor-free towers, and identically across thread
+// counts for every tower.
+
+#include "src/train/parallel_step.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/data/synthetic.h"
+#include "src/eval/evaluator.h"
+#include "src/train/trainer.h"
+
+namespace unimatch::train {
+namespace {
+
+struct Env {
+  data::InteractionLog log;
+  data::DatasetSplits splits;
+
+  Env() {
+    data::SyntheticConfig cfg;
+    cfg.num_users = 300;
+    cfg.num_items = 80;
+    cfg.num_months = 4;
+    cfg.target_interactions = 4000;
+    cfg.seed = 47;
+    log = data::GenerateSynthetic(cfg);
+    splits = data::MakeSplits(log, data::SplitConfig{});
+  }
+};
+
+const Env& env() {
+  static const Env* e = new Env();
+  return *e;
+}
+
+model::TwoTowerConfig BaseModel() {
+  model::TwoTowerConfig mc;
+  mc.num_items = 80;
+  mc.embedding_dim = 8;
+  mc.temperature = 0.2f;
+  return mc;
+}
+
+struct RunOutput {
+  std::vector<double> epoch_losses;
+  Tensor item_embeddings;
+  double ir_ndcg = 0.0;
+  double ut_ndcg = 0.0;
+};
+
+RunOutput RunTraining(const model::TwoTowerConfig& mc, loss::LossKind loss,
+                      int num_threads, int epochs) {
+  model::TwoTowerModel model(mc);
+  TrainConfig tc;
+  tc.loss = loss;
+  tc.batch_size = 64;
+  tc.seed = 12;
+  tc.num_threads = num_threads;
+  Trainer trainer(&model, &env().splits, tc);
+  const auto all = env().splits.train.AllIndices();
+  RunOutput out;
+  for (int e = 0; e < epochs; ++e) {
+    UM_CHECK(trainer.TrainIndices(all, 1).ok());
+    out.epoch_losses.push_back(trainer.last_epoch_loss());
+  }
+  out.item_embeddings = model.InferItemEmbeddings();
+  eval::ProtocolConfig pc;
+  pc.num_negatives = 20;
+  const eval::EvalProtocol protocol =
+      eval::EvalProtocol::Build(env().splits, pc);
+  const eval::Evaluator evaluator(&env().splits, &protocol);
+  const eval::EvalResult res = evaluator.Evaluate(model);
+  out.ir_ndcg = res.ir.ndcg;
+  out.ut_ndcg = res.ut.ndcg;
+  return out;
+}
+
+bool BitwiseEqual(const Tensor& a, const Tensor& b) {
+  if (!a.same_shape(b)) return false;
+  return std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+void ExpectIdenticalRuns(const RunOutput& a, const RunOutput& b,
+                         const char* label) {
+  ASSERT_EQ(a.epoch_losses.size(), b.epoch_losses.size());
+  for (size_t e = 0; e < a.epoch_losses.size(); ++e) {
+    EXPECT_EQ(a.epoch_losses[e], b.epoch_losses[e])
+        << label << " epoch " << e << " loss diverged";
+  }
+  EXPECT_TRUE(BitwiseEqual(a.item_embeddings, b.item_embeddings))
+      << label << " item embeddings diverged";
+  EXPECT_EQ(a.ir_ndcg, b.ir_ndcg) << label;
+  EXPECT_EQ(a.ut_ndcg, b.ut_ndcg) << label;
+}
+
+// Extractor-free towers share no parameter nodes across shards, so the
+// parallel step must be bitwise identical to serial at every thread count.
+class BitwiseSerialTest : public ::testing::TestWithParam<loss::LossKind> {};
+
+TEST_P(BitwiseSerialTest, ParallelMatchesSerialExactly) {
+  const model::TwoTowerConfig mc = BaseModel();
+  const RunOutput serial = RunTraining(mc, GetParam(), 1, 2);
+  for (int nt : {2, 4}) {
+    const RunOutput parallel = RunTraining(mc, GetParam(), nt, 2);
+    ExpectIdenticalRuns(serial, parallel,
+                        loss::LossKindToString(GetParam()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Losses, BitwiseSerialTest,
+    ::testing::Values(loss::LossKind::kBbcNce, loss::LossKind::kSsm,
+                      loss::LossKind::kBce),
+    [](const ::testing::TestParamInfo<loss::LossKind>& info) {
+      std::string name = loss::LossKindToString(info.param);
+      for (auto& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// Towers with extractor parameters use per-shard replicas whose gradient
+// reduction order is fixed by the (thread-count independent) shard
+// partition: different thread counts must agree exactly.
+TEST(ParallelStepTest, ExtractorTowersAgreeAcrossThreadCounts) {
+  model::TwoTowerConfig mc = BaseModel();
+  mc.extractor = model::ContextExtractor::kGru;
+  const RunOutput two = RunTraining(mc, loss::LossKind::kBbcNce, 2, 2);
+  const RunOutput four = RunTraining(mc, loss::LossKind::kBbcNce, 4, 2);
+  ExpectIdenticalRuns(two, four, "gru");
+}
+
+// Dropout seeds are drawn per shard in shard order on the stepping thread,
+// so masks — and the whole run — are scheduling-independent.
+TEST(ParallelStepTest, DropoutRunsAgreeAcrossThreadCounts) {
+  model::TwoTowerConfig mc = BaseModel();
+  mc.dropout = 0.3f;
+  const RunOutput two = RunTraining(mc, loss::LossKind::kBbcNce, 2, 2);
+  const RunOutput four = RunTraining(mc, loss::LossKind::kBbcNce, 4, 2);
+  ExpectIdenticalRuns(two, four, "dropout");
+}
+
+// Same with the BCE loss, where dropout also disables batch prefetching
+// (producer and consumer would share the RNG).
+TEST(ParallelStepTest, BceDropoutRunsAgreeAcrossThreadCounts) {
+  model::TwoTowerConfig mc = BaseModel();
+  mc.dropout = 0.3f;
+  const RunOutput two = RunTraining(mc, loss::LossKind::kBce, 2, 1);
+  const RunOutput four = RunTraining(mc, loss::LossKind::kBce, 4, 1);
+  ExpectIdenticalRuns(two, four, "bce dropout");
+}
+
+// The attention aggregator is the other replica trigger.
+TEST(ParallelStepTest, AttentionTowersAgreeAcrossThreadCounts) {
+  model::TwoTowerConfig mc = BaseModel();
+  mc.aggregator = model::Aggregator::kAttention;
+  const RunOutput two = RunTraining(mc, loss::LossKind::kBbcNce, 2, 1);
+  const RunOutput four = RunTraining(mc, loss::LossKind::kBbcNce, 4, 1);
+  ExpectIdenticalRuns(two, four, "attention");
+}
+
+// Direct unit check: Encode must reproduce EncodeUsers' forward values.
+TEST(ParallelStepTest, EncodeMatchesSerialForward) {
+  model::TwoTowerModel model(BaseModel());
+  ShardedUserEncoder encoder(&model, 2);
+  // 70 rows forces multiple shards (grain is ceil(70/16) >= 8 rows).
+  const int64_t b = 70, l = 5;
+  std::vector<int64_t> ids(b * l, nn::kPadId);
+  std::vector<int64_t> lengths(b);
+  Rng rng(3);
+  for (int64_t r = 0; r < b; ++r) {
+    lengths[r] = 1 + static_cast<int64_t>(rng.Uniform(l));
+    for (int64_t t = 0; t < lengths[r]; ++t) {
+      ids[r * l + t] = static_cast<int64_t>(rng.Uniform(80));
+    }
+  }
+  nn::Variable serial = model.EncodeUsers(ids, lengths);
+  nn::Variable parallel = encoder.Encode(ids, lengths, nullptr);
+  EXPECT_GT(encoder.num_shards(), 1);
+  ASSERT_TRUE(serial.value().same_shape(parallel.value()));
+  EXPECT_TRUE(BitwiseEqual(serial.value(), parallel.value()));
+}
+
+}  // namespace
+}  // namespace unimatch::train

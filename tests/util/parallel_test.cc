@@ -1,0 +1,123 @@
+#include "src/util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace unimatch {
+namespace {
+
+TEST(ParallelRegionTest, NoRegionRunsSerialOnCallingThread) {
+  EXPECT_EQ(CurrentParallelPool(), nullptr);
+  const auto caller = std::this_thread::get_id();
+  std::vector<int64_t> order;
+  RegionParallelFor(0, 100, [&](int64_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  // Serial fallback preserves iteration order exactly.
+  ASSERT_EQ(order.size(), 100u);
+  for (int64_t i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelRegionTest, RegionCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  ScopedParallelRegion region(&pool);
+  EXPECT_EQ(CurrentParallelPool(), &pool);
+  std::vector<std::atomic<int>> seen(500);
+  RegionParallelFor(0, 500, [&](int64_t i) { seen[i].fetch_add(1); });
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(ParallelRegionTest, RegionsNestAndRestore) {
+  ThreadPool outer_pool(2), inner_pool(2);
+  EXPECT_EQ(CurrentParallelPool(), nullptr);
+  {
+    ScopedParallelRegion outer(&outer_pool);
+    EXPECT_EQ(CurrentParallelPool(), &outer_pool);
+    {
+      ScopedParallelRegion inner(&inner_pool);
+      EXPECT_EQ(CurrentParallelPool(), &inner_pool);
+    }
+    EXPECT_EQ(CurrentParallelPool(), &outer_pool);
+    {
+      // A nullptr region forces serial execution inside a parallel scope.
+      ScopedParallelRegion off(nullptr);
+      EXPECT_EQ(CurrentParallelPool(), nullptr);
+    }
+    EXPECT_EQ(CurrentParallelPool(), &outer_pool);
+  }
+  EXPECT_EQ(CurrentParallelPool(), nullptr);
+}
+
+TEST(ParallelRegionTest, RegionDoesNotPropagateToPoolWorkers) {
+  ThreadPool pool(2);
+  ScopedParallelRegion region(&pool);
+  std::atomic<int> workers_with_region{0};
+  pool.ParallelFor(
+      0, 8,
+      [&](int64_t) {
+        if (ThreadPool::InWorkerThread() &&
+            CurrentParallelPool() != nullptr) {
+          workers_with_region.fetch_add(1);
+        }
+      },
+      /*min_shard=*/1);
+  EXPECT_EQ(workers_with_region.load(), 0);
+}
+
+TEST(ParallelRegionTest, RangeFormPartitionsWithoutOverlap) {
+  ThreadPool pool(3);
+  ScopedParallelRegion region(&pool);
+  const int64_t n = 100000;
+  std::vector<std::atomic<int>> seen(n);
+  RegionParallelForRange(0, n, [&](int64_t lo, int64_t hi) {
+    ASSERT_LT(lo, hi);
+    for (int64_t i = lo; i < hi; ++i) seen[i].fetch_add(1);
+  });
+  int64_t total = 0;
+  for (const auto& s : seen) {
+    EXPECT_EQ(s.load(), 1);
+    total += s.load();
+  }
+  EXPECT_EQ(total, n);
+}
+
+TEST(ParallelRegionTest, RangeFormStaysSerialBelowThreshold) {
+  ThreadPool pool(3);
+  ScopedParallelRegion region(&pool);
+  const auto caller = std::this_thread::get_id();
+  int calls = 0;
+  RegionParallelForRange(
+      0, 100,
+      [&](int64_t lo, int64_t hi) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        EXPECT_EQ(lo, 0);
+        EXPECT_EQ(hi, 100);
+        ++calls;
+      },
+      /*min_range=*/1000);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolNestingTest, NestedParallelForRunsInlineOnWorkers) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  // A ParallelFor issued from inside a worker must not deadlock on Wait();
+  // it runs inline on that worker.
+  pool.ParallelFor(
+      0, 4,
+      [&](int64_t) {
+        EXPECT_TRUE(ThreadPool::InWorkerThread());
+        pool.ParallelFor(
+            0, 8, [&](int64_t) { count.fetch_add(1); }, /*min_shard=*/1);
+      },
+      /*min_shard=*/1);
+  EXPECT_EQ(count.load(), 4 * 8);
+}
+
+}  // namespace
+}  // namespace unimatch
