@@ -11,7 +11,7 @@ UniMatchEngine::UniMatchEngine(EngineConfig config)
 
 UniMatchEngine::~UniMatchEngine() = default;
 
-std::unique_ptr<ann::Index> UniMatchEngine::MakeIndex() const {
+std::unique_ptr<ann::Index> UniMatchEngine::MakeConfiguredIndex() const {
   if (config_.index == "ivf") {
     return std::make_unique<ann::IvfIndex>(config_.ivf);
   }
@@ -74,8 +74,8 @@ Status UniMatchEngine::RebuildIndexes() {
   std::vector<std::vector<int64_t>> histories(splits_.histories.begin(),
                                               splits_.histories.end());
   user_embeddings_ = model_->InferUserEmbeddings(histories);
-  item_index_ = MakeIndex();
-  user_index_ = MakeIndex();
+  item_index_ = MakeConfiguredIndex();
+  user_index_ = MakeConfiguredIndex();
   UNIMATCH_RETURN_IF_ERROR(item_index_->Build(item_embeddings_));
   UNIMATCH_RETURN_IF_ERROR(user_index_->Build(user_embeddings_));
   return Status::OK();

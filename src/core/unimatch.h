@@ -84,9 +84,14 @@ class UniMatchEngine {
   const Tensor& item_embeddings() const { return item_embeddings_; }
   const Tensor& user_embeddings() const { return user_embeddings_; }
 
+  /// A fresh, empty index of the configured kind (`EngineConfig::index`).
+  /// Snapshot construction (serving::EngineSnapshot) uses this to build
+  /// indexes it owns independently of the engine's own serving indexes,
+  /// so a later FitIncrementalMonth cannot invalidate a published snapshot.
+  std::unique_ptr<ann::Index> MakeConfiguredIndex() const;
+
  private:
   Status RebuildIndexes();
-  std::unique_ptr<ann::Index> MakeIndex() const;
 
   EngineConfig config_;
   bool fitted_ = false;

@@ -1,0 +1,239 @@
+#include "src/serving/frontend.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/obs/obs.h"
+#include "src/util/logging.h"
+
+namespace unimatch::serving {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MillisSince(Clock::time_point start, Clock::time_point end) {
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+}  // namespace
+
+const char* RequestKindToString(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kRecommendItems:
+      return "recommend_items";
+    case RequestKind::kTargetUsers:
+      return "target_users";
+    case RequestKind::kBuildAudience:
+      return "build_audience";
+  }
+  return "unknown";
+}
+
+ServingFrontend::ServingFrontend(FrontendConfig config,
+                                 SnapshotPublisher* publisher)
+    : config_(config),
+      publisher_(publisher),
+      exec_pool_(config.num_threads),
+      batcher_pool_(1) {
+  UM_CHECK(publisher_ != nullptr) << "frontend needs a SnapshotPublisher";
+  UM_CHECK_GT(config_.max_queue_depth, 0);
+  UM_CHECK_GT(config_.max_batch, 0);
+  UM_CHECK_GE(config_.batch_window_us, 0);
+  UM_CHECK_GT(config_.max_inflight_batches, 0);
+  auto* registry = obs::MetricRegistry::Global();
+  batch_occupancy_ = registry->GetHistogram(
+      "serving.frontend.batch.occupancy", "requests",
+      "requests coalesced per micro-batch",
+      {1, 2, 4, 8, 16, 32, 64, 128, 256, 512});
+  queue_wait_ms_ = registry->GetHistogram(
+      "serving.frontend.stage.queue.ms", "ms",
+      "admission-to-batch-dispatch wait per request");
+  execute_ms_ = registry->GetHistogram(
+      "serving.frontend.stage.execute.ms", "ms",
+      "score + ANN execution latency per batch");
+  request_ms_ = registry->GetHistogram(
+      "serving.frontend.request.ms", "ms",
+      "end-to-end latency per answered request");
+  batcher_pool_.Schedule([this] { BatcherLoop(); });
+}
+
+ServingFrontend::~ServingFrontend() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  batcher_pool_.Wait();  // batcher exits only once the queue is empty
+  exec_pool_.Wait();     // every dispatched batch has answered
+}
+
+std::future<Response> ServingFrontend::Submit(Request request) {
+  std::promise<Response> promise;
+  std::future<Response> future = promise.get_future();
+  bool shutting_down = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stopping_ &&
+        queue_.size() < static_cast<size_t>(config_.max_queue_depth)) {
+      ++admitted_;
+      queue_.push_back(
+          Pending{request, std::move(promise), Clock::now()});
+      UM_GAUGE_SET("serving.frontend.queue.depth",
+                   static_cast<double>(queue_.size()));
+      UM_COUNTER_INC("serving.frontend.admitted");
+      queue_cv_.notify_one();
+      return future;
+    }
+    shutting_down = stopping_;
+    ++shed_;
+  }
+  UM_COUNTER_INC("serving.frontend.shed");
+  Response response;
+  response.status = Status::Overloaded(
+      shutting_down ? "frontend is shutting down"
+                    : "admission queue full; retry with backoff");
+  promise.set_value(std::move(response));
+  return future;
+}
+
+void ServingFrontend::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  state_cv_.wait(lock,
+                 [this] { return queue_.empty() && inflight_batches_ == 0; });
+}
+
+int64_t ServingFrontend::admitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_;
+}
+
+int64_t ServingFrontend::shed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_;
+}
+
+int64_t ServingFrontend::completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_;
+}
+
+void ServingFrontend::BatcherLoop() {
+  const auto window = std::chrono::microseconds(config_.batch_window_us);
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    queue_cv_.wait(lock, [this] { return !queue_.empty() || stopping_; });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    // Coalesce: flush at the size budget, the oldest request's window
+    // deadline, or shutdown — whichever comes first.
+    const auto deadline = queue_.front().enqueued_at + window;
+    while (queue_.size() < static_cast<size_t>(config_.max_batch) &&
+           !stopping_ && Clock::now() < deadline) {
+      queue_cv_.wait_until(lock, deadline);
+    }
+    const bool flush_full =
+        queue_.size() >= static_cast<size_t>(config_.max_batch);
+    // Backpressure: hold the batch until an executor slot frees up. The
+    // queue keeps absorbing arrivals meanwhile and sheds past its bound.
+    state_cv_.wait(lock, [this] {
+      return inflight_batches_ < config_.max_inflight_batches;
+    });
+    auto batch = std::make_shared<std::vector<Pending>>();
+    const size_t take =
+        std::min(queue_.size(), static_cast<size_t>(config_.max_batch));
+    batch->reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      batch->push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    ++inflight_batches_;
+    UM_GAUGE_SET("serving.frontend.queue.depth",
+                 static_cast<double>(queue_.size()));
+    lock.unlock();
+
+    if (flush_full) {
+      UM_COUNTER_INC("serving.frontend.batch.flush_full");
+    } else {
+      UM_COUNTER_INC("serving.frontend.batch.flush_window");
+    }
+    if (obs::MetricsEnabled()) {
+      batch_occupancy_->Observe(static_cast<double>(batch->size()));
+    }
+    // Pin once per batch: every request in it is served by one coherent
+    // model generation, and a concurrent Publish only affects later
+    // batches.
+    std::shared_ptr<const EngineSnapshot> snapshot = publisher_->Current();
+    exec_pool_.Schedule(
+        [this, batch = std::move(batch), snapshot = std::move(snapshot)] {
+          ExecuteBatch(batch, snapshot);
+        });
+
+    lock.lock();
+  }
+}
+
+void ServingFrontend::ExecuteBatch(
+    std::shared_ptr<std::vector<Pending>> batch,
+    std::shared_ptr<const EngineSnapshot> snapshot) {
+  const auto start = Clock::now();
+  for (Pending& pending : *batch) {
+    if (obs::MetricsEnabled()) {
+      queue_wait_ms_->Observe(MillisSince(pending.enqueued_at, start));
+    }
+    Response response = ExecuteOne(snapshot.get(), pending.request);
+    if (!response.status.ok()) {
+      UM_COUNTER_INC("serving.frontend.errors");
+    }
+    response.latency_ms = MillisSince(pending.enqueued_at, Clock::now());
+    if (obs::MetricsEnabled()) {
+      request_ms_->Observe(response.latency_ms);
+    }
+    UM_COUNTER_INC("serving.frontend.completed");
+    pending.promise.set_value(std::move(response));
+  }
+  if (obs::MetricsEnabled()) {
+    execute_ms_->Observe(MillisSince(start, Clock::now()));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --inflight_batches_;
+    completed_ += static_cast<int64_t>(batch->size());
+  }
+  state_cv_.notify_all();
+}
+
+Response ServingFrontend::ExecuteOne(const EngineSnapshot* snapshot,
+                                     const Request& request) {
+  Response response;
+  if (snapshot == nullptr) {
+    response.status =
+        Status::FailedPrecondition("no engine snapshot published");
+    return response;
+  }
+  response.snapshot_version = snapshot->version();
+  Result<std::vector<core::Scored>> result = [&] {
+    switch (request.kind) {
+      case RequestKind::kRecommendItems:
+        UM_COUNTER_INC("serving.frontend.requests.ir");
+        return snapshot->RecommendItems(request.id, request.top_k);
+      case RequestKind::kTargetUsers:
+        UM_COUNTER_INC("serving.frontend.requests.ut");
+        return snapshot->TargetUsers(request.id, request.top_k);
+      case RequestKind::kBuildAudience:
+        UM_COUNTER_INC("serving.frontend.requests.audience");
+        return snapshot->TargetUsers(request.id, request.top_k);
+    }
+    return Result<std::vector<core::Scored>>(
+        Status::InvalidArgument("unknown request kind"));
+  }();
+  if (result.ok()) {
+    response.results = std::move(result).value();
+  } else {
+    response.status = result.status();
+  }
+  return response;
+}
+
+}  // namespace unimatch::serving

@@ -1,0 +1,110 @@
+#include "src/serving/snapshot.h"
+
+#include <utility>
+
+#include "src/obs/obs.h"
+#include "src/util/contract.h"
+
+namespace unimatch::serving {
+
+Result<std::shared_ptr<const EngineSnapshot>> EngineSnapshot::FromEngine(
+    const core::UniMatchEngine& engine, int64_t version) {
+  if (!engine.fitted()) {
+    return Status::FailedPrecondition("cannot snapshot an unfitted engine");
+  }
+  UM_SCOPED_TIMER("serving.frontend.snapshot.build.ms");
+  auto snap = std::make_shared<EngineSnapshot>(Private{});
+  snap->version_ = version;
+  // Tensor copies alias the refcounted Storage: the snapshot pins the
+  // matrices as of now, and a later RebuildIndexes in the engine rebinds
+  // the engine's handles without touching these buffers.
+  snap->user_embeddings_ = engine.user_embeddings();
+  snap->item_embeddings_ = engine.item_embeddings();
+  const data::DatasetSplits* splits = engine.splits();
+  UM_CHECK(splits != nullptr);
+  snap->servable_.reserve(splits->histories.size());
+  for (const auto& history : splits->histories) {
+    snap->servable_.push_back(history.empty() ? 0 : 1);
+  }
+  snap->item_index_ = engine.MakeConfiguredIndex();
+  snap->user_index_ = engine.MakeConfiguredIndex();
+  UNIMATCH_RETURN_IF_ERROR(snap->item_index_->Build(snap->item_embeddings_));
+  UNIMATCH_RETURN_IF_ERROR(snap->user_index_->Build(snap->user_embeddings_));
+  return std::shared_ptr<const EngineSnapshot>(std::move(snap));
+}
+
+Result<std::shared_ptr<const EngineSnapshot>> EngineSnapshot::FromEmbeddings(
+    Tensor user_embeddings, Tensor item_embeddings, int64_t version,
+    std::vector<uint8_t> servable_users) {
+  if (user_embeddings.rank() != 2 || item_embeddings.rank() != 2) {
+    return Status::InvalidArgument("embeddings must be [N, d] matrices");
+  }
+  if (user_embeddings.dim(1) != item_embeddings.dim(1)) {
+    return Status::InvalidArgument(
+        "user/item embedding dimensions disagree");
+  }
+  if (!servable_users.empty() &&
+      static_cast<int64_t>(servable_users.size()) != user_embeddings.dim(0)) {
+    return Status::InvalidArgument(
+        "servable_users size must match the user count");
+  }
+  UM_SCOPED_TIMER("serving.frontend.snapshot.build.ms");
+  auto snap = std::make_shared<EngineSnapshot>(Private{});
+  snap->version_ = version;
+  snap->user_embeddings_ = std::move(user_embeddings);
+  snap->item_embeddings_ = std::move(item_embeddings);
+  snap->servable_ = std::move(servable_users);
+  snap->item_index_ = std::make_unique<ann::BruteForceIndex>();
+  snap->user_index_ = std::make_unique<ann::BruteForceIndex>();
+  UNIMATCH_RETURN_IF_ERROR(snap->item_index_->Build(snap->item_embeddings_));
+  UNIMATCH_RETURN_IF_ERROR(snap->user_index_->Build(snap->user_embeddings_));
+  return std::shared_ptr<const EngineSnapshot>(std::move(snap));
+}
+
+Result<std::vector<core::Scored>> EngineSnapshot::RecommendItems(
+    data::UserId user, int n) const {
+  if (n <= 0) return Status::InvalidArgument("n must be positive");
+  if (user < 0 || user >= num_users()) {
+    return Status::NotFound("unknown user id");
+  }
+  if (!servable_.empty() && servable_[user] == 0) {
+    return Status::NotFound("user has no interaction history");
+  }
+  const float* uvec = user_embeddings_.data() + user * dim();
+  std::vector<core::Scored> out;
+  for (const auto& r : item_index_->Search(uvec, n)) {
+    out.push_back({r.id, r.score});
+  }
+  return out;
+}
+
+Result<std::vector<core::Scored>> EngineSnapshot::TargetUsers(
+    data::ItemId item, int n) const {
+  if (n <= 0) return Status::InvalidArgument("n must be positive");
+  if (item < 0 || item >= num_items()) {
+    return Status::NotFound("unknown item id");
+  }
+  const float* ivec = item_embeddings_.data() + item * dim();
+  std::vector<core::Scored> out;
+  for (const auto& r : user_index_->Search(ivec, n)) {
+    out.push_back({r.id, r.score});
+  }
+  return out;
+}
+
+void SnapshotPublisher::Publish(
+    std::shared_ptr<const EngineSnapshot> snapshot) {
+  UM_CHECK(snapshot != nullptr) << "Publish requires a snapshot";
+  [[maybe_unused]] const int64_t version = snapshot->version();
+  current_.store(std::move(snapshot), std::memory_order_release);
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+  UM_GAUGE_SET("serving.frontend.snapshot.version",
+               static_cast<double>(version));
+  UM_COUNTER_INC("serving.frontend.snapshot.swaps");
+}
+
+std::shared_ptr<const EngineSnapshot> SnapshotPublisher::Current() const {
+  return current_.load(std::memory_order_acquire);
+}
+
+}  // namespace unimatch::serving

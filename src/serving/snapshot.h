@@ -1,0 +1,117 @@
+// Immutable, atomically swappable engine snapshots — the serving half of
+// the paper's Fig. 3 deployment loop (train offline, promote online).
+//
+// An EngineSnapshot is a frozen view of everything request execution
+// needs: the normalized user/item embedding matrices (refcounted Storage
+// aliases — copying a Tensor pins the buffer, it does not copy floats),
+// the ANN indexes built over them, and per-user servability flags. Once
+// constructed it is never mutated, so any number of request threads can
+// read it without locks.
+//
+// A SnapshotPublisher holds the "current" snapshot behind a single
+// std::atomic<std::shared_ptr>. Readers pin (copy the shared_ptr) once per
+// request; a writer publishes a replacement with one atomic store. Readers
+// that pinned the old snapshot finish on it — the refcount keeps its
+// buffers and indexes alive — so model promotion is zero-downtime by
+// construction. See docs/SERVING.md for the full protocol and its
+// memory-safety argument.
+
+#ifndef UNIMATCH_SERVING_SNAPSHOT_H_
+#define UNIMATCH_SERVING_SNAPSHOT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ann/index.h"
+#include "src/core/unimatch.h"
+#include "src/tensor/tensor.h"
+#include "src/util/status.h"
+
+namespace unimatch::serving {
+
+/// Frozen model + index state serving one traffic generation. Construct
+/// via FromEngine / FromEmbeddings; always held as shared_ptr<const>.
+class EngineSnapshot {
+ public:
+  /// Snapshots a fitted engine: aliases its embedding matrices (cheap,
+  /// refcounted) and builds fresh indexes of the engine's configured kind,
+  /// owned by the snapshot. `version` is the promotion counter (e.g. the
+  /// training month); it only feeds observability.
+  static Result<std::shared_ptr<const EngineSnapshot>> FromEngine(
+      const core::UniMatchEngine& engine, int64_t version);
+
+  /// Builds a snapshot directly from embedding matrices ([M, d] users,
+  /// [K, d] items) with brute-force indexes — the hand-off path for
+  /// embeddings loaded from an EmbeddingBundle, and the test/bench path
+  /// that needs no trained engine. Users with an all-zero embedding row
+  /// are treated as unservable only when `servable_users` is given.
+  static Result<std::shared_ptr<const EngineSnapshot>> FromEmbeddings(
+      Tensor user_embeddings, Tensor item_embeddings, int64_t version,
+      std::vector<uint8_t> servable_users = {});
+
+  /// IR: top-n items for a known user, from the frozen matrices/indexes.
+  Result<std::vector<core::Scored>> RecommendItems(data::UserId user,
+                                                   int n) const;
+  /// UT: top-n users for a known item.
+  Result<std::vector<core::Scored>> TargetUsers(data::ItemId item,
+                                                int n) const;
+
+  int64_t version() const { return version_; }
+  int64_t num_users() const { return user_embeddings_.dim(0); }
+  int64_t num_items() const { return item_embeddings_.dim(0); }
+  int64_t dim() const { return item_embeddings_.dim(1); }
+
+  const Tensor& user_embeddings() const { return user_embeddings_; }
+  const Tensor& item_embeddings() const { return item_embeddings_; }
+
+  /// Passkey: lets the factories use std::make_shared while keeping
+  /// direct construction private — always go through FromEngine /
+  /// FromEmbeddings.
+  class Private {
+    friend class EngineSnapshot;
+    Private() = default;
+  };
+  explicit EngineSnapshot(Private) {}
+
+ private:
+  int64_t version_ = 0;
+  Tensor user_embeddings_;  // [M, d], refcounted alias, never written
+  Tensor item_embeddings_;  // [K, d]
+  /// servable_[u] == 0 marks users without usable history/embedding
+  /// (RecommendItems returns NotFound, matching UniMatchEngine). Empty
+  /// means every user is servable.
+  std::vector<uint8_t> servable_;
+  std::unique_ptr<ann::Index> item_index_;  // queried by RecommendItems
+  std::unique_ptr<ann::Index> user_index_;  // queried by TargetUsers
+};
+
+/// The single swap point between training and serving. Thread-safe:
+/// Current() is one atomic shared_ptr load, Publish() one atomic store.
+class SnapshotPublisher {
+ public:
+  SnapshotPublisher() = default;
+  SnapshotPublisher(const SnapshotPublisher&) = delete;
+  SnapshotPublisher& operator=(const SnapshotPublisher&) = delete;
+
+  /// Atomically replaces the current snapshot. The previous snapshot stays
+  /// alive until its last pinned reader drops it. `snapshot` must not be
+  /// null. Updates serving.frontend.snapshot.{version,swaps}.
+  void Publish(std::shared_ptr<const EngineSnapshot> snapshot);
+
+  /// Pins and returns the current snapshot (null before first Publish).
+  std::shared_ptr<const EngineSnapshot> Current() const;
+
+  /// Number of Publish calls so far.
+  int64_t swaps() const { return swaps_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::shared_ptr<const EngineSnapshot>> current_;
+  std::atomic<int64_t> swaps_{0};
+};
+
+}  // namespace unimatch::serving
+
+#endif  // UNIMATCH_SERVING_SNAPSHOT_H_

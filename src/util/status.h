@@ -27,6 +27,9 @@ enum class StatusCode : int {
   kUnimplemented = 6,
   kIOError = 7,
   kInternal = 8,
+  /// Transient capacity exhaustion: the caller should shed load or retry
+  /// later (serving admission control; see docs/SERVING.md).
+  kOverloaded = 9,
 };
 
 /// Returns a stable, human-readable name for a StatusCode ("OK",
@@ -73,6 +76,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const {
@@ -96,6 +102,7 @@ class Status {
   }
   bool IsIOError() const { return code() == StatusCode::kIOError; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsOverloaded() const { return code() == StatusCode::kOverloaded; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -6,8 +6,12 @@
 #      suite on the optimized, runtime-dispatched build)
 #   3. asan-ubsan preset: configure + build + ctest -L tier1
 #   4. tsan preset:       configure + build + ctest -L tier1
+#   5. serving bench smoke: bench_serving in UNIMATCH_BENCH_SMOKE mode —
+#      hard-gates request correctness + the under-load snapshot swap,
+#      records (never gates) latency, since runners may be single-core
 #
-# Usage: tools/check.sh [--jobs N] [--skip-release] [--skip-tsan] [--skip-asan]
+# Usage: tools/check.sh [--jobs N] [--skip-release] [--skip-tsan]
+#                       [--skip-asan] [--skip-bench]
 # Runs from any cwd; exits non-zero on the first failing stage.
 
 set -euo pipefail
@@ -18,12 +22,14 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 RUN_RELEASE=1
 RUN_ASAN=1
 RUN_TSAN=1
+RUN_BENCH=1
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --jobs) JOBS="$2"; shift 2 ;;
     --skip-release) RUN_RELEASE=0; shift ;;
     --skip-asan) RUN_ASAN=0; shift ;;
     --skip-tsan) RUN_TSAN=0; shift ;;
+    --skip-bench) RUN_BENCH=0; shift ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
 done
@@ -56,5 +62,15 @@ fi
 
 [[ "$RUN_ASAN" == 1 ]] && run_preset asan-ubsan
 [[ "$RUN_TSAN" == 1 ]] && run_preset tsan
+
+if [[ "$RUN_BENCH" == 1 ]]; then
+  stage "serving bench smoke (bench_serving)"
+  cmake --preset release
+  cmake --build --preset release -j "$JOBS" --target bench_serving
+  # Hard gate: any error response, or any failed request during the
+  # under-load snapshot swap, exits non-zero. Latency/QPS are recorded in
+  # BENCH_serving.json but never gated here (runners may be single-core).
+  (cd build/bench && UNIMATCH_BENCH_SMOKE=1 ./bench_serving)
+fi
 
 stage "all checks passed"
