@@ -2,13 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
+#include <deque>
 #include <queue>
 #include <unordered_set>
 
 #include "src/obs/obs.h"
 #include "src/tensor/kernels.h"
 #include "src/util/contract.h"
+#include "src/util/mutex.h"
 #include "src/util/logging.h"
 #include "src/util/threadpool.h"
 
@@ -23,13 +24,26 @@ constexpr int64_t kParallelBuildMinNodes = 128;
 }  // namespace
 
 struct HnswIndex::BuildSync {
-  explicit BuildSync(int64_t n) : node_locks(n) {}
+  BuildSync(int64_t n, int64_t entry, int level)
+      : entry_point(entry), entry_level(level) {
+    for (int64_t i = 0; i < n; ++i) {
+      node_locks.emplace_back(lockrank::kHnswNode, "ann.hnsw.node", i);
+    }
+  }
   // node_locks[i] guards layers_[l][i] for every layer l. Multi-node
-  // sections (Connect) lock the smaller node id first so lock order is
-  // deterministic and deadlock-free.
-  std::vector<std::mutex> node_locks;
-  // Guards entry_point_ and the build-time entry level.
-  std::mutex entry_mutex;
+  // sections (Connect) lock the smaller node id first; the node id doubles
+  // as the lock-rank order token, so the validator aborts any same-rank
+  // acquisition that breaks that discipline. (The adjacency lists live in
+  // HnswIndex::layers_, whose per-element guarding by these dynamically
+  // indexed locks is beyond what UM_GUARDED_BY can express — the protocol
+  // is enforced here by the order tokens plus review.) A deque keeps the
+  // non-movable Mutex objects at stable addresses.
+  std::deque<Mutex> node_locks;
+  // Guards the build-time entry point/level. Ranked just below the node
+  // locks; never actually nested with them today.
+  Mutex entry_mutex{lockrank::kHnswEntry, "ann.hnsw.entry"};
+  int64_t entry_point UM_GUARDED_BY(entry_mutex);
+  int entry_level UM_GUARDED_BY(entry_mutex);
 };
 
 float HnswIndex::Score(const float* query, int64_t node) const {
@@ -79,10 +93,13 @@ Status HnswIndex::Build(const Tensor& vectors) {
     UM_COUNTER_INC("ann.hnsw.build.parallel");
     UM_GAUGE_SET("ann.hnsw.build.threads",
                  static_cast<double>(pool->num_threads()));
-    BuildSync sync(n);
+    BuildSync sync(n, entry_point_, entry_level);
     pool->ParallelFor(
         1, n, [&](int64_t i) { InsertNode(i, &entry_level, &sync); },
         /*min_shard=*/8);
+    // Workers have joined; publish the final entry point back to the index.
+    MutexLock lk(&sync.entry_mutex);
+    entry_point_ = sync.entry_point;
   } else {
     for (int64_t i = 1; i < n; ++i) InsertNode(i, &entry_level, nullptr);
   }
@@ -95,9 +112,9 @@ void HnswIndex::InsertNode(int64_t i, int* entry_level, BuildSync* sync) {
   int64_t entry;
   int elevel;
   if (sync != nullptr) {
-    std::lock_guard<std::mutex> lk(sync->entry_mutex);
-    entry = entry_point_;
-    elevel = *entry_level;
+    MutexLock lk(&sync->entry_mutex);
+    entry = sync->entry_point;
+    elevel = sync->entry_level;
   } else {
     entry = entry_point_;
     elevel = *entry_level;
@@ -114,11 +131,11 @@ void HnswIndex::InsertNode(int64_t i, int* entry_level, BuildSync* sync) {
   }
   if (level > elevel) {
     if (sync != nullptr) {
-      std::lock_guard<std::mutex> lk(sync->entry_mutex);
+      MutexLock lk(&sync->entry_mutex);
       // Re-check: another thread may have raised the entry meanwhile.
-      if (level > *entry_level) {
-        entry_point_ = i;
-        *entry_level = level;
+      if (level > sync->entry_level) {
+        sync->entry_point = i;
+        sync->entry_level = level;
       }
     } else {
       entry_point_ = i;
@@ -138,7 +155,7 @@ int64_t HnswIndex::GreedyStep(const float* query, int64_t entry, int layer,
     const std::vector<int64_t>* nbrs = &layers_[layer][current];
     if (sync != nullptr) {
       // Concurrent inserts mutate adjacency lists; walk a locked copy.
-      std::lock_guard<std::mutex> lk(sync->node_locks[current]);
+      MutexLock lk(&sync->node_locks[current]);
       snapshot = layers_[layer][current];
       nbrs = &snapshot;
     }
@@ -175,7 +192,7 @@ std::vector<std::pair<float, int64_t>> HnswIndex::SearchLayer(
     if (static_cast<int>(best.size()) >= ef && cs < best.top().first) break;
     const std::vector<int64_t>* nbrs = &layers_[layer][cn];
     if (sync != nullptr) {
-      std::lock_guard<std::mutex> lk(sync->node_locks[cn]);
+      MutexLock lk(&sync->node_locks[cn]);
       snapshot = layers_[layer][cn];
       nbrs = &snapshot;
     }
@@ -213,10 +230,10 @@ void HnswIndex::Connect(
     if (nb == node) continue;
     if (sync != nullptr) {
       // Lock both endpoints, smaller node id first (deterministic order,
-      // no deadlock against a concurrent Connect of the reverse pair).
-      std::mutex& first = sync->node_locks[std::min(node, nb)];
-      std::mutex& second = sync->node_locks[std::max(node, nb)];
-      std::scoped_lock lk(first, second);
+      // no deadlock against a concurrent Connect of the reverse pair; the
+      // lock-rank validator checks the ascending-id order at runtime).
+      MutexLock lk_first(&sync->node_locks[std::min(node, nb)]);
+      MutexLock lk_second(&sync->node_locks[std::max(node, nb)]);
       adj[node].push_back(nb);
       adj[nb].push_back(node);
       if (static_cast<int>(adj[nb].size()) > max_links) Prune(nb, layer);

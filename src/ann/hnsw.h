@@ -82,8 +82,9 @@ class HnswIndex : public Index {
                BuildSync* sync = nullptr);
   void Prune(int64_t node, int layer);
   // Full insertion of node i: greedy descent from the current entry point,
-  // beam search + Connect per layer, entry-point raise. `entry_level` is the
-  // level of entry_point_ (guarded by sync->entry_mutex when parallel).
+  // beam search + Connect per layer, entry-point raise. Serial builds track
+  // the entry state in entry_point_ / *entry_level; parallel builds keep it
+  // in BuildSync behind its annotated entry mutex and ignore the parameter.
   void InsertNode(int64_t i, int* entry_level, BuildSync* sync);
 
   HnswConfig config_;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/obs/obs.h"
+#include "src/util/contract.h"
 
 namespace unimatch::data {
 
@@ -15,38 +16,69 @@ BatchPrefetcher::BatchPrefetcher(Producer produce)
 BatchPrefetcher::~BatchPrefetcher() = default;
 
 void BatchPrefetcher::ScheduleProduce() {
-  ready_.store(false, std::memory_order_relaxed);
+  {
+    MutexLock lock(&mu_);
+    ready_ = false;
+  }
   pool_.Schedule([this] {
-    try {
-      staged_has_ = produce_(&staged_, &staged_labels_);
-    } catch (...) {
-      error_ = std::current_exception();
-      staged_has_ = false;
+    // Swap the staging workspace out so production runs unlocked; the
+    // consumer cannot touch staged_ meanwhile because ready_ is false.
+    Batch workspace;
+    Tensor workspace_labels;
+    {
+      MutexLock lock(&mu_);
+      UM_CONTRACT(!ready_) << "prefetch production started on a full slot";
+      std::swap(workspace, staged_);
+      std::swap(workspace_labels, staged_labels_);
     }
-    ready_.store(true, std::memory_order_release);
+    bool has = false;
+    std::exception_ptr error;
+    try {
+      has = produce_(&workspace, &workspace_labels);
+    } catch (...) {
+      error = std::current_exception();
+      has = false;
+    }
+    {
+      MutexLock lock(&mu_);
+      std::swap(staged_, workspace);
+      std::swap(staged_labels_, workspace_labels);
+      staged_has_ = has;
+      error_ = error;
+      ready_ = true;
+    }
+    ready_cv_.NotifyAll();
   });
 }
 
 bool BatchPrefetcher::Next(Batch* out, Tensor* labels) {
-  // Sampled before blocking: a finished production is a prefetch hit, the
-  // consumer arriving first is a miss (it pays the assembly latency).
-  const bool hit = ready_.load(std::memory_order_acquire);
-  pool_.Wait();
-  if (error_ != nullptr) {
-    std::exception_ptr e = error_;
-    error_ = nullptr;
-    std::rethrow_exception(e);
+  bool hit;
+  {
+    MutexLock lock(&mu_);
+    // Sampled before blocking: a finished production is a prefetch hit,
+    // the consumer arriving first is a miss (it pays the assembly latency).
+    hit = ready_;
+    while (!ready_) ready_cv_.Wait(mu_);
+    // Wait-boundary invariant: the slot the consumer is about to drain was
+    // fully published by the worker (ready_ only flips true after the
+    // staged fields are written, all under mu_).
+    UM_CONTRACT(ready_) << "prefetch consumer woke on an unready slot";
+    if (error_ != nullptr) {
+      std::exception_ptr e = error_;
+      error_ = nullptr;
+      std::rethrow_exception(e);
+    }
+    if (!staged_has_) return false;
+    // Swapping (not copying) hands the consumer the staged buffers and
+    // turns its previous ones into the next staging workspace.
+    std::swap(*out, staged_);
+    if (labels != nullptr) std::swap(*labels, staged_labels_);
   }
-  if (!staged_has_) return false;
   if (hit) {
     UM_COUNTER_INC("train.pipeline.prefetch_hit");
   } else {
     UM_COUNTER_INC("train.pipeline.prefetch_miss");
   }
-  // Swapping (not copying) hands the consumer the staged buffers and turns
-  // its previous ones into the next staging workspace.
-  std::swap(*out, staged_);
-  if (labels != nullptr) std::swap(*labels, staged_labels_);
   ScheduleProduce();
   return true;
 }

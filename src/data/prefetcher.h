@@ -7,11 +7,20 @@
 // schedules the next production.
 //
 // The producer callback runs only on the background thread, one call at a
-// time, with a full happens-before edge to the consumer on every Next() —
-// safe for stateful producers (iterators, samplers) as long as nothing else
-// touches their state while the prefetcher is alive. Producers whose RNG is
-// shared with the consuming step (e.g. BCE negative sampling combined with
-// dropout) must not be prefetched; the trainer gates on that.
+// time, outside the staging mutex — safe for stateful producers
+// (iterators, samplers) as long as nothing else touches their state while
+// the prefetcher is alive. Producers whose RNG is shared with the
+// consuming step (e.g. BCE negative sampling combined with dropout) must
+// not be prefetched; the trainer gates on that.
+//
+// Thread safety: the consumer/worker hand-off is an annotated um::Mutex
+// (lockrank::kPrefetcher) + CondVar pair; every staged field is
+// UM_GUARDED_BY the mutex, so the hand-off protocol is compile-time
+// checked under -Wthread-safety rather than relying on the thread pool's
+// internal synchronization as a coincidental happens-before edge. The
+// worker swaps the staging buffers out under the lock, produces unlocked,
+// and swaps the result back in — the mutex hold time stays O(1) regardless
+// of batch assembly cost.
 //
 // Observability: every delivered batch increments
 // train.pipeline.prefetch_hit when the background production had already
@@ -21,11 +30,11 @@
 #ifndef UNIMATCH_DATA_PREFETCHER_H_
 #define UNIMATCH_DATA_PREFETCHER_H_
 
-#include <atomic>
 #include <exception>
 #include <functional>
 
 #include "src/data/batcher.h"
+#include "src/util/mutex.h"
 #include "src/util/threadpool.h"
 
 namespace unimatch::data {
@@ -49,20 +58,24 @@ class BatchPrefetcher {
   /// Delivers the staged batch into `out` (and `labels` when non-null) and
   /// kicks off production of the next one. Returns false once the producer
   /// reported end-of-stream. Rethrows any exception the producer raised.
-  bool Next(Batch* out, Tensor* labels = nullptr);
+  bool Next(Batch* out, Tensor* labels = nullptr) UM_EXCLUDES(mu_);
 
  private:
-  void ScheduleProduce();
+  /// Marks the staging slot unready and hands the production task to the
+  /// worker. Must not be called with mu_ held: ThreadPool::Schedule takes
+  /// the (lower-ranked) pool mutex.
+  void ScheduleProduce() UM_EXCLUDES(mu_);
 
-  Producer produce_;
-  Batch staged_;
-  Tensor staged_labels_;
-  bool staged_has_ = false;
-  std::exception_ptr error_;
-  /// True once the in-flight production finished. Read before the Wait()
-  /// only to classify hit vs miss; Wait()'s mutex provides the
-  /// happens-before for the staged data itself.
-  std::atomic<bool> ready_{false};
+  Producer produce_;  // worker-thread-only after construction
+
+  Mutex mu_{lockrank::kPrefetcher, "data.prefetcher"};
+  CondVar ready_cv_;  // consumer wakes when ready_ flips true
+  Batch staged_ UM_GUARDED_BY(mu_);
+  Tensor staged_labels_ UM_GUARDED_BY(mu_);
+  bool staged_has_ UM_GUARDED_BY(mu_) = false;
+  /// True once the in-flight production finished and published its result.
+  bool ready_ UM_GUARDED_BY(mu_) = false;
+  std::exception_ptr error_ UM_GUARDED_BY(mu_);
   /// Declared last so it is destroyed (joined) before the members the
   /// worker touches.
   ThreadPool pool_{1};

@@ -114,7 +114,7 @@ MetricRegistry* MetricRegistry::Global() {
 Counter* MetricRegistry::GetCounter(const std::string& name,
                                     const std::string& unit,
                                     const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& entry = counters_[name];
   if (!entry.metric) {
     entry.metric = std::make_unique<Counter>();
@@ -127,7 +127,7 @@ Counter* MetricRegistry::GetCounter(const std::string& name,
 Gauge* MetricRegistry::GetGauge(const std::string& name,
                                 const std::string& unit,
                                 const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& entry = gauges_[name];
   if (!entry.metric) {
     entry.metric = std::make_unique<Gauge>();
@@ -141,7 +141,7 @@ Histogram* MetricRegistry::GetHistogram(const std::string& name,
                                         const std::string& unit,
                                         const std::string& help,
                                         const std::vector<double>& bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& entry = histograms_[name];
   if (!entry.metric) {
     entry.metric = std::make_unique<Histogram>(
@@ -153,25 +153,25 @@ Histogram* MetricRegistry::GetHistogram(const std::string& name,
 }
 
 const Counter* MetricRegistry::FindCounter(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : it->second.metric.get();
 }
 
 const Gauge* MetricRegistry::FindGauge(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto it = gauges_.find(name);
   return it == gauges_.end() ? nullptr : it->second.metric.get();
 }
 
 const Histogram* MetricRegistry::FindHistogram(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : it->second.metric.get();
 }
 
 std::vector<std::string> MetricRegistry::MetricNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> names;
   names.reserve(counters_.size() + gauges_.size() + histograms_.size());
   for (const auto& [name, entry] : counters_) names.push_back(name);
@@ -182,7 +182,7 @@ std::vector<std::string> MetricRegistry::MetricNames() const {
 }
 
 std::vector<std::string> MetricRegistry::CounterNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> names;
   names.reserve(counters_.size());
   for (const auto& [name, entry] : counters_) names.push_back(name);
@@ -190,7 +190,7 @@ std::vector<std::string> MetricRegistry::CounterNames() const {
 }
 
 std::vector<std::string> MetricRegistry::GaugeNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> names;
   names.reserve(gauges_.size());
   for (const auto& [name, entry] : gauges_) names.push_back(name);
@@ -198,7 +198,7 @@ std::vector<std::string> MetricRegistry::GaugeNames() const {
 }
 
 std::vector<std::string> MetricRegistry::HistogramNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> names;
   names.reserve(histograms_.size());
   for (const auto& [name, entry] : histograms_) names.push_back(name);
@@ -206,7 +206,7 @@ std::vector<std::string> MetricRegistry::HistogramNames() const {
 }
 
 std::string MetricRegistry::UnitOf(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (const auto it = counters_.find(name); it != counters_.end()) {
     return it->second.unit;
   }
@@ -220,7 +220,7 @@ std::string MetricRegistry::UnitOf(const std::string& name) const {
 }
 
 void MetricRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [name, entry] : counters_) entry.metric->Reset();
   for (auto& [name, entry] : gauges_) entry.metric->Reset();
   for (auto& [name, entry] : histograms_) entry.metric->Reset();

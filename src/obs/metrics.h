@@ -18,10 +18,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "src/util/mutex.h"
 
 namespace unimatch::obs {
 
@@ -89,10 +90,12 @@ class Histogram {
 /// roughly exponential from 10 microseconds to 1 minute.
 const std::vector<double>& LatencyBucketsMs();
 
-/// Named registry of all metrics in the process. Lookups are mutex-guarded;
-/// returned pointers are valid for the process lifetime, so hot paths should
-/// resolve once and cache (the UM_* macros in obs.h do this with a
-/// function-local static).
+/// Named registry of all metrics in the process. Lookups take an annotated
+/// um::Mutex (lockrank::kObsMetrics — the highest rank in the tree, so any
+/// module may register metrics while holding its own lock); returned
+/// pointers are valid for the process lifetime, so hot paths should resolve
+/// once and cache (the UM_* macros in obs.h do this with a function-local
+/// static).
 class MetricRegistry {
  public:
   /// Process-wide shared registry (lazily constructed, never destroyed).
@@ -105,30 +108,33 @@ class MetricRegistry {
   /// Gets or creates. `unit` and `help` are recorded on first registration
   /// and ignored afterwards. Histograms default to LatencyBucketsMs().
   Counter* GetCounter(const std::string& name, const std::string& unit = "",
-                      const std::string& help = "");
+                      const std::string& help = "") UM_EXCLUDES(mu_);
   Gauge* GetGauge(const std::string& name, const std::string& unit = "",
-                  const std::string& help = "");
+                  const std::string& help = "") UM_EXCLUDES(mu_);
   Histogram* GetHistogram(const std::string& name,
                           const std::string& unit = "ms",
                           const std::string& help = "",
-                          const std::vector<double>& bounds = {});
+                          const std::vector<double>& bounds = {})
+      UM_EXCLUDES(mu_);
 
   /// nullptr when the name is not registered (or registered as another type).
-  const Counter* FindCounter(const std::string& name) const;
-  const Gauge* FindGauge(const std::string& name) const;
-  const Histogram* FindHistogram(const std::string& name) const;
+  const Counter* FindCounter(const std::string& name) const
+      UM_EXCLUDES(mu_);
+  const Gauge* FindGauge(const std::string& name) const UM_EXCLUDES(mu_);
+  const Histogram* FindHistogram(const std::string& name) const
+      UM_EXCLUDES(mu_);
 
   /// All registered names (sorted), across the three metric kinds.
-  std::vector<std::string> MetricNames() const;
-  std::vector<std::string> CounterNames() const;
-  std::vector<std::string> GaugeNames() const;
-  std::vector<std::string> HistogramNames() const;
+  std::vector<std::string> MetricNames() const UM_EXCLUDES(mu_);
+  std::vector<std::string> CounterNames() const UM_EXCLUDES(mu_);
+  std::vector<std::string> GaugeNames() const UM_EXCLUDES(mu_);
+  std::vector<std::string> HistogramNames() const UM_EXCLUDES(mu_);
 
   /// Unit recorded at registration ("" when unknown name).
-  std::string UnitOf(const std::string& name) const;
+  std::string UnitOf(const std::string& name) const UM_EXCLUDES(mu_);
 
   /// Zeroes every metric's value. Identities (and cached pointers) survive.
-  void ResetAll();
+  void ResetAll() UM_EXCLUDES(mu_);
 
   /// Serializes every metric. See docs/OBSERVABILITY.md for the schema.
   void DumpJson(std::ostream& os) const;
@@ -143,10 +149,10 @@ class MetricRegistry {
     std::string help;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry<Counter>> counters_;
-  std::map<std::string, Entry<Gauge>> gauges_;
-  std::map<std::string, Entry<Histogram>> histograms_;
+  mutable Mutex mu_{lockrank::kObsMetrics, "obs.metrics"};
+  std::map<std::string, Entry<Counter>> counters_ UM_GUARDED_BY(mu_);
+  std::map<std::string, Entry<Gauge>> gauges_ UM_GUARDED_BY(mu_);
+  std::map<std::string, Entry<Histogram>> histograms_ UM_GUARDED_BY(mu_);
 };
 
 }  // namespace unimatch::obs

@@ -1,7 +1,8 @@
 #include "src/obs/trace.h"
 
-#include <mutex>
 #include <thread>
+
+#include "src/util/mutex.h"
 
 namespace unimatch::obs {
 
@@ -15,13 +16,14 @@ std::chrono::steady_clock::time_point TraceEpoch() {
 }
 
 struct TraceBuffer {
-  std::mutex mu;
-  std::vector<TraceEvent> events;  // ring when full
-  size_t capacity = 0;
-  size_t next = 0;  // ring write cursor once events.size() == capacity
+  Mutex mu{lockrank::kObsTrace, "obs.trace"};
+  std::vector<TraceEvent> events UM_GUARDED_BY(mu);  // ring when full
+  size_t capacity UM_GUARDED_BY(mu) = 0;
+  // Ring write cursor once events.size() == capacity.
+  size_t next UM_GUARDED_BY(mu) = 0;
 
-  void Append(TraceEvent event) {
-    std::lock_guard<std::mutex> lock(mu);
+  void Append(TraceEvent event) UM_EXCLUDES(mu) {
+    MutexLock lock(&mu);
     if (capacity == 0) return;
     if (events.size() < capacity) {
       events.push_back(std::move(event));
@@ -45,7 +47,7 @@ uint64_t ThisThreadId() {
 
 void EnableTraceEvents(size_t capacity) {
   TraceBuffer& buf = Buffer();
-  std::lock_guard<std::mutex> lock(buf.mu);
+  MutexLock lock(&buf.mu);
   buf.capacity = capacity;
   buf.events.clear();
   buf.next = 0;
@@ -54,7 +56,7 @@ void EnableTraceEvents(size_t capacity) {
 
 std::vector<TraceEvent> DrainTraceEvents() {
   TraceBuffer& buf = Buffer();
-  std::lock_guard<std::mutex> lock(buf.mu);
+  MutexLock lock(&buf.mu);
   // Unroll the ring so callers see oldest-first.
   std::vector<TraceEvent> out;
   out.reserve(buf.events.size());

@@ -5,6 +5,10 @@
 // refresh; downstream ANN services load them. This store writes/reads the
 // matrices with a version tag and row-count/dimension metadata, and can
 // diff two versions to quantify embedding churn between monthly refreshes.
+//
+// Thread safety: stateless free functions — no shared mutable state, no
+// locks, nothing to rank. Concurrent calls are safe as long as callers do
+// not hand the same Tensor buffers or target path to two calls at once.
 
 #ifndef UNIMATCH_SERVING_EMBEDDING_STORE_H_
 #define UNIMATCH_SERVING_EMBEDDING_STORE_H_

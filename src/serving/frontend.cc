@@ -59,10 +59,10 @@ ServingFrontend::ServingFrontend(FrontendConfig config,
 
 ServingFrontend::~ServingFrontend() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stopping_ = true;
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   batcher_pool_.Wait();  // batcher exits only once the queue is empty
   exec_pool_.Wait();     // every dispatched batch has answered
 }
@@ -72,7 +72,7 @@ std::future<Response> ServingFrontend::Submit(Request request) {
   std::future<Response> future = promise.get_future();
   bool shutting_down = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!stopping_ &&
         queue_.size() < static_cast<size_t>(config_.max_queue_depth)) {
       ++admitted_;
@@ -81,7 +81,7 @@ std::future<Response> ServingFrontend::Submit(Request request) {
       UM_GAUGE_SET("serving.frontend.queue.depth",
                    static_cast<double>(queue_.size()));
       UM_COUNTER_INC("serving.frontend.admitted");
-      queue_cv_.notify_one();
+      queue_cv_.NotifyOne();
       return future;
     }
     shutting_down = stopping_;
@@ -97,33 +97,40 @@ std::future<Response> ServingFrontend::Submit(Request request) {
 }
 
 void ServingFrontend::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  state_cv_.wait(lock,
-                 [this] { return queue_.empty() && inflight_batches_ == 0; });
+  MutexLock lock(&mu_);
+  while (!queue_.empty() || inflight_batches_ > 0) state_cv_.Wait(mu_);
 }
 
 int64_t ServingFrontend::admitted() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return admitted_;
 }
 
 int64_t ServingFrontend::shed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return shed_;
 }
 
 int64_t ServingFrontend::completed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return completed_;
 }
 
 void ServingFrontend::BatcherLoop() {
   const auto window = std::chrono::microseconds(config_.batch_window_us);
-  std::unique_lock<std::mutex> lock(mu_);
+  // Explicit Lock/Unlock (not MutexLock): the loop drops the lock around
+  // batch dispatch and reacquires for the next iteration, and the
+  // thread-safety analysis checks the hold state is consistent at every
+  // join point. Wait predicates are re-checked in inline loops so the
+  // guarded reads are visibly under the lock.
+  mu_.Lock();
   for (;;) {
-    queue_cv_.wait(lock, [this] { return !queue_.empty() || stopping_; });
+    while (queue_.empty() && !stopping_) queue_cv_.Wait(mu_);
     if (queue_.empty()) {
-      if (stopping_) return;
+      if (stopping_) {
+        mu_.Unlock();
+        return;
+      }
       continue;
     }
     // Coalesce: flush at the size budget, the oldest request's window
@@ -131,15 +138,15 @@ void ServingFrontend::BatcherLoop() {
     const auto deadline = queue_.front().enqueued_at + window;
     while (queue_.size() < static_cast<size_t>(config_.max_batch) &&
            !stopping_ && Clock::now() < deadline) {
-      queue_cv_.wait_until(lock, deadline);
+      queue_cv_.WaitUntil(mu_, deadline);
     }
     const bool flush_full =
         queue_.size() >= static_cast<size_t>(config_.max_batch);
     // Backpressure: hold the batch until an executor slot frees up. The
     // queue keeps absorbing arrivals meanwhile and sheds past its bound.
-    state_cv_.wait(lock, [this] {
-      return inflight_batches_ < config_.max_inflight_batches;
-    });
+    while (inflight_batches_ >= config_.max_inflight_batches) {
+      state_cv_.Wait(mu_);
+    }
     auto batch = std::make_shared<std::vector<Pending>>();
     const size_t take =
         std::min(queue_.size(), static_cast<size_t>(config_.max_batch));
@@ -151,7 +158,7 @@ void ServingFrontend::BatcherLoop() {
     ++inflight_batches_;
     UM_GAUGE_SET("serving.frontend.queue.depth",
                  static_cast<double>(queue_.size()));
-    lock.unlock();
+    mu_.Unlock();
 
     if (flush_full) {
       UM_COUNTER_INC("serving.frontend.batch.flush_full");
@@ -170,7 +177,7 @@ void ServingFrontend::BatcherLoop() {
           ExecuteBatch(batch, snapshot);
         });
 
-    lock.lock();
+    mu_.Lock();
   }
 }
 
@@ -197,11 +204,11 @@ void ServingFrontend::ExecuteBatch(
     execute_ms_->Observe(MillisSince(start, Clock::now()));
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     --inflight_batches_;
     completed_ += static_cast<int64_t>(batch->size());
   }
-  state_cv_.notify_all();
+  state_cv_.NotifyAll();
 }
 
 Response ServingFrontend::ExecuteOne(const EngineSnapshot* snapshot,

@@ -32,16 +32,15 @@
 #define UNIMATCH_SERVING_FRONTEND_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "src/obs/metrics.h"
 #include "src/serving/snapshot.h"
+#include "src/util/mutex.h"
 #include "src/util/status.h"
 #include "src/util/threadpool.h"
 
@@ -89,7 +88,12 @@ struct FrontendConfig {
   int max_inflight_batches = 4;
 };
 
-/// Concurrent request frontend over a SnapshotPublisher. Thread-safe.
+/// Concurrent request frontend over a SnapshotPublisher. Thread-safe: all
+/// cross-thread state (queue, in-flight count, lifetime totals, stop flag)
+/// sits behind one annotated um::Mutex (lockrank::kFrontend) with
+/// UM_GUARDED_BY enforced at compile time under -Wthread-safety. The lock
+/// is never held across request execution or snapshot pinning — only
+/// across queue/counter mutations — so admission stays O(1).
 class ServingFrontend {
  public:
   /// `publisher` must outlive the frontend; publishing before the first
@@ -98,24 +102,24 @@ class ServingFrontend {
   ServingFrontend(FrontendConfig config, SnapshotPublisher* publisher);
 
   /// Drains every accepted request, then stops the workers.
-  ~ServingFrontend();
+  ~ServingFrontend() UM_EXCLUDES(mu_);
 
   ServingFrontend(const ServingFrontend&) = delete;
   ServingFrontend& operator=(const ServingFrontend&) = delete;
 
   /// Admits or sheds; never blocks. The future is fulfilled by the
   /// executor (immediately, with kOverloaded, when shed).
-  std::future<Response> Submit(Request request);
+  std::future<Response> Submit(Request request) UM_EXCLUDES(mu_);
 
   /// Blocks until every request admitted so far has been answered.
-  void Drain();
+  void Drain() UM_EXCLUDES(mu_);
 
   const FrontendConfig& config() const { return config_; }
 
   /// Lifetime totals (also exported as serving.frontend.* metrics).
-  int64_t admitted() const;
-  int64_t shed() const;
-  int64_t completed() const;
+  int64_t admitted() const UM_EXCLUDES(mu_);
+  int64_t shed() const UM_EXCLUDES(mu_);
+  int64_t completed() const UM_EXCLUDES(mu_);
 
  private:
   struct Pending {
@@ -124,24 +128,25 @@ class ServingFrontend {
     std::chrono::steady_clock::time_point enqueued_at;
   };
 
-  void BatcherLoop();
+  void BatcherLoop() UM_EXCLUDES(mu_);
   void ExecuteBatch(std::shared_ptr<std::vector<Pending>> batch,
-                    std::shared_ptr<const EngineSnapshot> snapshot);
+                    std::shared_ptr<const EngineSnapshot> snapshot)
+      UM_EXCLUDES(mu_);
   static Response ExecuteOne(const EngineSnapshot* snapshot,
                              const Request& request);
 
   const FrontendConfig config_;
   SnapshotPublisher* const publisher_;
 
-  mutable std::mutex mu_;
-  std::condition_variable queue_cv_;  // batcher wakes on arrivals / stop
-  std::condition_variable state_cv_;  // Drain / slot waiters wake on change
-  std::deque<Pending> queue_;
-  int inflight_batches_ = 0;
-  int64_t admitted_ = 0;
-  int64_t shed_ = 0;
-  int64_t completed_ = 0;
-  bool stopping_ = false;
+  mutable Mutex mu_{lockrank::kFrontend, "serving.frontend"};
+  CondVar queue_cv_;  // batcher wakes on arrivals / stop
+  CondVar state_cv_;  // Drain / slot waiters wake on change
+  std::deque<Pending> queue_ UM_GUARDED_BY(mu_);
+  int inflight_batches_ UM_GUARDED_BY(mu_) = 0;
+  int64_t admitted_ UM_GUARDED_BY(mu_) = 0;
+  int64_t shed_ UM_GUARDED_BY(mu_) = 0;
+  int64_t completed_ UM_GUARDED_BY(mu_) = 0;
+  bool stopping_ UM_GUARDED_BY(mu_) = false;
 
   // Cached metric handles (registration is mutex-guarded; hot-path updates
   // are relaxed atomics). The occupancy histogram needs custom bounds, so

@@ -88,8 +88,11 @@ class EngineSnapshot {
   std::unique_ptr<ann::Index> user_index_;  // queried by TargetUsers
 };
 
-/// The single swap point between training and serving. Thread-safe:
-/// Current() is one atomic shared_ptr load, Publish() one atomic store.
+/// The single swap point between training and serving. Thread-safe by
+/// being lock-free: Current() is one atomic shared_ptr load, Publish() one
+/// atomic store — no mutex, so this class sits entirely outside the repo
+/// lock-rank order (docs/STATIC_ANALYSIS.md) and is safe to call with any
+/// lock held.
 class SnapshotPublisher {
  public:
   SnapshotPublisher() = default;

@@ -44,7 +44,7 @@ float* BufferPool::Acquire(int64_t n, int64_t* capacity) {
 
   float* p = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = free_lists_.find(cls);
     if (it != free_lists_.end() && !it->second.empty()) {
       p = it->second.back();
@@ -78,14 +78,14 @@ void BufferPool::Release(float* ptr, int64_t capacity) {
       bytes_pooled_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
   UM_GAUGE_SET("tensor.pool.bytes_live", static_cast<double>(live));
   UM_GAUGE_SET("tensor.pool.bytes_pooled", static_cast<double>(pooled));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   free_lists_[capacity].push_back(ptr);
 }
 
 void BufferPool::Trim() {
   std::unordered_map<int64_t, std::vector<float*>> lists;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     lists.swap(free_lists_);
   }
   int64_t freed = 0;

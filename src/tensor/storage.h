@@ -18,10 +18,14 @@
 //    with a different window. SharesBufferWith compares buffers, not
 //    windows — two disjoint rows of one matrix still share storage.
 //
-// Thread safety: BufferPool is fully thread-safe (mutex-guarded free lists,
-// atomic stats). Storage handles follow shared_ptr rules — concurrent reads
-// of distinct handles to one buffer are fine, mutating one handle needs
-// external synchronization.
+// Thread safety: BufferPool is fully thread-safe (free lists behind an
+// annotated um::Mutex at lockrank::kBufferPool — compile-time checked under
+// -Wthread-safety, see docs/STATIC_ANALYSIS.md — plus atomic stats).
+// Storage handles follow shared_ptr rules — concurrent reads of distinct
+// handles to one buffer are fine, mutating one handle needs external
+// synchronization. Note the rank: releasing a pooled buffer while holding
+// any higher-ranked lock (prefetcher/frontend/obs) trips the lock-rank
+// validator by design — heavy frees do not belong under those locks.
 
 #ifndef UNIMATCH_TENSOR_STORAGE_H_
 #define UNIMATCH_TENSOR_STORAGE_H_
@@ -29,9 +33,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
+
+#include "src/util/mutex.h"
 
 namespace unimatch {
 
@@ -55,7 +60,7 @@ class BufferPool {
   };
 
   BufferPool() = default;
-  ~BufferPool();
+  ~BufferPool() UM_EXCLUDES(mu_);
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
@@ -65,14 +70,14 @@ class BufferPool {
   /// Returns a 64-byte-aligned buffer of at least `n` floats; `*capacity`
   /// receives the actual size-class capacity (pass it back to Release).
   /// Contents are unspecified — callers zero-fill if they need zeros.
-  float* Acquire(int64_t n, int64_t* capacity);
+  float* Acquire(int64_t n, int64_t* capacity) UM_EXCLUDES(mu_);
 
   /// Returns a buffer obtained from Acquire to the free lists.
-  void Release(float* ptr, int64_t capacity);
+  void Release(float* ptr, int64_t capacity) UM_EXCLUDES(mu_);
 
   /// Frees every buffer parked in the free lists (outstanding buffers are
   /// untouched). Mainly for tests and memory-pressure hooks.
-  void Trim();
+  void Trim() UM_EXCLUDES(mu_);
 
   Stats stats() const;
 
@@ -83,8 +88,9 @@ class BufferPool {
   static int64_t SizeClassFor(int64_t n);
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<int64_t, std::vector<float*>> free_lists_;
+  mutable Mutex mu_{lockrank::kBufferPool, "tensor.pool"};
+  std::unordered_map<int64_t, std::vector<float*>> free_lists_
+      UM_GUARDED_BY(mu_);
 
   std::atomic<int64_t> acquires_{0};
   std::atomic<int64_t> hits_{0};

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/util/contract.h"
 #include "src/util/logging.h"
 
 namespace unimatch {
@@ -28,26 +29,29 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
 void ThreadPool::Schedule(std::function<void()> fn) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     UM_CHECK(!shutdown_);
     queue_.push(std::move(fn));
     ++pending_;
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(&mu_);
+  while (pending_ != 0) idle_cv_.Wait(mu_);
+  // Wait-boundary invariant: a wakeout of the loop means the pool really is
+  // idle — pending_ only moves under mu_, which we hold.
+  UM_CONTRACT(pending_ == 0) << "ThreadPool::Wait woke with work pending";
 }
 
 void ThreadPool::ParallelFor(int64_t begin, int64_t end,
@@ -78,16 +82,20 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!shutdown_ && queue_.empty()) cv_.Wait(mu_);
+      // Wait-boundary invariant: the loop only exits into one of the two
+      // declared states (shutdown, or work available).
+      UM_CONTRACT(shutdown_ || !queue_.empty())
+          << "ThreadPool worker woke with no work and no shutdown";
       if (shutdown_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (--pending_ == 0) idle_cv_.notify_all();
+      MutexLock lock(&mu_);
+      if (--pending_ == 0) idle_cv_.NotifyAll();
     }
   }
 }

@@ -4,22 +4,27 @@
 #ifndef UNIMATCH_UTIL_THREADPOOL_H_
 #define UNIMATCH_UTIL_THREADPOOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
+#include "src/util/mutex.h"
+
 namespace unimatch {
 
 /// A simple work-queue thread pool. Tasks must not throw.
+///
+/// Thread safety: fully thread-safe. The queue mutex ranks lowest in the
+/// repo lock order (lockrank::kThreadPool) and is never held while a task
+/// runs, so tasks may take any lock — including scheduling more work on
+/// another pool — without ordering hazards.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (>=1). Defaults to hardware concurrency.
   explicit ThreadPool(int num_threads = 0);
-  ~ThreadPool();
+  ~ThreadPool() UM_EXCLUDES(mu_);
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -27,17 +32,17 @@ class ThreadPool {
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
   /// Enqueues a task; returns immediately.
-  void Schedule(std::function<void()> fn);
+  void Schedule(std::function<void()> fn) UM_EXCLUDES(mu_);
 
   /// Blocks until every scheduled task has finished.
-  void Wait();
+  void Wait() UM_EXCLUDES(mu_);
 
   /// Runs fn(i) for i in [begin, end), splitting the range into contiguous
   /// shards across the pool, and blocks until done. Falls back to a serial
   /// loop for tiny ranges.
   void ParallelFor(int64_t begin, int64_t end,
                    const std::function<void(int64_t)>& fn,
-                   int64_t min_shard = 256);
+                   int64_t min_shard = 256) UM_EXCLUDES(mu_);
 
   /// Process-wide shared pool (lazily constructed).
   static ThreadPool* Global();
@@ -47,15 +52,15 @@ class ThreadPool {
   static bool InWorkerThread();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() UM_EXCLUDES(mu_);
 
-  std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;
-  int64_t pending_ = 0;
-  bool shutdown_ = false;
+  std::vector<std::thread> workers_;  // immutable after construction
+  Mutex mu_{lockrank::kThreadPool, "util.threadpool"};
+  CondVar cv_;       // workers wake on arrivals / shutdown
+  CondVar idle_cv_;  // Wait() wakes when pending_ drains to zero
+  std::queue<std::function<void()>> queue_ UM_GUARDED_BY(mu_);
+  int64_t pending_ UM_GUARDED_BY(mu_) = 0;
+  bool shutdown_ UM_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace unimatch

@@ -6,12 +6,15 @@
 #      suite on the optimized, runtime-dispatched build)
 #   3. asan-ubsan preset: configure + build + ctest -L tier1
 #   4. tsan preset:       configure + build + ctest -L tier1
-#   5. serving bench smoke: bench_serving in UNIMATCH_BENCH_SMOKE mode —
+#   5. clang-threadsafety preset: clang -Wthread-safety -Werror compile of
+#      the whole tree + ctest -L tier1 — the compile-time locking gate
+#      (skipped with a notice when clang++ is not installed)
+#   6. serving bench smoke: bench_serving in UNIMATCH_BENCH_SMOKE mode —
 #      hard-gates request correctness + the under-load snapshot swap,
 #      records (never gates) latency, since runners may be single-core
 #
 # Usage: tools/check.sh [--jobs N] [--skip-release] [--skip-tsan]
-#                       [--skip-asan] [--skip-bench]
+#                       [--skip-asan] [--skip-threadsafety] [--skip-bench]
 # Runs from any cwd; exits non-zero on the first failing stage.
 
 set -euo pipefail
@@ -22,6 +25,7 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 RUN_RELEASE=1
 RUN_ASAN=1
 RUN_TSAN=1
+RUN_THREADSAFETY=1
 RUN_BENCH=1
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -29,6 +33,7 @@ while [[ $# -gt 0 ]]; do
     --skip-release) RUN_RELEASE=0; shift ;;
     --skip-asan) RUN_ASAN=0; shift ;;
     --skip-tsan) RUN_TSAN=0; shift ;;
+    --skip-threadsafety) RUN_THREADSAFETY=0; shift ;;
     --skip-bench) RUN_BENCH=0; shift ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
@@ -62,6 +67,16 @@ fi
 
 [[ "$RUN_ASAN" == 1 ]] && run_preset asan-ubsan
 [[ "$RUN_TSAN" == 1 ]] && run_preset tsan
+
+if [[ "$RUN_THREADSAFETY" == 1 ]]; then
+  if command -v clang++ >/dev/null 2>&1; then
+    run_preset clang-threadsafety
+  else
+    stage "clang-threadsafety SKIPPED (clang++ not installed)"
+    echo "The -Wthread-safety annotations only compile as checks under" \
+         "Clang; install clang or rely on the CI matrix leg."
+  fi
+fi
 
 if [[ "$RUN_BENCH" == 1 ]]; then
   stage "serving bench smoke (bench_serving)"

@@ -20,6 +20,13 @@ Rules (see docs/STATIC_ANALYSIS.md):
   tensor-storage  no std::make_shared<std::vector<float>> in src/ outside
                   src/tensor/ (float buffers come from the pooled Storage
                   substrate; see DESIGN.md's memory-management section)
+  naked-mutex     no std::mutex/std::condition_variable (or shared/
+                  recursive/timed variants) in src/ outside src/util/mutex.*
+                  (use the annotated um::Mutex/CondVar so -Wthread-safety
+                  and the lock-rank validator see the lock)
+  std-lock        no std::lock_guard/unique_lock/scoped_lock in src/ outside
+                  src/util/mutex.* (hold a um::Mutex with MutexLock, or
+                  explicit Lock()/Unlock() where scopes do not fit)
 
 Suppress a finding with a trailing `// NOLINT(<rule>): why` comment on the
 offending line.
@@ -33,7 +40,7 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 LINT_DIRS = ("src", "tests", "bench", "examples")
 
 RULES = ("include-guard", "include-cc", "naked-new", "cout", "raw-thread",
-         "tensor-storage")
+         "tensor-storage", "naked-mutex", "std-lock")
 
 _NOLINT_RE = re.compile(r"NOLINT\(([a-z-]+)\)")
 _INCLUDE_CC_RE = re.compile(r'^\s*#\s*include\s+["<][^">]*\.cc[">]')
@@ -44,6 +51,10 @@ _COUT_RE = re.compile(r"\bstd::cout\b")
 _RAW_THREAD_RE = re.compile(r"\bstd::j?thread\b(?!::)")
 _SHARED_FLOAT_VEC_RE = re.compile(
     r"std::make_shared\s*<\s*std::vector\s*<\s*float\s*>\s*>")
+_NAKED_MUTEX_RE = re.compile(
+    r"\bstd::(?:recursive_|shared_|timed_|recursive_timed_)?mutex\b"
+    r"|\bstd::condition_variable(?:_any)?\b")
+_STD_LOCK_RE = re.compile(r"\bstd::(?:lock_guard|unique_lock|scoped_lock)\b")
 
 
 def strip_comments_and_strings(text):
@@ -118,6 +129,7 @@ def check_file(relpath, text, errors):
     in_tensor = relpath.startswith("src/tensor/")
     is_threadpool = relpath in ("src/util/threadpool.h",
                                 "src/util/threadpool.cc")
+    is_mutex_wrapper = relpath in ("src/util/mutex.h", "src/util/mutex.cc")
 
     def report(lineno, rule, message):
         if not suppressed(raw_lines[lineno - 1], rule):
@@ -174,6 +186,16 @@ def check_file(relpath, text, errors):
                 report(lineno, "raw-thread",
                        "direct std::thread outside util/threadpool.*; "
                        "use ThreadPool")
+            if not is_mutex_wrapper:
+                if _NAKED_MUTEX_RE.search(line):
+                    report(lineno, "naked-mutex",
+                           "naked std::mutex/condition_variable outside "
+                           "src/util/mutex.*; use the annotated um::Mutex/"
+                           "CondVar (src/util/mutex.h)")
+                if _STD_LOCK_RE.search(line):
+                    report(lineno, "std-lock",
+                           "std lock adaptor on a um::Mutex loses the "
+                           "thread-safety annotations; use MutexLock")
     return errors
 
 
@@ -223,6 +245,8 @@ def self_test():
         "tensor-storage": ("src/nn/v.cc",
                            "auto b = std::make_shared<std::vector<float>>"
                            "(n);\n"),
+        "naked-mutex": ("src/serving/s.cc", "std::mutex mu_;\n"),
+        "std-lock": ("src/serving/s.cc", "std::unique_lock lk(mu_);\n"),
     }
     failures = []
     for rule, (path, body) in cases.items():
@@ -242,6 +266,7 @@ def self_test():
              "void F(const char* s = \"new\");\n"
              "struct S { S(const S&) = delete; };\n"
              "using Id = std::thread::id;  // type alias, not a thread\n"
+             "// prefer um::Mutex over std::mutex — comment, no finding\n"
              "#endif  // UNIMATCH_OK_H_\n")
     false_positives = check_file(*clean, [])
     if false_positives:
