@@ -30,7 +30,7 @@
 
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "bench/common.h"
@@ -130,15 +130,12 @@ int Run(int argc, char** argv) {
     if (d[0] != '\0') dir = d;
   }
   const std::string path = dir + "/BENCH_alloc.json";
-  std::ofstream out(path);
-  if (!out) {
-    UM_LOG(WARNING) << "cannot write " << path;
-    return 1;
-  }
+  std::ostringstream out;
   out << "{\n"
       << "  \"bench\": \"alloc\",\n"
       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
-      << "  \"loss\": \"" << loss::LossKindToString(loss) << "\",\n"
+      << "  \"loss\": \""
+      << bench::JsonEscape(loss::LossKindToString(loss)) << "\",\n"
       << "  \"steps\": " << steps << ",\n"
       << "  \"acquires_per_step\": " << acquires_per_step << ",\n"
       << "  \"heap_allocs_per_step\": " << misses_per_step << ",\n"
@@ -152,6 +149,10 @@ int Run(int argc, char** argv) {
       << "  \"pool_bytes_live\": " << after.bytes_live << ",\n"
       << "  \"pool_bytes_pooled\": " << after.bytes_pooled << "\n"
       << "}\n";
+  if (const Status wst = bench::WriteFileAtomic(path, out.str()); !wst.ok()) {
+    UM_LOG(WARNING) << "cannot write " << path << ": " << wst.ToString();
+    return 1;
+  }
   UM_LOG(INFO) << "BENCH_alloc: " << steps << " steps, "
                << acquires_per_step << " pool acquires/step, "
                << misses_per_step << " heap allocs/step ("

@@ -12,7 +12,7 @@
 
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -210,13 +210,10 @@ void WriteKernelsJson(bool smoke) {
     if (env[0] != '\0') dir = env;
   }
   const std::string path = dir + "/BENCH_kernels.json";
-  std::ofstream out(path);
-  if (!out) {
-    UM_LOG(WARNING) << "cannot write " << path;
-    return;
-  }
+  std::ostringstream out;
   out << "{\n  \"bench\": \"micro_kernels\",\n  \"backend\": \""
-      << kernels::BackendName(kernels::ActiveBackend()) << "\",\n"
+      << bench::JsonEscape(kernels::BackendName(kernels::ActiveBackend()))
+      << "\",\n"
       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
       << "  \"gemm\": [";
   bool first = true;
@@ -248,6 +245,10 @@ void WriteKernelsJson(bool smoke) {
     first = false;
   }
   out << "\n  ]\n}\n";
+  if (const Status wst = bench::WriteFileAtomic(path, out.str()); !wst.ok()) {
+    UM_LOG(WARNING) << "cannot write " << path << ": " << wst.ToString();
+    return;
+  }
   UM_LOG(INFO) << "wrote " << path;
 }
 

@@ -35,7 +35,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
+#include <sstream>
 #include <future>
 #include <string>
 #include <thread>
@@ -258,11 +258,7 @@ int Main(int argc, char** argv) {
     if (d[0] != '\0') dir = d;
   }
   const std::string path = dir + "/BENCH_serving.json";
-  std::ofstream out(path);
-  if (!out) {
-    UM_LOG(WARNING) << "cannot write " << path;
-    return 1;
-  }
+  std::ostringstream out;
   out << "{\n"
       << "  \"bench\": \"serving\",\n"
       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
@@ -295,6 +291,10 @@ int Main(int argc, char** argv) {
       << ", \"failed_requests\": " << swap.failed_requests
       << ", \"build_ms\": " << swap.build_ms << "}\n"
       << "}\n";
+  if (const Status wst = bench::WriteFileAtomic(path, out.str()); !wst.ok()) {
+    UM_LOG(WARNING) << "cannot write " << path << ": " << wst.ToString();
+    return 1;
+  }
 
   int64_t total_errors = 0;
   for (const SweepPoint& p : sweep) total_errors += p.errors;

@@ -33,7 +33,7 @@
 
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -148,15 +148,12 @@ int Main(int argc, char** argv) {
     if (d[0] != '\0') dir = d;
   }
   const std::string path = dir + "/BENCH_train_pipeline.json";
-  std::ofstream out(path);
-  if (!out) {
-    UM_LOG(WARNING) << "cannot write " << path;
-    return 1;
-  }
+  std::ostringstream out;
   out << "{\n"
       << "  \"bench\": \"train_pipeline\",\n"
       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
-      << "  \"loss\": \"" << loss::LossKindToString(loss) << "\",\n"
+      << "  \"loss\": \""
+      << bench::JsonEscape(loss::LossKindToString(loss)) << "\",\n"
       << "  \"epochs\": " << epochs << ",\n"
       << "  \"batch_size\": " << batch_size << ",\n"
       << "  \"hardware_concurrency\": "
@@ -178,6 +175,10 @@ int Main(int argc, char** argv) {
         << (i + 1 < runs.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
+  if (const Status wst = bench::WriteFileAtomic(path, out.str()); !wst.ok()) {
+    UM_LOG(WARNING) << "cannot write " << path << ": " << wst.ToString();
+    return 1;
+  }
 
   if (!parity_ok) {
     UM_LOG(ERROR) << "BENCH_train_pipeline: metric parity FAILED";

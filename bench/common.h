@@ -15,6 +15,7 @@
 
 #include "src/data/synthetic.h"
 #include "src/eval/evaluator.h"
+#include "src/util/status.h"
 #include "src/eval/popularity.h"
 #include "src/train/trainer.h"
 #include "src/util/string_util.h"
@@ -89,6 +90,18 @@ inline std::string Pct(double v) { return FixedDigits(100.0 * v, 2); }
 /// Reads a scale override from argv ("--scale=0.25") or the UNIMATCH_SCALE
 /// environment variable; defaults to 1.
 double ParseScale(int argc, char** argv);
+
+/// Escapes `s` for use inside a JSON string literal: backslash, double
+/// quote, and control characters (as \uXXXX). Every string value a bench
+/// interpolates into a BENCH_*.json must pass through here — dataset names
+/// and error strings are not guaranteed quote-free.
+std::string JsonEscape(const std::string& s);
+
+/// Writes `contents` to `path` atomically: a temp file in the same
+/// directory, flushed and closed, then std::rename over the target. A
+/// bench that crashes mid-emit leaves the previous BENCH_*.json intact
+/// instead of a truncated one; CI consumers never parse half a file.
+Status WriteFileAtomic(const std::string& path, const std::string& contents);
 
 /// Declared first thing in a bench's main(), dumps the observability
 /// registry (src/obs) to `BENCH_<name>_metrics.json` when the bench exits —

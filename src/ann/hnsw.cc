@@ -47,8 +47,7 @@ struct HnswIndex::BuildSync {
 };
 
 float HnswIndex::Score(const float* query, int64_t node) const {
-  const int64_t d = dim();
-  return kernels::DotF32(query, vectors_.data() + node * d, d);
+  return quant_.Score(node, query);
 }
 
 Status HnswIndex::Build(const Tensor& vectors) {
@@ -64,8 +63,13 @@ Status HnswIndex::Build(const Tensor& vectors) {
   // A NaN embedding poisons greedy search comparisons silently; reject it
   // at the boundary instead.
   UM_CHECK_FINITE(vectors) << "HnswIndex::Build embeddings";
-  vectors_ = vectors;  // refcounted alias; the index never mutates it
-  const int64_t n = vectors_.dim(0);
+  vectors_ = vectors;  // float alias; only held until Build returns
+  n_ = vectors.dim(0);
+  d_ = vectors.dim(1);
+  // The graph is built against the quantized rows so construction-time
+  // neighborhoods match what Search will score (quantized-distance HNSW).
+  quant_ = QuantizedMatrix::Quantize(vectors, config_.storage);
+  const int64_t n = n_;
   Rng rng(config_.seed);
 
   // Level assignment: geometric with p = 1/e scaled by 1/ln(M).
@@ -102,6 +106,9 @@ Status HnswIndex::Build(const Tensor& vectors) {
     entry_point_ = sync.entry_point;
   } else {
     for (int64_t i = 1; i < n; ++i) InsertNode(i, &entry_level, nullptr);
+  }
+  if (config_.storage != ScalarType::kF32) {
+    vectors_ = Tensor();  // drop the float table; quant_ serves from here on
   }
   return Status::OK();
 }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/ann/index.h"
+#include "src/tensor/quant.h"
 #include "src/util/random.h"
 
 namespace unimatch {
@@ -39,6 +40,13 @@ struct HnswConfig {
   /// node insertions with per-node locks: the resulting graph depends on
   /// insertion interleaving (recall properties hold, exact edges vary).
   ThreadPool* pool = nullptr;
+  /// Element type of the stored vectors (src/tensor/quant.h). kF16/kI8
+  /// shrink the table 2x/~4x; graph construction and every search score
+  /// against the quantized rows (quantized-distance HNSW), so the graph is
+  /// consistent with what serving later scores. The float input is only
+  /// held for the duration of Build (neighbor pruning needs float query
+  /// rows) and released before Build returns.
+  ScalarType storage = ScalarType::kF32;
 };
 
 class HnswIndex : public Index {
@@ -47,16 +55,14 @@ class HnswIndex : public Index {
 
   Status Build(const Tensor& vectors) override;
   std::vector<SearchResult> Search(const float* query, int k) const override;
-  int64_t size() const override {
-    return vectors_.rank() == 2 ? vectors_.dim(0) : 0;
-  }
-  int64_t dim() const override {
-    return vectors_.rank() == 2 ? vectors_.dim(1) : 0;
-  }
+  int64_t size() const override { return n_; }
+  int64_t dim() const override { return d_; }
 
   const HnswConfig& config() const { return config_; }
   /// Number of graph layers (for tests/inspection).
   int num_layers() const { return static_cast<int>(layers_.size()); }
+  /// The (possibly quantized) stored table — bytes accounting and tests.
+  const QuantizedMatrix& table() const { return quant_; }
 
  private:
   // layers_[l][node] = adjacency list of `node` on layer l. Nodes absent
@@ -88,6 +94,12 @@ class HnswIndex : public Index {
   void InsertNode(int64_t i, int* entry_level, BuildSync* sync);
 
   HnswConfig config_;
+  int64_t n_ = 0, d_ = 0;
+  // Quantized (or f32-aliased) stored rows; what Score reads.
+  QuantizedMatrix quant_;
+  // Float alias of the input, alive only during Build: Prune and InsertNode
+  // need float query rows. Cleared before Build returns when storage is
+  // quantized, so the f32 table does not outlive construction.
   Tensor vectors_;
   std::vector<Adjacency> layers_;
   std::vector<int> node_level_;

@@ -20,43 +20,60 @@ float Dot(const float* a, const float* b, int64_t d) {
   return kernels::DotF32(a, b, d);
 }
 
-// Keeps the k largest (score, id) pairs using a min-heap, then returns them
-// sorted descending.
-class TopK {
- public:
-  explicit TopK(int k) : k_(k) {}
-
-  void Offer(int64_t id, float score) {
-    if (static_cast<int>(heap_.size()) < k_) {
-      heap_.push({score, id});
-    } else if (score > heap_.top().first) {
-      heap_.pop();
-      heap_.push({score, id});
-    }
-  }
-
-  std::vector<SearchResult> Take() {
-    std::vector<SearchResult> out(heap_.size());
-    for (int64_t i = static_cast<int64_t>(heap_.size()) - 1; i >= 0; --i) {
-      out[i] = {heap_.top().second, heap_.top().first};
-      heap_.pop();
-    }
-    return out;
-  }
-
- private:
-  using Entry = std::pair<float, int64_t>;
-  struct Cmp {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.first != b.first) return a.first > b.first;
-      return a.second < b.second;  // larger id evicted first on ties
-    }
-  };
-  int k_;
-  std::priority_queue<Entry, std::vector<Entry>, Cmp> heap_;
-};
-
 }  // namespace
+
+Tensor TrainSphericalKMeans(const Tensor& vectors, int64_t nlist, int iters,
+                            uint64_t seed, std::vector<int64_t>* assign) {
+  UM_CHECK_EQ(vectors.rank(), 2);
+  const int64_t n = vectors.dim(0), d = vectors.dim(1);
+  UM_CHECK_GT(n, 0);
+  UM_CHECK_GT(nlist, 0);
+  UM_CHECK_LE(nlist, n);
+
+  // Init centroids from random distinct points.
+  Rng rng(seed);
+  Tensor centroids({nlist, d});
+  auto init = rng.SampleWithoutReplacement(n, nlist);
+  for (int64_t c = 0; c < nlist; ++c) {
+    const float* src = vectors.data() + init[c] * d;
+    std::copy(src, src + d, centroids.data() + c * d);
+  }
+  std::vector<int64_t> local_assign(n, 0);
+  std::vector<int64_t>& a = assign != nullptr ? *assign : local_assign;
+  a.assign(n, 0);
+  for (int iter = 0; iter < iters; ++iter) {
+    // Assignment step (max inner product).
+    for (int64_t i = 0; i < n; ++i) {
+      const float* v = vectors.data() + i * d;
+      float best = -std::numeric_limits<float>::infinity();
+      int64_t best_c = 0;
+      for (int64_t c = 0; c < nlist; ++c) {
+        const float s = Dot(v, centroids.data() + c * d, d);
+        if (s > best) {
+          best = s;
+          best_c = c;
+        }
+      }
+      a[i] = best_c;
+    }
+    // Update step: mean of members, re-normalized (empty cluster keeps its
+    // centroid).
+    Tensor sums({nlist, d});
+    std::vector<int64_t> counts(nlist, 0);
+    for (int64_t i = 0; i < n; ++i) {
+      kernels::AxpyF32(d, 1.0f, vectors.data() + i * d,
+                       sums.data() + a[i] * d);
+      ++counts[a[i]];
+    }
+    for (int64_t c = 0; c < nlist; ++c) {
+      if (counts[c] == 0) continue;
+      // An all-zero sum normalizes to zero either way (0 / eps == 0).
+      kernels::L2NormalizeF32(d, sums.data() + c * d,
+                              centroids.data() + c * d, 1e-12f);
+    }
+  }
+  return centroids;
+}
 
 Status BruteForceIndex::Build(const Tensor& vectors) {
   if (vectors.rank() != 2) {
@@ -89,7 +106,7 @@ Status IvfIndex::Build(const Tensor& vectors) {
   // NaN embeddings would silently lose the centroid-assignment comparisons.
   UM_CHECK_FINITE(vectors) << "IvfIndex::Build embeddings";
   vectors_ = vectors;  // refcounted alias; the index never mutates it
-  const int64_t n = vectors_.dim(0), d = vectors_.dim(1);
+  const int64_t n = vectors_.dim(0);
   if (n == 0) return Status::InvalidArgument("empty index");
   int64_t nlist = config_.nlist;
   if (nlist <= 0) {
@@ -100,46 +117,9 @@ Status IvfIndex::Build(const Tensor& vectors) {
   config_.nlist = nlist;
   config_.nprobe = std::min(config_.nprobe, nlist);
 
-  // Spherical k-means: init centroids from random distinct points.
-  Rng rng(config_.seed);
-  centroids_ = Tensor({nlist, d});
-  auto init = rng.SampleWithoutReplacement(n, nlist);
-  for (int64_t c = 0; c < nlist; ++c) {
-    const float* src = vectors_.data() + init[c] * d;
-    std::copy(src, src + d, centroids_.data() + c * d);
-  }
-  std::vector<int64_t> assign(n, 0);
-  for (int iter = 0; iter < config_.kmeans_iters; ++iter) {
-    // Assignment step (max inner product).
-    for (int64_t i = 0; i < n; ++i) {
-      const float* v = vectors_.data() + i * d;
-      float best = -std::numeric_limits<float>::infinity();
-      int64_t best_c = 0;
-      for (int64_t c = 0; c < nlist; ++c) {
-        const float s = Dot(v, centroids_.data() + c * d, d);
-        if (s > best) {
-          best = s;
-          best_c = c;
-        }
-      }
-      assign[i] = best_c;
-    }
-    // Update step: mean of members, re-normalized (empty cluster keeps its
-    // centroid).
-    Tensor sums({nlist, d});
-    std::vector<int64_t> counts(nlist, 0);
-    for (int64_t i = 0; i < n; ++i) {
-      kernels::AxpyF32(d, 1.0f, vectors_.data() + i * d,
-                       sums.data() + assign[i] * d);
-      ++counts[assign[i]];
-    }
-    for (int64_t c = 0; c < nlist; ++c) {
-      if (counts[c] == 0) continue;
-      // An all-zero sum normalizes to zero either way (0 / eps == 0).
-      kernels::L2NormalizeF32(d, sums.data() + c * d,
-                              centroids_.data() + c * d, 1e-12f);
-    }
-  }
+  std::vector<int64_t> assign;
+  centroids_ = TrainSphericalKMeans(vectors_, nlist, config_.kmeans_iters,
+                                    config_.seed, &assign);
   lists_.assign(nlist, {});
   for (int64_t i = 0; i < n; ++i) lists_[assign[i]].push_back(i);
   return Status::OK();

@@ -9,6 +9,8 @@
 #define UNIMATCH_ANN_INDEX_H_
 
 #include <memory>
+#include <queue>
+#include <utility>
 #include <vector>
 
 #include "src/tensor/tensor.h"
@@ -20,6 +22,53 @@ struct SearchResult {
   int64_t id = -1;
   float score = 0.0f;
 };
+
+/// Keeps the k largest (score, id) pairs using a min-heap, then returns
+/// them sorted descending (ties broken toward smaller ids). Shared by the
+/// index implementations (brute force, IVF, IVF-PQ, quantized flat).
+class TopK {
+ public:
+  explicit TopK(int k) : k_(k) {}
+
+  void Offer(int64_t id, float score) {
+    if (static_cast<int>(heap_.size()) < k_) {
+      heap_.push({score, id});
+    } else if (score > heap_.top().first) {
+      heap_.pop();
+      heap_.push({score, id});
+    }
+  }
+
+  std::vector<SearchResult> Take() {
+    std::vector<SearchResult> out(heap_.size());
+    for (int64_t i = static_cast<int64_t>(heap_.size()) - 1; i >= 0; --i) {
+      out[i] = {heap_.top().second, heap_.top().first};
+      heap_.pop();
+    }
+    return out;
+  }
+
+ private:
+  using Entry = std::pair<float, int64_t>;
+  struct Cmp {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;  // larger id evicted first on ties
+    }
+  };
+  int k_;
+  std::priority_queue<Entry, std::vector<Entry>, Cmp> heap_;
+};
+
+/// Spherical k-means by inner product over the rows of `vectors` ([N, d]):
+/// centroids start from `nlist` random distinct rows (seeded, deterministic)
+/// and iterate assignment (max inner product) / update (member mean,
+/// re-normalized; an empty cluster keeps its centroid). Returns the
+/// [nlist, d] centroids and, when `assign` is non-null, the final
+/// assignment of every row. The coarse quantizer behind IvfIndex and
+/// IvfPqIndex.
+Tensor TrainSphericalKMeans(const Tensor& vectors, int64_t nlist, int iters,
+                            uint64_t seed, std::vector<int64_t>* assign);
 
 class Index {
  public:

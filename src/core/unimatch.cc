@@ -18,6 +18,14 @@ std::unique_ptr<ann::Index> UniMatchEngine::MakeConfiguredIndex() const {
   if (config_.index == "hnsw") {
     return std::make_unique<ann::HnswIndex>(config_.hnsw);
   }
+  if (config_.index == "ivfpq") {
+    return std::make_unique<ann::IvfPqIndex>(config_.ivfpq);
+  }
+  if (config_.index == "hnsw_q") {
+    ann::HnswConfig quantized = config_.hnsw;
+    quantized.storage = ScalarType::kI8;
+    return std::make_unique<ann::HnswIndex>(quantized);
+  }
   // Fit() already rejected anything but the known index kinds.
   UM_CHECK(config_.index == "brute_force");
   return std::make_unique<ann::BruteForceIndex>();
@@ -28,12 +36,13 @@ Status UniMatchEngine::Fit(const data::InteractionLog& log) {
     return Status::FailedPrecondition("engine already fitted");
   }
   if (config_.index != "brute_force" && config_.index != "ivf" &&
-      config_.index != "hnsw") {
+      config_.index != "hnsw" && config_.index != "ivfpq" &&
+      config_.index != "hnsw_q") {
     // Fail loudly up front: a typo like "bruteforce" used to silently fall
     // back to the exact index and masked the intended configuration.
-    return Status::InvalidArgument("unknown EngineConfig::index \"" +
-                                   config_.index +
-                                   "\" (expected brute_force, ivf, or hnsw)");
+    return Status::InvalidArgument(
+        "unknown EngineConfig::index \"" + config_.index +
+        "\" (expected brute_force, ivf, hnsw, ivfpq, or hnsw_q)");
   }
   if (log.empty()) return Status::InvalidArgument("empty interaction log");
   if (log.NumMonths() < 3) {

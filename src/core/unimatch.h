@@ -20,6 +20,7 @@
 
 #include "src/ann/hnsw.h"
 #include "src/ann/index.h"
+#include "src/ann/pq.h"
 #include "src/data/splits.h"
 #include "src/model/two_tower.h"
 #include "src/train/trainer.h"
@@ -34,10 +35,13 @@ struct EngineConfig {
   train::TrainConfig train;
   /// Windowing & filtering.
   data::SplitConfig split;
-  /// Serving index: "brute_force" (exact), "ivf" or "hnsw" (approximate).
+  /// Serving index: "brute_force" (exact), "ivf" / "hnsw" (approximate,
+  /// float storage), "ivfpq" (product-quantized IVF) or "hnsw_q"
+  /// (HNSW over int8 rows; `hnsw` settings apply, storage forced to kI8).
   std::string index = "brute_force";
   ann::IvfConfig ivf;
   ann::HnswConfig hnsw;
+  ann::IvfPqConfig ivfpq;
 };
 
 /// A scored recommendation/targeting entry.

@@ -1,25 +1,60 @@
 #include "src/serving/snapshot.h"
 
 #include <utility>
+#include <vector>
 
+#include "src/ann/pq.h"
 #include "src/obs/obs.h"
 #include "src/util/contract.h"
 
 namespace unimatch::serving {
 
+namespace {
+
+// Query rows are dequantized per request into a caller-provided buffer.
+// kF32 tables hand back the row pointer directly (no copy). The stack
+// buffer covers every realistic embedding width; wider tables spill to the
+// heap vector.
+constexpr int64_t kStackQueryDim = 256;
+
+const float* QueryRow(const QuantizedMatrix& table, int64_t row,
+                      float (&stack)[kStackQueryDim],
+                      std::vector<float>& heap) {
+  if (table.type() == ScalarType::kF32) return table.f32_row(row);
+  float* out = stack;
+  if (table.cols() > kStackQueryDim) {
+    heap.resize(table.cols());
+    out = heap.data();
+  }
+  table.DequantizeRow(row, out);
+  return out;
+}
+
+}  // namespace
+
 Result<std::shared_ptr<const EngineSnapshot>> EngineSnapshot::FromEngine(
-    const core::UniMatchEngine& engine, int64_t version) {
+    const core::UniMatchEngine& engine, int64_t version,
+    SnapshotOptions options) {
   if (!engine.fitted()) {
     return Status::FailedPrecondition("cannot snapshot an unfitted engine");
   }
   UM_SCOPED_TIMER("serving.frontend.snapshot.build.ms");
   auto snap = std::make_shared<EngineSnapshot>(Private{});
   snap->version_ = version;
-  // Tensor copies alias the refcounted Storage: the snapshot pins the
-  // matrices as of now, and a later RebuildIndexes in the engine rebinds
-  // the engine's handles without touching these buffers.
-  snap->user_embeddings_ = engine.user_embeddings();
-  snap->item_embeddings_ = engine.item_embeddings();
+  // For kF32 the QuantizedMatrix aliases the engine's refcounted Storage:
+  // the snapshot pins the matrices as of now, and a later RebuildIndexes in
+  // the engine rebinds the engine's handles without touching these buffers.
+  // Quantized storage copies into fresh code buffers and never retains the
+  // floats.
+  snap->user_table_ =
+      QuantizedMatrix::Quantize(engine.user_embeddings(),
+                                options.table_storage);
+  snap->item_table_ =
+      QuantizedMatrix::Quantize(engine.item_embeddings(),
+                                options.table_storage);
+  snap->num_users_ = snap->user_table_.rows();
+  snap->num_items_ = snap->item_table_.rows();
+  snap->dim_ = snap->item_table_.cols();
   const data::DatasetSplits* splits = engine.splits();
   UM_CHECK(splits != nullptr);
   snap->servable_.reserve(splits->histories.size());
@@ -28,14 +63,16 @@ Result<std::shared_ptr<const EngineSnapshot>> EngineSnapshot::FromEngine(
   }
   snap->item_index_ = engine.MakeConfiguredIndex();
   snap->user_index_ = engine.MakeConfiguredIndex();
-  UNIMATCH_RETURN_IF_ERROR(snap->item_index_->Build(snap->item_embeddings_));
-  UNIMATCH_RETURN_IF_ERROR(snap->user_index_->Build(snap->user_embeddings_));
+  UNIMATCH_RETURN_IF_ERROR(snap->item_index_->Build(engine.item_embeddings()));
+  UNIMATCH_RETURN_IF_ERROR(snap->user_index_->Build(engine.user_embeddings()));
+  UM_GAUGE_SET("serving.frontend.snapshot.table_bytes_per_user",
+               snap->table_bytes_per_user());
   return std::shared_ptr<const EngineSnapshot>(std::move(snap));
 }
 
 Result<std::shared_ptr<const EngineSnapshot>> EngineSnapshot::FromEmbeddings(
     Tensor user_embeddings, Tensor item_embeddings, int64_t version,
-    std::vector<uint8_t> servable_users) {
+    std::vector<uint8_t> servable_users, SnapshotOptions options) {
   if (user_embeddings.rank() != 2 || item_embeddings.rank() != 2) {
     return Status::InvalidArgument("embeddings must be [N, d] matrices");
   }
@@ -51,13 +88,29 @@ Result<std::shared_ptr<const EngineSnapshot>> EngineSnapshot::FromEmbeddings(
   UM_SCOPED_TIMER("serving.frontend.snapshot.build.ms");
   auto snap = std::make_shared<EngineSnapshot>(Private{});
   snap->version_ = version;
-  snap->user_embeddings_ = std::move(user_embeddings);
-  snap->item_embeddings_ = std::move(item_embeddings);
+  snap->user_table_ =
+      QuantizedMatrix::Quantize(user_embeddings, options.table_storage);
+  snap->item_table_ =
+      QuantizedMatrix::Quantize(item_embeddings, options.table_storage);
+  snap->num_users_ = snap->user_table_.rows();
+  snap->num_items_ = snap->item_table_.rows();
+  snap->dim_ = snap->item_table_.cols();
   snap->servable_ = std::move(servable_users);
-  snap->item_index_ = std::make_unique<ann::BruteForceIndex>();
-  snap->user_index_ = std::make_unique<ann::BruteForceIndex>();
-  UNIMATCH_RETURN_IF_ERROR(snap->item_index_->Build(snap->item_embeddings_));
-  UNIMATCH_RETURN_IF_ERROR(snap->user_index_->Build(snap->user_embeddings_));
+  if (options.table_storage == ScalarType::kF32) {
+    snap->item_index_ = std::make_unique<ann::BruteForceIndex>();
+    snap->user_index_ = std::make_unique<ann::BruteForceIndex>();
+  } else {
+    // Quantized tables get the matching quantized flat scan, so candidate
+    // scores come from the same codes the tables hold.
+    snap->item_index_ =
+        std::make_unique<ann::QuantizedFlatIndex>(options.table_storage);
+    snap->user_index_ =
+        std::make_unique<ann::QuantizedFlatIndex>(options.table_storage);
+  }
+  UNIMATCH_RETURN_IF_ERROR(snap->item_index_->Build(item_embeddings));
+  UNIMATCH_RETURN_IF_ERROR(snap->user_index_->Build(user_embeddings));
+  UM_GAUGE_SET("serving.frontend.snapshot.table_bytes_per_user",
+               snap->table_bytes_per_user());
   return std::shared_ptr<const EngineSnapshot>(std::move(snap));
 }
 
@@ -70,7 +123,9 @@ Result<std::vector<core::Scored>> EngineSnapshot::RecommendItems(
   if (!servable_.empty() && servable_[user] == 0) {
     return Status::NotFound("user has no interaction history");
   }
-  const float* uvec = user_embeddings_.data() + user * dim();
+  float stack[kStackQueryDim];
+  std::vector<float> heap;
+  const float* uvec = QueryRow(user_table_, user, stack, heap);
   std::vector<core::Scored> out;
   for (const auto& r : item_index_->Search(uvec, n)) {
     out.push_back({r.id, r.score});
@@ -84,7 +139,9 @@ Result<std::vector<core::Scored>> EngineSnapshot::TargetUsers(
   if (item < 0 || item >= num_items()) {
     return Status::NotFound("unknown item id");
   }
-  const float* ivec = item_embeddings_.data() + item * dim();
+  float stack[kStackQueryDim];
+  std::vector<float> heap;
+  const float* ivec = QueryRow(item_table_, item, stack, heap);
   std::vector<core::Scored> out;
   for (const auto& r : user_index_->Search(ivec, n)) {
     out.push_back({r.id, r.score});

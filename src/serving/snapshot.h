@@ -27,30 +27,47 @@
 
 #include "src/ann/index.h"
 #include "src/core/unimatch.h"
+#include "src/tensor/quant.h"
 #include "src/tensor/tensor.h"
 #include "src/util/status.h"
 
 namespace unimatch::serving {
 
+/// Build-time knobs for a snapshot. Defaults reproduce the pre-quantization
+/// behavior exactly (float32 tables, brute-force / engine-configured
+/// indexes).
+struct SnapshotOptions {
+  /// Element type of the frozen embedding tables (src/tensor/quant.h).
+  /// kF16/kI8 cut the per-user memory bill 2x/~3-4x; query rows are
+  /// dequantized per request (one [d] stack buffer), and FromEmbeddings
+  /// pairs quantized tables with QuantizedFlatIndex so candidate scoring
+  /// stays consistent with the stored codes.
+  ScalarType table_storage = ScalarType::kF32;
+};
+
 /// Frozen model + index state serving one traffic generation. Construct
 /// via FromEngine / FromEmbeddings; always held as shared_ptr<const>.
 class EngineSnapshot {
  public:
-  /// Snapshots a fitted engine: aliases its embedding matrices (cheap,
-  /// refcounted) and builds fresh indexes of the engine's configured kind,
-  /// owned by the snapshot. `version` is the promotion counter (e.g. the
-  /// training month); it only feeds observability.
+  /// Snapshots a fitted engine: aliases (or quantizes, per
+  /// `options.table_storage`) its embedding matrices and builds fresh
+  /// indexes of the engine's configured kind, owned by the snapshot.
+  /// `version` is the promotion counter (e.g. the training month); it only
+  /// feeds observability.
   static Result<std::shared_ptr<const EngineSnapshot>> FromEngine(
-      const core::UniMatchEngine& engine, int64_t version);
+      const core::UniMatchEngine& engine, int64_t version,
+      SnapshotOptions options = {});
 
   /// Builds a snapshot directly from embedding matrices ([M, d] users,
-  /// [K, d] items) with brute-force indexes — the hand-off path for
-  /// embeddings loaded from an EmbeddingBundle, and the test/bench path
-  /// that needs no trained engine. Users with an all-zero embedding row
-  /// are treated as unservable only when `servable_users` is given.
+  /// [K, d] items) — the hand-off path for embeddings loaded from an
+  /// EmbeddingBundle, and the test/bench path that needs no trained
+  /// engine. Float tables get brute-force indexes; quantized tables get
+  /// QuantizedFlatIndex of the same scalar type. Users with an all-zero
+  /// embedding row are treated as unservable only when `servable_users`
+  /// is given.
   static Result<std::shared_ptr<const EngineSnapshot>> FromEmbeddings(
       Tensor user_embeddings, Tensor item_embeddings, int64_t version,
-      std::vector<uint8_t> servable_users = {});
+      std::vector<uint8_t> servable_users = {}, SnapshotOptions options = {});
 
   /// IR: top-n items for a known user, from the frozen matrices/indexes.
   Result<std::vector<core::Scored>> RecommendItems(data::UserId user,
@@ -60,12 +77,24 @@ class EngineSnapshot {
                                                 int n) const;
 
   int64_t version() const { return version_; }
-  int64_t num_users() const { return user_embeddings_.dim(0); }
-  int64_t num_items() const { return item_embeddings_.dim(0); }
-  int64_t dim() const { return item_embeddings_.dim(1); }
+  int64_t num_users() const { return num_users_; }
+  int64_t num_items() const { return num_items_; }
+  int64_t dim() const { return dim_; }
 
-  const Tensor& user_embeddings() const { return user_embeddings_; }
-  const Tensor& item_embeddings() const { return item_embeddings_; }
+  /// The frozen tables. For kF32 snapshots these alias the source float
+  /// matrices; quantized snapshots drop the floats entirely.
+  const QuantizedMatrix& user_table() const { return user_table_; }
+  const QuantizedMatrix& item_table() const { return item_table_; }
+  ScalarType table_storage() const { return user_table_.type(); }
+  /// The bytes-per-user figure exported to
+  /// serving.frontend.snapshot.table_bytes_per_user.
+  double table_bytes_per_user() const { return user_table_.bytes_per_row(); }
+
+  /// Float views of the tables. Aliases for kF32 snapshots; quantized
+  /// snapshots pay a full dequantization copy — tests and hand-off only,
+  /// never the request path.
+  Tensor user_embeddings() const { return user_table_.Dequantize(); }
+  Tensor item_embeddings() const { return item_table_.Dequantize(); }
 
   /// Passkey: lets the factories use std::make_shared while keeping
   /// direct construction private — always go through FromEngine /
@@ -78,8 +107,11 @@ class EngineSnapshot {
 
  private:
   int64_t version_ = 0;
-  Tensor user_embeddings_;  // [M, d], refcounted alias, never written
-  Tensor item_embeddings_;  // [K, d]
+  int64_t num_users_ = 0;
+  int64_t num_items_ = 0;
+  int64_t dim_ = 0;
+  QuantizedMatrix user_table_;  // [M, d], immutable after construction
+  QuantizedMatrix item_table_;  // [K, d]
   /// servable_[u] == 0 marks users without usable history/embedding
   /// (RecommendItems returns NotFound, matching UniMatchEngine). Empty
   /// means every user is servable.

@@ -90,6 +90,101 @@ void ScaleIntoPortable(int64_t n, float alpha, const float* x, float* y) {
 }
 
 // ---------------------------------------------------------------------------
+// Scalar binary16 conversion. IEEE-754 half, round-to-nearest-even, with
+// subnormal and inf/NaN handling — the portable mirror of the F16C
+// VCVTPS2PH/VCVTPH2PS instructions, bitwise-identical to them for every
+// finite non-denormal float32 input (verified in quant_test.cc).
+// ---------------------------------------------------------------------------
+
+uint16_t F32ToF16Scalar(float value) {
+  uint32_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  const uint32_t sign = (bits >> 16) & 0x8000u;
+  const uint32_t exp = (bits >> 23) & 0xffu;
+  uint32_t mant = bits & 0x7fffffu;
+  if (exp == 255u) {  // inf / NaN (NaN keeps a nonzero payload, quieted)
+    return static_cast<uint16_t>(
+        sign | 0x7c00u | (mant != 0 ? (0x200u | (mant >> 13)) : 0u));
+  }
+  const int e = static_cast<int>(exp) - 127 + 15;
+  if (e >= 31) return static_cast<uint16_t>(sign | 0x7c00u);  // overflow: inf
+  if (e <= 0) {
+    // Half-subnormal range (or underflow to signed zero).
+    if (e < -10) return static_cast<uint16_t>(sign);
+    mant |= 0x800000u;  // make the implicit leading 1 explicit
+    const int shift = 14 - e;
+    uint32_t half_mant = mant >> shift;
+    const uint32_t rem = mant & ((1u << shift) - 1u);
+    const uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (half_mant & 1u))) ++half_mant;
+    // A carry out of the 10 mantissa bits lands exactly on the smallest
+    // normal half — the bit pattern is already correct.
+    return static_cast<uint16_t>(sign | half_mant);
+  }
+  uint32_t half = sign | (static_cast<uint32_t>(e) << 10) | (mant >> 13);
+  const uint32_t rem = mant & 0x1fffu;
+  if (rem > 0x1000u || (rem == 0x1000u && (half & 1u))) ++half;  // RNE
+  return static_cast<uint16_t>(half);  // mantissa carry overflows into exp,
+                                       // saturating to inf — also correct
+}
+
+float F16ToF32Scalar(uint16_t h) {
+  const uint32_t sign = static_cast<uint32_t>(h & 0x8000u) << 16;
+  const uint32_t exp = (h >> 10) & 0x1fu;
+  uint32_t mant = h & 0x3ffu;
+  uint32_t bits;
+  if (exp == 0u) {
+    if (mant == 0u) {
+      bits = sign;  // signed zero
+    } else {
+      // Subnormal half: normalize into a float32 with an explicit exponent.
+      int shift = -1;
+      do {
+        ++shift;
+        mant <<= 1;
+      } while ((mant & 0x400u) == 0u);
+      bits = sign | (static_cast<uint32_t>(112 - shift) << 23) |
+             ((mant & 0x3ffu) << 13);
+    }
+  } else if (exp == 31u) {
+    bits = sign | 0x7f800000u | (mant << 13);  // inf / NaN
+  } else {
+    bits = sign | ((exp + 112u) << 23) | (mant << 13);
+  }
+  float out;
+  std::memcpy(&out, &bits, sizeof(out));
+  return out;
+}
+
+float DotF32I8Portable(const float* a, const int8_t* codes, int64_t n) {
+  // Same 4-accumulator shape as DotPortable so the backend gap stays within
+  // summation-order slack.
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += a[i] * static_cast<float>(codes[i]);
+    s1 += a[i + 1] * static_cast<float>(codes[i + 1]);
+    s2 += a[i + 2] * static_cast<float>(codes[i + 2]);
+    s3 += a[i + 3] * static_cast<float>(codes[i + 3]);
+  }
+  for (; i < n; ++i) s0 += a[i] * static_cast<float>(codes[i]);
+  return (s0 + s1) + (s2 + s3);
+}
+
+float DotF32F16Portable(const float* a, const uint16_t* half, int64_t n) {
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += a[i] * F16ToF32Scalar(half[i]);
+    s1 += a[i + 1] * F16ToF32Scalar(half[i + 1]);
+    s2 += a[i + 2] * F16ToF32Scalar(half[i + 2]);
+    s3 += a[i + 3] * F16ToF32Scalar(half[i + 3]);
+  }
+  for (; i < n; ++i) s0 += a[i] * F16ToF32Scalar(half[i]);
+  return (s0 + s1) + (s2 + s3);
+}
+
+// ---------------------------------------------------------------------------
 // AVX2 + FMA implementations. Compiled with per-function target attributes,
 // only ever called after a runtime CPUID check.
 // ---------------------------------------------------------------------------
@@ -345,8 +440,90 @@ __attribute__((target("avx2,fma"))) void GemmRowsDotAvx2(
   }
 }
 
+// int8 dot: sign-extend 8 codes at a time to int32 lanes, convert to float
+// (exact for int8 range), and fmadd against the float query.
+__attribute__((target("avx2,fma"))) float DotF32I8Avx2(const float* a,
+                                                       const int8_t* codes,
+                                                       int64_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i bytes =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes + i));
+    const __m256 lo =
+        _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(bytes));
+    const __m256 hi =
+        _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(_mm_srli_si128(bytes, 8)));
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), lo, acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8), hi, acc1);
+  }
+  for (; i + 8 <= n; i += 8) {
+    const __m128i bytes =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(codes + i));
+    const __m256 v = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(bytes));
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), v, acc0);
+  }
+  float sum = Hsum256(_mm256_add_ps(acc0, acc1));
+  for (; i < n; ++i) sum += a[i] * static_cast<float>(codes[i]);
+  return sum;
+}
+
+// binary16 kernels need F16C on top of AVX2+FMA; all three are checked
+// together by CpuHasAvx2Fma below, so the kAvx2 backend implies F16C.
+__attribute__((target("avx2,fma,f16c"))) float DotF32F16Avx2(
+    const float* a, const uint16_t* half, int64_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256 h0 = _mm256_cvtph_ps(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(half + i)));
+    const __m256 h1 = _mm256_cvtph_ps(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(half + i + 8)));
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), h0, acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8), h1, acc1);
+  }
+  for (; i + 8 <= n; i += 8) {
+    const __m256 h = _mm256_cvtph_ps(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(half + i)));
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), h, acc0);
+  }
+  float sum = Hsum256(_mm256_add_ps(acc0, acc1));
+  for (; i < n; ++i) sum += a[i] * F16ToF32Scalar(half[i]);
+  return sum;
+}
+
+__attribute__((target("avx2,fma,f16c"))) void F32ToF16Avx2(int64_t n,
+                                                           const float* src,
+                                                           uint16_t* dst) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i h = _mm256_cvtps_ph(_mm256_loadu_ps(src + i),
+                                      _MM_FROUND_TO_NEAREST_INT |
+                                          _MM_FROUND_NO_EXC);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), h);
+  }
+  for (; i < n; ++i) dst[i] = F32ToF16Scalar(src[i]);
+}
+
+__attribute__((target("avx2,fma,f16c"))) void F16ToF32Avx2(int64_t n,
+                                                           const uint16_t* src,
+                                                           float* dst) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(dst + i,
+                     _mm256_cvtph_ps(_mm_loadu_si128(
+                         reinterpret_cast<const __m128i*>(src + i))));
+  }
+  for (; i < n; ++i) dst[i] = F16ToF32Scalar(src[i]);
+}
+
 bool CpuHasAvx2Fma() {
-  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  // F16C is folded into the one backend decision: every AVX2+FMA part since
+  // Haswell also has F16C, and a single cut keeps dispatch two-way.
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma") &&
+         __builtin_cpu_supports("f16c");
 }
 
 #else  // !UNIMATCH_KERNELS_X86
@@ -508,6 +685,94 @@ void GemmRowsDot(int64_t i0, int64_t i1, int64_t n, int64_t k, float alpha,
   GemmRowsDotPortable(i0, i1, n, k, alpha, a, a_row_stride, a_col_stride, b,
                       beta, c);
 }
+
+float DotF32I8(const float* a, const int8_t* codes, int64_t n) {
+  UM_CONTRACT(n >= 0 && (n == 0 || (a != nullptr && codes != nullptr)))
+      << "DotF32I8 n=" << n;
+#if defined(UNIMATCH_KERNELS_X86)
+  if (ActiveBackend() == Backend::kAvx2) return DotF32I8Avx2(a, codes, n);
+#endif
+  return DotF32I8Portable(a, codes, n);
+}
+
+float DotF32F16(const float* a, const uint16_t* half, int64_t n) {
+  UM_CONTRACT(n >= 0 && (n == 0 || (a != nullptr && half != nullptr)))
+      << "DotF32F16 n=" << n;
+#if defined(UNIMATCH_KERNELS_X86)
+  if (ActiveBackend() == Backend::kAvx2) return DotF32F16Avx2(a, half, n);
+#endif
+  return DotF32F16Portable(a, half, n);
+}
+
+void F32ToF16(int64_t n, const float* src, uint16_t* dst) {
+  UM_CONTRACT(n >= 0 && (n == 0 || (src != nullptr && dst != nullptr)))
+      << "F32ToF16 n=" << n;
+#if defined(UNIMATCH_KERNELS_X86)
+  if (ActiveBackend() == Backend::kAvx2) {
+    F32ToF16Avx2(n, src, dst);
+    return;
+  }
+#endif
+  for (int64_t i = 0; i < n; ++i) dst[i] = F32ToF16Scalar(src[i]);
+}
+
+void F16ToF32(int64_t n, const uint16_t* src, float* dst) {
+  UM_CONTRACT(n >= 0 && (n == 0 || (src != nullptr && dst != nullptr)))
+      << "F16ToF32 n=" << n;
+#if defined(UNIMATCH_KERNELS_X86)
+  if (ActiveBackend() == Backend::kAvx2) {
+    F16ToF32Avx2(n, src, dst);
+    return;
+  }
+#endif
+  for (int64_t i = 0; i < n; ++i) dst[i] = F16ToF32Scalar(src[i]);
+}
+
+void ScoreRowsI8(int64_t rows, int64_t d, const float* query,
+                 const int8_t* codes, int64_t row_stride, const float* scales,
+                 float* out) {
+  UM_CONTRACT(rows >= 0 && d >= 0 && row_stride >= d)
+      << "ScoreRowsI8 rows=" << rows << " d=" << d
+      << " stride=" << row_stride;
+  UM_CONTRACT(rows == 0 || (query != nullptr && codes != nullptr &&
+                            scales != nullptr && out != nullptr))
+      << "ScoreRowsI8 got null operand";
+  for (int64_t r = 0; r < rows; ++r) {
+    out[r] = scales[r] * DotF32I8(query, codes + r * row_stride, d);
+  }
+}
+
+void ScoreRowsF16(int64_t rows, int64_t d, const float* query,
+                  const uint16_t* half, int64_t row_stride, float* out) {
+  UM_CONTRACT(rows >= 0 && d >= 0 && row_stride >= d)
+      << "ScoreRowsF16 rows=" << rows << " d=" << d
+      << " stride=" << row_stride;
+  UM_CONTRACT(rows == 0 ||
+              (query != nullptr && half != nullptr && out != nullptr))
+      << "ScoreRowsF16 got null operand";
+  for (int64_t r = 0; r < rows; ++r) {
+    out[r] = DotF32F16(query, half + r * row_stride, d);
+  }
+}
+
+// Frozen scalar reference paths for the quantized primitives. Like
+// GemmReference, these are the fixed yardstick for tests and
+// BENCH_quant.json — do not vectorize or multi-accumulate them.
+float DotF32I8Reference(const float* a, const int8_t* codes, int64_t n) {
+  float sum = 0.0f;
+  for (int64_t i = 0; i < n; ++i) sum += a[i] * static_cast<float>(codes[i]);
+  return sum;
+}
+
+float DotF32F16Reference(const float* a, const uint16_t* half, int64_t n) {
+  float sum = 0.0f;
+  for (int64_t i = 0; i < n; ++i) sum += a[i] * F16ToF32Scalar(half[i]);
+  return sum;
+}
+
+uint16_t F32ToF16Reference(float value) { return F32ToF16Scalar(value); }
+
+float F16ToF32Reference(uint16_t half) { return F16ToF32Scalar(half); }
 
 // The exact serial gemm that shipped before the kernel layer (including the
 // `av == 0` skip), kept as the equivalence/bench baseline. Do not "improve"

@@ -85,6 +85,45 @@ void GemmRowsDot(int64_t i0, int64_t i1, int64_t n, int64_t k, float alpha,
                  const float* a, int64_t a_row_stride, int64_t a_col_stride,
                  const float* b, float beta, float* c);
 
+// ---------------------------------------------------------------------------
+// Quantized scoring primitives (see src/tensor/quant.h for the storage side).
+// Asymmetric layout: the query stays float32, the stored row is int8 codes or
+// IEEE-754 binary16. The widening int8 -> float conversion is exact, so both
+// backends agree up to the same summation-order slack as the f32 kernels.
+// ---------------------------------------------------------------------------
+
+/// sum_i a[i] * float(codes[i]). The caller applies the per-row scale.
+float DotF32I8(const float* a, const int8_t* codes, int64_t n);
+
+/// sum_i a[i] * half_to_float(half[i]).
+float DotF32F16(const float* a, const uint16_t* half, int64_t n);
+
+/// dst[i] = float_to_half(src[i]), IEEE binary16, round-to-nearest-even.
+/// Both backends (hardware F16C and the portable software path) produce
+/// bitwise-identical halves for finite, non-denormal floats.
+void F32ToF16(int64_t n, const float* src, uint16_t* dst);
+
+/// dst[i] = half_to_float(src[i]). Exact (every binary16 is a float32).
+void F16ToF32(int64_t n, const uint16_t* src, float* dst);
+
+/// out[r] = scales[r] * DotF32I8(query, codes + r*stride, d) for r in
+/// [0, rows): the rowwise int8 scoring loop behind the quantized indexes.
+void ScoreRowsI8(int64_t rows, int64_t d, const float* query,
+                 const int8_t* codes, int64_t row_stride, const float* scales,
+                 float* out);
+
+/// out[r] = DotF32F16(query, half + r*stride, d) for r in [0, rows).
+void ScoreRowsF16(int64_t rows, int64_t d, const float* query,
+                  const uint16_t* half, int64_t row_stride, float* out);
+
+/// Frozen scalar reference paths for the quantized primitives — the
+/// equivalence baseline for tests and the "before" side of BENCH_quant.json,
+/// never dispatched. Like GemmReference: do not "improve" these.
+float DotF32I8Reference(const float* a, const int8_t* codes, int64_t n);
+float DotF32F16Reference(const float* a, const uint16_t* half, int64_t n);
+uint16_t F32ToF16Reference(float value);
+float F16ToF32Reference(uint16_t half);
+
 /// The pre-vectorization scalar gemm, kept verbatim as the equivalence
 /// baseline for tests and the "before" side of BENCH_kernels.json. Same
 /// contract as tensor_ops Gemm; always single-threaded.

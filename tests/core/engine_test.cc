@@ -189,5 +189,24 @@ TEST(EngineIvfTest, IvfIndexServesQueries) {
   EXPECT_EQ(rec->size(), 5u);
 }
 
+TEST(EngineQuantIndexTest, CompressedIndexKindsServeQueries) {
+  // The two quantized index kinds added alongside src/ann/pq.h: both must
+  // fit and answer IR/UT through the engine facade.
+  for (const char* kind : {"ivfpq", "hnsw_q"}) {
+    EngineConfig cfg = SmallEngineConfig();
+    cfg.index = kind;
+    cfg.ivfpq.nprobe = 16;
+    cfg.ivfpq.num_subspaces = 16;  // ds = 1, the accuracy end (see bench)
+    UniMatchEngine e(cfg);
+    ASSERT_TRUE(e.Fit(EngineLog()).ok()) << kind;
+    auto rec = e.RecommendItems(1, 5);
+    ASSERT_TRUE(rec.ok()) << kind << ": " << rec.status().ToString();
+    EXPECT_EQ(rec->size(), 5u) << kind;
+    auto ut = e.TargetUsers(1, 5);
+    ASSERT_TRUE(ut.ok()) << kind << ": " << ut.status().ToString();
+    EXPECT_EQ(ut->size(), 5u) << kind;
+  }
+}
+
 }  // namespace
 }  // namespace unimatch::core

@@ -27,13 +27,15 @@ namespace {
 // A snapshot with a known answer key: item k's embedding is one-hot axis
 // k % d scaled so ties break by id, and user u points along axis
 // (u % num_items) % d — user u's top item is deterministic and checkable.
-std::shared_ptr<const EngineSnapshot> MakeToySnapshot(int64_t num_users,
-                                                      int64_t num_items,
-                                                      int64_t version) {
+std::shared_ptr<const EngineSnapshot> MakeToySnapshot(
+    int64_t num_users, int64_t num_items, int64_t version,
+    ScalarType storage = ScalarType::kF32) {
   const int64_t d = 8;
   std::vector<float> items(num_items * d, 0.0f);
   for (int64_t k = 0; k < num_items; ++k) {
-    // Unique magnitudes so every (user, item) score is distinct.
+    // Unique magnitudes so every (user, item) score is distinct. Each row
+    // is one-hot, so int8 quantization round-trips the answer key exactly
+    // (the single nonzero lane is the row max, code 127).
     items[k * d + (k % d)] = 1.0f + 0.5f / static_cast<float>(k + 1);
   }
   std::vector<float> users(num_users * d, 0.0f);
@@ -42,7 +44,8 @@ std::shared_ptr<const EngineSnapshot> MakeToySnapshot(int64_t num_users,
   }
   auto snap = EngineSnapshot::FromEmbeddings(
       Tensor({num_users, d}, std::move(users)),
-      Tensor({num_items, d}, std::move(items)), version);
+      Tensor({num_items, d}, std::move(items)), version, {},
+      SnapshotOptions{storage});
   UM_CHECK(snap.ok()) << snap.status().ToString();
   return *snap;
 }
@@ -93,6 +96,26 @@ TEST(SnapshotTest, ServesBothDirections) {
   EXPECT_TRUE(snap->RecommendItems(32, 2).status().IsNotFound());
   EXPECT_TRUE(snap->TargetUsers(8, 2).status().IsNotFound());
   EXPECT_TRUE(snap->RecommendItems(0, 0).status().IsInvalidArgument());
+}
+
+TEST(SnapshotTest, QuantizedTablesServeTheSameAnswers) {
+  // The toy embeddings are one-hot rows, so the int8 round-trip is exact
+  // and the quantized snapshot must reproduce the f32 answer key.
+  for (const ScalarType storage : {ScalarType::kF16, ScalarType::kI8}) {
+    auto snap = MakeToySnapshot(32, 8, 1, storage);
+    EXPECT_EQ(snap->table_storage(), storage);
+    // d = 8: f32 rows are 32 bytes; both quantized layouts must be smaller.
+    EXPECT_LT(snap->table_bytes_per_user(), 32.0);
+    for (int64_t user = 0; user < 32; ++user) {
+      auto items = snap->RecommendItems(user, 2);
+      ASSERT_TRUE(items.ok()) << items.status().ToString();
+      EXPECT_EQ((*items)[0].id, ExpectedTopItem(user, 8))
+          << ScalarTypeName(storage) << " user " << user;
+    }
+    auto users = snap->TargetUsers(3, 4);
+    ASSERT_TRUE(users.ok());
+    EXPECT_EQ(users->size(), 4u);
+  }
 }
 
 TEST(SnapshotTest, UnservableUsersAreNotFound) {
@@ -308,6 +331,65 @@ TEST(FrontendTest, SnapshotSwapUnderLoadZeroFailedRequests) {
   EXPECT_EQ(frontend.shed(), 0);
 }
 
+TEST(FrontendTest, SwapToQuantizedGenerationUnderLoadZeroFailedRequests) {
+  // Rolling out table quantization live: traffic in flight while the
+  // publisher promotes f32 -> int8 -> f16 generations. Same acceptance bar
+  // as the plain swap test — zero failed requests — plus answer
+  // correctness, since the toy key round-trips exactly in every storage.
+  const int64_t kUsers = 64, kItems = 8;
+  SnapshotPublisher publisher;
+  publisher.Publish(MakeToySnapshot(kUsers, kItems, 1));
+  ServingFrontend frontend(SmallConfig(), &publisher);
+
+  const int kSubmitters = 3, kPerSubmitter = 300;
+  std::vector<std::vector<std::pair<int64_t, std::future<Response>>>> futures(
+      kSubmitters);
+  std::atomic<bool> done{false};
+  ThreadPool submitters(kSubmitters);
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.Schedule([&, t] {
+      futures[t].reserve(kPerSubmitter);
+      for (int i = 0; i < kPerSubmitter; ++i) {
+        const int64_t user = (t * kPerSubmitter + i) % kUsers;
+        futures[t].emplace_back(
+            user, frontend.Submit({RequestKind::kRecommendItems, user, 3}));
+      }
+      done.store(true, std::memory_order_release);
+    });
+  }
+  const ScalarType kCycle[] = {ScalarType::kI8, ScalarType::kF16,
+                               ScalarType::kF32};
+  int64_t version = 1;
+  do {
+    publisher.Publish(
+        MakeToySnapshot(kUsers, kItems, version + 1, kCycle[version % 3]));
+    ++version;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  } while (!done.load(std::memory_order_acquire));
+  submitters.Wait();
+  frontend.Drain();
+
+  int failures = 0;
+  for (auto& per_thread : futures) {
+    for (auto& [user, future] : per_thread) {
+      Response response = future.get();
+      if (!response.status.ok()) {
+        ++failures;
+        continue;
+      }
+      ASSERT_FALSE(response.results.empty());
+      // Whatever generation (and storage) answered, the answer key holds.
+      EXPECT_EQ(response.results[0].id, ExpectedTopItem(user, kItems));
+      EXPECT_GE(response.snapshot_version, 1);
+      EXPECT_LE(response.snapshot_version, version);
+    }
+  }
+  EXPECT_EQ(failures, 0);
+  EXPECT_GT(publisher.swaps(), 1);
+  EXPECT_EQ(frontend.completed(), kSubmitters * kPerSubmitter);
+  EXPECT_EQ(frontend.shed(), 0);
+}
+
 TEST(FrontendTest, DestructorDrainsAcceptedWork) {
   SnapshotPublisher publisher;
   publisher.Publish(MakeToySnapshot(32, 8, 1));
@@ -370,6 +452,40 @@ TEST_F(EngineSnapshotFixture, MatchesEngineAnswers) {
   ASSERT_TRUE(ut_engine.ok());
   ASSERT_TRUE(ut_snapshot.ok());
   EXPECT_EQ((*ut_engine)[0].id, (*ut_snapshot)[0].id);
+}
+
+TEST_F(EngineSnapshotFixture, QuantizedFromEngineAgreesOnTopItems) {
+  auto f32_snap = EngineSnapshot::FromEngine(engine(), 1);
+  ASSERT_TRUE(f32_snap.ok());
+  auto i8_snap =
+      EngineSnapshot::FromEngine(engine(), 2, {ScalarType::kI8});
+  ASSERT_TRUE(i8_snap.ok()) << i8_snap.status().ToString();
+  EXPECT_EQ((*i8_snap)->table_storage(), ScalarType::kI8);
+  EXPECT_LT((*i8_snap)->table_bytes_per_user(),
+            (*f32_snap)->table_bytes_per_user());
+
+  // Trained embeddings, so scores can be near-tied: require high top-5
+  // agreement rather than identity.
+  const int kTop = 5;
+  int64_t overlap = 0, total = 0;
+  for (data::UserId user = 0; user < 20; ++user) {
+    auto exact = (*f32_snap)->RecommendItems(user, kTop);
+    auto quant = (*i8_snap)->RecommendItems(user, kTop);
+    ASSERT_EQ(exact.ok(), quant.ok()) << "user " << user;
+    if (!exact.ok()) continue;
+    for (const auto& e : *exact) {
+      for (const auto& q : *quant) {
+        if (e.id == q.id) {
+          ++overlap;
+          break;
+        }
+      }
+    }
+    total += kTop;
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_GE(static_cast<double>(overlap) / static_cast<double>(total), 0.85)
+      << overlap << "/" << total;
 }
 
 TEST_F(EngineSnapshotFixture, FrontendServesEngineSnapshot) {

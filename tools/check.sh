@@ -12,6 +12,10 @@
 #   6. serving bench smoke: bench_serving in UNIMATCH_BENCH_SMOKE mode —
 #      hard-gates request correctness + the under-load snapshot swap,
 #      records (never gates) latency, since runners may be single-core
+#   7. quant bench smoke: bench_quant in UNIMATCH_BENCH_SMOKE mode —
+#      hard-gates recall@10 >= 0.95 (int8 flat and IVF-PQ vs the exact
+#      f32 scan) and >= 3x int8 table compression; latency is recorded
+#      in BENCH_quant.json, never gated
 #
 # Usage: tools/check.sh [--jobs N] [--skip-release] [--skip-tsan]
 #                       [--skip-asan] [--skip-threadsafety] [--skip-bench]
@@ -86,6 +90,13 @@ if [[ "$RUN_BENCH" == 1 ]]; then
   # under-load snapshot swap, exits non-zero. Latency/QPS are recorded in
   # BENCH_serving.json but never gated here (runners may be single-core).
   (cd build/bench && UNIMATCH_BENCH_SMOKE=1 ./bench_serving)
+
+  stage "quant bench smoke (bench_quant)"
+  cmake --build --preset release -j "$JOBS" --target bench_quant
+  # Hard gate: exits non-zero unless int8 flat AND IVF-PQ reach recall@10
+  # >= 0.95 against the exact f32 scan and the int8 table is >= 3x smaller
+  # per row. Latency lands in BENCH_quant.json but is never gated here.
+  (cd build/bench && UNIMATCH_BENCH_SMOKE=1 ./bench_quant)
 fi
 
 stage "all checks passed"

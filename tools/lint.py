@@ -27,6 +27,11 @@ Rules (see docs/STATIC_ANALYSIS.md):
   std-lock        no std::lock_guard/unique_lock/scoped_lock in src/ outside
                   src/util/mutex.* (hold a um::Mutex with MutexLock, or
                   explicit Lock()/Unlock() where scopes do not fit)
+  quant-cast      no reinterpret_cast to float*/int8_t*/uint8_t*/uint16_t*
+                  in src/ outside src/tensor/ (quantized codes and float
+                  rows only convert through QuantizedMatrix — i8_row/
+                  f16_row/f32_row/DequantizeRow — never by repunning the
+                  bytes; the code layout is src/tensor/quant.cc's business)
 
 Suppress a finding with a trailing `// NOLINT(<rule>): why` comment on the
 offending line.
@@ -40,7 +45,7 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 LINT_DIRS = ("src", "tests", "bench", "examples")
 
 RULES = ("include-guard", "include-cc", "naked-new", "cout", "raw-thread",
-         "tensor-storage", "naked-mutex", "std-lock")
+         "tensor-storage", "naked-mutex", "std-lock", "quant-cast")
 
 _NOLINT_RE = re.compile(r"NOLINT\(([a-z-]+)\)")
 _INCLUDE_CC_RE = re.compile(r'^\s*#\s*include\s+["<][^">]*\.cc[">]')
@@ -55,6 +60,9 @@ _NAKED_MUTEX_RE = re.compile(
     r"\bstd::(?:recursive_|shared_|timed_|recursive_timed_)?mutex\b"
     r"|\bstd::condition_variable(?:_any)?\b")
 _STD_LOCK_RE = re.compile(r"\bstd::(?:lock_guard|unique_lock|scoped_lock)\b")
+_QUANT_CAST_RE = re.compile(
+    r"reinterpret_cast\s*<\s*(?:const\s+)?"
+    r"(?:float|(?:std::)?(?:u?int8_t|uint16_t))\s*\*\s*>")
 
 
 def strip_comments_and_strings(text):
@@ -178,6 +186,12 @@ def check_file(relpath, text, errors):
                     report(lineno, "tensor-storage",
                            "shared_ptr<vector<float>> buffer outside "
                            "src/tensor/; use Tensor (pooled Storage)")
+                if _QUANT_CAST_RE.search(line):
+                    report(lineno, "quant-cast",
+                           "reinterpret_cast between quantized code and "
+                           "float row pointers outside src/tensor/; go "
+                           "through QuantizedMatrix (i8_row/f16_row/"
+                           "f32_row/DequantizeRow)")
             if _COUT_RE.search(line):
                 report(lineno, "cout",
                        "std::cout in src/; log via util/logging.h or take "
@@ -247,6 +261,9 @@ def self_test():
                            "(n);\n"),
         "naked-mutex": ("src/serving/s.cc", "std::mutex mu_;\n"),
         "std-lock": ("src/serving/s.cc", "std::unique_lock lk(mu_);\n"),
+        "quant-cast": ("src/ann/q.cc",
+                       "const float* row = reinterpret_cast<const float*>"
+                       "(codes.data());\n"),
     }
     failures = []
     for rule, (path, body) in cases.items():
@@ -267,6 +284,10 @@ def self_test():
              "struct S { S(const S&) = delete; };\n"
              "using Id = std::thread::id;  // type alias, not a thread\n"
              "// prefer um::Mutex over std::mutex — comment, no finding\n"
+             "// reinterpret_cast<float*> in a comment is also fine\n"
+             "inline const void* P(const int* p) {\n"
+             "  return reinterpret_cast<const void*>(p);  // not a quant type\n"
+             "}\n"
              "#endif  // UNIMATCH_OK_H_\n")
     false_positives = check_file(*clean, [])
     if false_positives:
