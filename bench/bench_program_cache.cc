@@ -1,0 +1,302 @@
+// Recorded-graph executor benchmark: tape vs. program replay, training and
+// inference.
+//
+// Trains the same configuration from the same seed twice — once with the
+// program cache off (pure tape; the reference arm) and once with it on
+// (first step of each shape records, the rest replay) — and times the
+// steady-state epochs. Then times the inference scoring path (user + item
+// embedding inference, the snapshot build input) on three arms: tape,
+// program replay, and program replay with the fused op chains.
+//
+// Hard gates (exit non-zero):
+//   * bitwise parity: per-epoch losses, evaluation metrics, and the
+//     inference embeddings of every replay arm must equal the tape arm
+//     exactly — replay is specified as bit-identical, not merely close;
+//   * steady-state hit rate: after the warmup epoch, every training step
+//     must hit the cache (>= 99%).
+// Speedups are recorded but warn-only (CI runners vary too much to gate).
+//
+// Writes BENCH_program.json (working directory, or UNIMATCH_METRICS_DIR):
+//
+// {
+//   "bench": "program",
+//   "smoke": false,
+//   "program_cache_enabled": true,
+//   "parity_ok": true,
+//   "hit_rate_after_warmup": 1.0,
+//   "train": {
+//     "steps_per_epoch": 42, "replay_steps": 82, "record_steps": 2,
+//     "tape_step_ms": 1.83, "replay_step_ms": 1.41,
+//     "dispatch_overhead_ratio": 0.23, "speedup": 1.30, "parity": true
+//   },
+//   "infer": {
+//     "tape_ms": 12.1, "replay_ms": 9.0, "fused_ms": 7.6,
+//     "speedup_replay": 1.34, "speedup_fused": 1.59,
+//     "fused_ops": 6, "parity": true
+//   }
+// }
+//
+// `dispatch_overhead_ratio` is 1 - replay_step_ms / tape_step_ms: the
+// fraction of a tape step spent on graph construction + dispatch that
+// replaying the recorded program eliminates (see docs/PERFORMANCE.md §9).
+//
+// Set UNIMATCH_BENCH_SMOKE=1 for the CI-sized run (scale 0.05, fewer
+// epochs); see docs/PERFORMANCE.md.
+
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/nn/program.h"
+#include "src/util/logging.h"
+#include "src/util/timer.h"
+
+namespace unimatch {
+namespace {
+
+bool SmokeMode() {
+  const char* env = std::getenv("UNIMATCH_BENCH_SMOKE");
+  return env != nullptr && std::strcmp(env, "0") != 0 && env[0] != '\0';
+}
+
+bool BitwiseEqual(const Tensor& a, const Tensor& b) {
+  if (!a.same_shape(b)) return false;
+  return std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+struct TrainArm {
+  std::vector<double> epoch_losses;
+  std::vector<double> epoch_ms;
+  int64_t steps = 0;
+  int64_t replay_steps = 0;
+  int64_t record_steps = 0;
+  nn::ProgramCache::Stats cache_warm;   // after the warmup epoch
+  nn::ProgramCache::Stats cache_final;  // after the last epoch
+  eval::EvalResult metrics;
+  Tensor item_embeddings;
+
+  /// Mean per-step latency over the post-warmup epochs.
+  double SteadyStepMs() const {
+    double ms = 0.0;
+    for (size_t e = 1; e < epoch_ms.size(); ++e) ms += epoch_ms[e];
+    const double steps_per_epoch =
+        static_cast<double>(steps) / static_cast<double>(epoch_ms.size());
+    const double n = steps_per_epoch * static_cast<double>(epoch_ms.size() - 1);
+    return n > 0.0 ? ms / n : 0.0;
+  }
+};
+
+TrainArm RunTrainArm(const bench::Env& env, const model::TwoTowerConfig& mc,
+                     const std::vector<int64_t>& indices, int epochs,
+                     bool use_programs) {
+  model::TwoTowerModel model(mc);
+  model.SetInferenceProgramMode(use_programs, use_programs);
+  train::TrainConfig tc;
+  tc.loss = loss::LossKind::kBbcNce;
+  tc.batch_size = 256;
+  tc.seed = 4242;
+  tc.use_program_cache = use_programs;
+  train::Trainer trainer(&model, &env.splits, tc);
+  TrainArm arm;
+  for (int e = 0; e < epochs; ++e) {
+    WallTimer timer;
+    const Status st = trainer.TrainIndices(indices, 1);
+    arm.epoch_ms.push_back(timer.ElapsedMillis());
+    UM_CHECK(st.ok()) << st.ToString();
+    arm.epoch_losses.push_back(trainer.last_epoch_loss());
+    if (e == 0) arm.cache_warm = trainer.program_cache_stats();
+  }
+  arm.cache_final = trainer.program_cache_stats();
+  arm.steps = trainer.total_steps();
+  arm.replay_steps = trainer.replay_steps();
+  arm.record_steps = trainer.record_steps();
+  arm.metrics = env.evaluator->Evaluate(model);
+  arm.item_embeddings = model.InferItemEmbeddings();
+  return arm;
+}
+
+struct InferArm {
+  double total_ms = 0.0;
+  Tensor users;
+  Tensor items;
+};
+
+InferArm RunInferArm(const model::TwoTowerModel& model_const,
+                     const std::vector<std::vector<int64_t>>& histories,
+                     int reps, bool use_programs, bool fuse) {
+  // SetInferenceProgramMode is a bench/test hook on a logically-const model.
+  auto& model = const_cast<model::TwoTowerModel&>(model_const);
+  model.SetInferenceProgramMode(use_programs, fuse);
+  InferArm arm;
+  // Warmup pass: records the programs (or just warms caches on the tape).
+  arm.users = model.InferUserEmbeddings(histories);
+  arm.items = model.InferItemEmbeddings();
+  WallTimer timer;
+  for (int r = 0; r < reps; ++r) {
+    arm.users = model.InferUserEmbeddings(histories);
+    arm.items = model.InferItemEmbeddings();
+  }
+  arm.total_ms = timer.ElapsedMillis() / reps;
+  return arm;
+}
+
+int Main(int argc, char** argv) {
+  const bool smoke = SmokeMode();
+  double scale = bench::ParseScale(argc, argv);
+  if (smoke) scale = std::min(scale, 0.05);
+
+  auto env = bench::MakeEnv("books", scale);
+  const model::TwoTowerConfig mc = bench::DefaultModelConfig(*env, true);
+  const auto indices =
+      env->splits.train.IndicesOfMonthRange(0, env->splits.test_month - 1);
+  UM_CHECK(!indices.empty());
+  const int epochs = smoke ? 2 : 3;  // epoch 0 is the record/warmup epoch
+
+  const TrainArm tape = RunTrainArm(*env, mc, indices, epochs, false);
+  const TrainArm prog = RunTrainArm(*env, mc, indices, epochs, true);
+
+  // ---- hard gate 1: training parity, bitwise ----
+  bool train_parity = tape.epoch_losses == prog.epoch_losses &&
+                      tape.metrics.ir.ndcg == prog.metrics.ir.ndcg &&
+                      tape.metrics.ir.recall == prog.metrics.ir.recall &&
+                      tape.metrics.ut.ndcg == prog.metrics.ut.ndcg &&
+                      tape.metrics.ut.recall == prog.metrics.ut.recall &&
+                      BitwiseEqual(tape.item_embeddings, prog.item_embeddings);
+
+  // ---- hard gate 2: steady-state hit rate >= 99% after warmup ----
+  const int64_t lookups_after =
+      (prog.cache_final.hits + prog.cache_final.misses) -
+      (prog.cache_warm.hits + prog.cache_warm.misses);
+  const int64_t hits_after = prog.cache_final.hits - prog.cache_warm.hits;
+  const double hit_rate =
+      lookups_after > 0
+          ? static_cast<double>(hits_after) /
+                static_cast<double>(lookups_after)
+          : 1.0;
+  const bool hit_rate_ok = !nn::kProgramCacheEnabled || hit_rate >= 0.99;
+
+  const double tape_step_ms = tape.SteadyStepMs();
+  const double replay_step_ms = prog.SteadyStepMs();
+  const double train_speedup =
+      replay_step_ms > 0.0 ? tape_step_ms / replay_step_ms : 1.0;
+  const double dispatch_ratio =
+      tape_step_ms > 0.0 ? 1.0 - replay_step_ms / tape_step_ms : 0.0;
+
+  // ---- inference arms on the replay-trained model ----
+  Rng hist_rng(7);
+  std::vector<std::vector<int64_t>> histories(smoke ? 128 : 512);
+  for (auto& h : histories) {
+    const int64_t len = 1 + static_cast<int64_t>(hist_rng.Uniform(10));
+    for (int64_t t = 0; t < len; ++t) {
+      h.push_back(static_cast<int64_t>(hist_rng.Uniform(mc.num_items)));
+    }
+  }
+  model::TwoTowerModel infer_model(mc);
+  {  // retrain once (tape) so all three arms share one fitted model
+    train::TrainConfig tc;
+    tc.loss = loss::LossKind::kBbcNce;
+    tc.batch_size = 256;
+    tc.seed = 4242;
+    tc.use_program_cache = false;
+    train::Trainer trainer(&infer_model, &env->splits, tc);
+    UM_CHECK(trainer.TrainIndices(indices, 1).ok());
+  }
+  const int reps = smoke ? 3 : 10;
+  const InferArm i_tape = RunInferArm(infer_model, histories, reps, false,
+                                      false);
+  const InferArm i_replay = RunInferArm(infer_model, histories, reps, true,
+                                        false);
+  const InferArm i_fused = RunInferArm(infer_model, histories, reps, true,
+                                       true);
+
+  // ---- hard gate 3: inference parity, bitwise, both replay arms ----
+  const bool infer_parity = BitwiseEqual(i_tape.users, i_replay.users) &&
+                            BitwiseEqual(i_tape.items, i_replay.items) &&
+                            BitwiseEqual(i_tape.users, i_fused.users) &&
+                            BitwiseEqual(i_tape.items, i_fused.items);
+  const double speedup_replay =
+      i_replay.total_ms > 0.0 ? i_tape.total_ms / i_replay.total_ms : 1.0;
+  const double speedup_fused =
+      i_fused.total_ms > 0.0 ? i_tape.total_ms / i_fused.total_ms : 1.0;
+
+  const bool parity_ok = train_parity && infer_parity;
+  const int64_t steps_per_epoch = prog.steps / epochs;
+
+  UM_LOG(INFO) << "train: tape_step_ms=" << tape_step_ms
+               << " replay_step_ms=" << replay_step_ms
+               << " speedup=" << train_speedup
+               << " dispatch_overhead_ratio=" << dispatch_ratio
+               << " hit_rate_after_warmup=" << hit_rate
+               << (train_parity ? " parity=ok" : " parity=MISMATCH");
+  UM_LOG(INFO) << "infer: tape_ms=" << i_tape.total_ms
+               << " replay_ms=" << i_replay.total_ms
+               << " fused_ms=" << i_fused.total_ms
+               << " speedup_fused=" << speedup_fused
+               << (infer_parity ? " parity=ok" : " parity=MISMATCH");
+  if (train_speedup < 1.0) {
+    UM_LOG(WARNING) << "replay steady-state steps slower than tape ("
+                    << train_speedup << "x) — warn-only, not gated";
+  }
+
+  std::string dir = ".";
+  if (const char* d = std::getenv("UNIMATCH_METRICS_DIR")) {
+    if (d[0] != '\0') dir = d;
+  }
+  const std::string path = dir + "/BENCH_program.json";
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"bench\": \"program\",\n"
+      << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+      << "  \"program_cache_enabled\": "
+      << (nn::kProgramCacheEnabled ? "true" : "false") << ",\n"
+      << "  \"parity_ok\": " << (parity_ok ? "true" : "false") << ",\n"
+      << "  \"hit_rate_after_warmup\": " << hit_rate << ",\n"
+      << "  \"train\": {\n"
+      << "    \"steps_per_epoch\": " << steps_per_epoch << ",\n"
+      << "    \"replay_steps\": " << prog.replay_steps << ",\n"
+      << "    \"record_steps\": " << prog.record_steps << ",\n"
+      << "    \"tape_step_ms\": " << tape_step_ms << ",\n"
+      << "    \"replay_step_ms\": " << replay_step_ms << ",\n"
+      << "    \"dispatch_overhead_ratio\": " << dispatch_ratio << ",\n"
+      << "    \"speedup\": " << train_speedup << ",\n"
+      << "    \"parity\": " << (train_parity ? "true" : "false") << "\n"
+      << "  },\n"
+      << "  \"infer\": {\n"
+      << "    \"tape_ms\": " << i_tape.total_ms << ",\n"
+      << "    \"replay_ms\": " << i_replay.total_ms << ",\n"
+      << "    \"fused_ms\": " << i_fused.total_ms << ",\n"
+      << "    \"speedup_replay\": " << speedup_replay << ",\n"
+      << "    \"speedup_fused\": " << speedup_fused << ",\n"
+      << "    \"parity\": " << (infer_parity ? "true" : "false") << "\n"
+      << "  }\n"
+      << "}\n";
+  if (const Status wst = bench::WriteFileAtomic(path, out.str()); !wst.ok()) {
+    UM_LOG(WARNING) << "cannot write " << path << ": " << wst.ToString();
+    return 1;
+  }
+
+  if (!parity_ok) {
+    UM_LOG(ERROR) << "BENCH_program: bitwise parity FAILED";
+    return 1;
+  }
+  if (!hit_rate_ok) {
+    UM_LOG(ERROR) << "BENCH_program: steady-state hit rate " << hit_rate
+                  << " below the 0.99 gate";
+    return 1;
+  }
+  UM_LOG(INFO) << "BENCH_program: parity ok, hit rate " << hit_rate
+               << "; wrote " << path;
+  return 0;
+}
+
+}  // namespace
+}  // namespace unimatch
+
+int main(int argc, char** argv) {
+  unimatch::bench::MetricsDumper metrics_dumper("program");
+  return unimatch::Main(argc, argv);
+}

@@ -75,10 +75,12 @@ nn::Variable NceFamilyLoss(const nn::Variable& scores, const Tensor& log_pu,
     nn::Variable row_logits = scores;
     if (settings.delta_alpha) {
       // h(u, i') = exp(phi(u, i') - log p(i')): subtract column item's
-      // log-marginal from every row.
-      Tensor neg_log_pi = log_pi.Clone();
-      neg_log_pi.ScaleInPlace(-1.0f);
-      row_logits = nn::AddRowVector(row_logits, nn::Constant(neg_log_pi));
+      // log-marginal from every row. Negation runs as a recorded ScalarMul
+      // over a Constant that shares the caller's tensor storage, so a
+      // program-bound log_pi refreshes it on replay (the arithmetic is the
+      // same clone-and-scale as before).
+      row_logits = nn::AddRowVector(
+          row_logits, nn::ScalarMul(nn::Constant(log_pi), -1.0f));
     }
     nn::Variable row_loss = nn::ScalarMul(
         nn::Mean(nn::TakeDiagonal(nn::LogSoftmax(row_logits, /*dim=*/1))),
@@ -89,10 +91,9 @@ nn::Variable NceFamilyLoss(const nn::Variable& scores, const Tensor& log_pu,
     nn::Variable col_logits = scores;
     if (settings.delta_beta) {
       // o(u', i) = exp(phi(u', i) - log p(u')): subtract row user's
-      // log-marginal from every column.
-      Tensor neg_log_pu = log_pu.Clone();
-      neg_log_pu.ScaleInPlace(-1.0f);
-      col_logits = nn::AddColVector(col_logits, nn::Constant(neg_log_pu));
+      // log-marginal from every column (recorded negation, see above).
+      col_logits = nn::AddColVector(
+          col_logits, nn::ScalarMul(nn::Constant(log_pu), -1.0f));
     }
     nn::Variable col_loss = nn::ScalarMul(
         nn::Mean(nn::TakeDiagonal(nn::LogSoftmax(col_logits, /*dim=*/0))),
@@ -117,15 +118,17 @@ nn::Variable SampledSoftmaxLoss(const nn::Variable& pos_scores,
   UM_CHECK_SHAPE(log_q_neg.numel() == s, neg_scores, log_q_neg)
       << "SampledSoftmaxLoss negative proposal log-probs";
 
-  Tensor neg_log_q_pos = log_q_pos.Clone();
-  neg_log_q_pos.ScaleInPlace(-1.0f);
+  // The proposal log-prob corrections run as recorded ops over Constants
+  // that share the callers' tensor storage, so program-bound q tensors
+  // refresh them on replay; the arithmetic (clone, scale by -1, reshape)
+  // is unchanged.
   nn::Variable pos_adj = nn::Reshape(
-      nn::Add(pos_scores, nn::Constant(neg_log_q_pos.Reshaped({b}))), {b, 1});
+      nn::Add(pos_scores,
+              nn::Reshape(nn::ScalarMul(nn::Constant(log_q_pos), -1.0f), {b})),
+      {b, 1});
 
-  Tensor neg_log_q_neg = log_q_neg.Clone();
-  neg_log_q_neg.ScaleInPlace(-1.0f);
-  nn::Variable neg_adj =
-      nn::AddRowVector(neg_scores, nn::Constant(neg_log_q_neg));
+  nn::Variable neg_adj = nn::AddRowVector(
+      neg_scores, nn::ScalarMul(nn::Constant(log_q_neg), -1.0f));
 
   nn::Variable logits = nn::ConcatCols(pos_adj, neg_adj);  // [B, 1+S]
   nn::Variable log_probs = nn::LogSoftmax(logits, /*dim=*/1);

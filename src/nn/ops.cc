@@ -1,11 +1,21 @@
 #include "src/nn/ops.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "src/nn/program.h"
 #include "src/tensor/kernels.h"
 #include "src/tensor/tensor_ops.h"
 #include "src/util/contract.h"
 #include "src/util/parallel.h"
+
+// Each op below is written in the compute-lambda idiom: the value math
+// lives in a closure that writes into a caller-provided output tensor *in
+// place*, the eager call runs that closure once, and — only when a
+// ProgramRecorder is active — detail::RecordedForward hands the same
+// closure to the recording so replay re-runs the exact arithmetic over the
+// retained node buffer. Closures read their inputs through the captured
+// Variables' nodes at call time, never through value snapshots.
 
 namespace unimatch::nn {
 
@@ -15,12 +25,16 @@ namespace {
 // backward multiplies the upstream grad by dfdx(x, y).
 template <typename Fwd, typename Dfdx>
 Variable UnaryElementwise(const Variable& a, Fwd fwd, Dfdx dfdx,
-                          const char* name) {
+                          const char* name,
+                          ProgramOpKind kind = ProgramOpKind::kOther) {
+  auto compute = [a, fwd](Tensor& out) {
+    const float* x = a.value().data();
+    float* y = out.data();
+    for (int64_t i = 0; i < a.numel(); ++i) y[i] = fwd(x[i]);
+  };
   Tensor out = Tensor::Empty(a.shape());
-  const float* x = a.value().data();
-  float* y = out.data();
-  for (int64_t i = 0; i < a.numel(); ++i) y[i] = fwd(x[i]);
-  return MakeOpVariable(
+  compute(out);
+  Variable v = MakeOpVariable(
       std::move(out), {a},
       [a, dfdx](VarNode& node) {
         Tensor gin = Tensor::Empty(a.shape());
@@ -31,28 +45,40 @@ Variable UnaryElementwise(const Variable& a, Fwd fwd, Dfdx dfdx,
         for (int64_t i = 0; i < a.numel(); ++i) gi[i] = g[i] * dfdx(x[i], y[i]);
         a.node()->AccumulateGrad(std::move(gin));
       },
-      name);
+      name, detail::RecordedForward(compute));
+  if (kind != ProgramOpKind::kOther) {
+    detail::AnnotateOp(v, ProgramOpInfo{kind, 0.0f, nullptr, {a.node()}});
+  }
+  return v;
 }
 
 }  // namespace
 
 Variable Add(const Variable& a, const Variable& b) {
   UM_CHECK_SHAPE(a.value().same_shape(b.value()), a, b) << "Add";
-  Tensor out = a.value().Clone();
-  out.AddInPlace(b.value());
+  auto compute = [a, b](Tensor& out) {
+    out.CopyFrom(a.value());
+    out.AddInPlace(b.value());
+  };
+  Tensor out = Tensor::Empty(a.shape());
+  compute(out);
   return MakeOpVariable(
       std::move(out), {a, b},
       [a, b](VarNode& node) {
         a.node()->AccumulateGrad(node.grad);
         b.node()->AccumulateGrad(node.grad);
       },
-      "Add");
+      "Add", detail::RecordedForward(compute));
 }
 
 Variable Sub(const Variable& a, const Variable& b) {
   UM_CHECK_SHAPE(a.value().same_shape(b.value()), a, b) << "Sub";
-  Tensor out = a.value().Clone();
-  out.AddInPlace(b.value(), -1.0f);
+  auto compute = [a, b](Tensor& out) {
+    out.CopyFrom(a.value());
+    out.AddInPlace(b.value(), -1.0f);
+  };
+  Tensor out = Tensor::Empty(a.shape());
+  compute(out);
   return MakeOpVariable(
       std::move(out), {a, b},
       [a, b](VarNode& node) {
@@ -61,16 +87,19 @@ Variable Sub(const Variable& a, const Variable& b) {
         gneg.ScaleInPlace(-1.0f);
         b.node()->AccumulateGrad(std::move(gneg));
       },
-      "Sub");
+      "Sub", detail::RecordedForward(compute));
 }
 
 Variable Mul(const Variable& a, const Variable& b) {
   UM_CHECK_SHAPE(a.value().same_shape(b.value()), a, b) << "Mul";
+  auto compute = [a, b](Tensor& out) {
+    const float* x = a.value().data();
+    const float* z = b.value().data();
+    float* y = out.data();
+    for (int64_t i = 0; i < a.numel(); ++i) y[i] = x[i] * z[i];
+  };
   Tensor out = Tensor::Empty(a.shape());
-  const float* x = a.value().data();
-  const float* z = b.value().data();
-  float* y = out.data();
-  for (int64_t i = 0; i < a.numel(); ++i) y[i] = x[i] * z[i];
+  compute(out);
   return MakeOpVariable(
       std::move(out), {a, b},
       [a, b](VarNode& node) {
@@ -86,32 +115,43 @@ Variable Mul(const Variable& a, const Variable& b) {
         a.node()->AccumulateGrad(std::move(ga));
         b.node()->AccumulateGrad(std::move(gb));
       },
-      "Mul");
+      "Mul", detail::RecordedForward(compute));
 }
 
 Variable Neg(const Variable& a) { return ScalarMul(a, -1.0f); }
 
 Variable ScalarMul(const Variable& a, float s) {
-  Tensor out = a.value().Clone();
-  out.ScaleInPlace(s);
-  return MakeOpVariable(
+  auto compute = [a, s](Tensor& out) {
+    out.CopyFrom(a.value());
+    out.ScaleInPlace(s);
+  };
+  Tensor out = Tensor::Empty(a.shape());
+  compute(out);
+  Variable v = MakeOpVariable(
       std::move(out), {a},
       [a, s](VarNode& node) {
         Tensor g = node.grad.Clone();
         g.ScaleInPlace(s);
         a.node()->AccumulateGrad(std::move(g));
       },
-      "ScalarMul");
+      "ScalarMul", detail::RecordedForward(compute));
+  detail::AnnotateOp(
+      v, ProgramOpInfo{ProgramOpKind::kScalarMul, s, nullptr, {a.node()}});
+  return v;
 }
 
 Variable ScalarAdd(const Variable& a, float s) {
-  Tensor out = a.value().Clone();
-  float* y = out.data();
-  for (int64_t i = 0; i < out.numel(); ++i) y[i] += s;
+  auto compute = [a, s](Tensor& out) {
+    out.CopyFrom(a.value());
+    float* y = out.data();
+    for (int64_t i = 0; i < out.numel(); ++i) y[i] += s;
+  };
+  Tensor out = Tensor::Empty(a.shape());
+  compute(out);
   return MakeOpVariable(
       std::move(out), {a},
       [a](VarNode& node) { a.node()->AccumulateGrad(node.grad); },
-      "ScalarAdd");
+      "ScalarAdd", detail::RecordedForward(compute));
 }
 
 Variable Sigmoid(const Variable& a) {
@@ -121,19 +161,22 @@ Variable Sigmoid(const Variable& a) {
         return x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
                          : std::exp(x) / (1.0f + std::exp(x));
       },
-      [](float, float y) { return y * (1.0f - y); }, "Sigmoid");
+      [](float, float y) { return y * (1.0f - y); }, "Sigmoid",
+      ProgramOpKind::kSigmoid);
 }
 
 Variable Tanh(const Variable& a) {
   return UnaryElementwise(
       a, [](float x) { return std::tanh(x); },
-      [](float, float y) { return 1.0f - y * y; }, "Tanh");
+      [](float, float y) { return 1.0f - y * y; }, "Tanh",
+      ProgramOpKind::kTanh);
 }
 
 Variable Relu(const Variable& a) {
   return UnaryElementwise(
       a, [](float x) { return x > 0.0f ? x : 0.0f; },
-      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; }, "Relu");
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; }, "Relu",
+      ProgramOpKind::kRelu);
 }
 
 Variable Exp(const Variable& a) {
@@ -149,36 +192,51 @@ Variable Log(const Variable& a) {
 }
 
 Variable Sum(const Variable& a) {
-  Tensor out = Tensor::Scalar(static_cast<float>(a.value().Sum()));
+  auto compute = [a](Tensor& out) {
+    out.data()[0] = static_cast<float>(a.value().Sum());
+  };
+  Tensor out = Tensor::Scalar(0.0f);
+  compute(out);
   return MakeOpVariable(
       std::move(out), {a},
       [a](VarNode& node) {
         const float g = node.grad.item();
         a.node()->AccumulateGrad(Tensor::Full(a.shape(), g));
       },
-      "Sum");
+      "Sum", detail::RecordedForward(compute));
 }
 
 Variable Mean(const Variable& a) {
   const float inv = 1.0f / static_cast<float>(a.numel());
-  Tensor out = Tensor::Scalar(static_cast<float>(a.value().Mean()));
+  auto compute = [a](Tensor& out) {
+    out.data()[0] = static_cast<float>(a.value().Mean());
+  };
+  Tensor out = Tensor::Scalar(0.0f);
+  compute(out);
   return MakeOpVariable(
       std::move(out), {a},
       [a, inv](VarNode& node) {
         const float g = node.grad.item() * inv;
         a.node()->AccumulateGrad(Tensor::Full(a.shape(), g));
       },
-      "Mean");
+      "Mean", detail::RecordedForward(compute));
 }
 
 Variable Reshape(const Variable& a, Shape shape) {
-  Tensor out = a.value().Clone().Reshaped(std::move(shape));
+  // Flat copy: same bytes as Clone().Reshaped(), and shape-agnostic so the
+  // replay closure can refill the retained output in place.
+  auto compute = [a](Tensor& out) {
+    std::copy(a.value().data(), a.value().data() + a.numel(), out.data());
+  };
+  Tensor out = Tensor::Empty(std::move(shape));
+  UM_CHECK_EQ(out.numel(), a.numel());
+  compute(out);
   return MakeOpVariable(
       std::move(out), {a},
       [a](VarNode& node) {
         a.node()->AccumulateGrad(node.grad.Reshaped(a.shape()));
       },
-      "Reshape");
+      "Reshape", detail::RecordedForward(compute));
 }
 
 Variable Transpose(const Variable& a) {
@@ -204,14 +262,17 @@ Variable ConcatCols(const Variable& a, const Variable& b) {
   UM_CHECK_SHAPE(a.rank() == 2 && b.rank() == 2 && a.dim(0) == b.dim(0), a, b)
       << "ConcatCols";
   const int64_t m = a.dim(0), n1 = a.dim(1), n2 = b.dim(1);
+  auto compute = [a, b, m, n1, n2](Tensor& out) {
+    for (int64_t i = 0; i < m; ++i) {
+      const float* pa = a.value().data() + i * n1;
+      const float* pb = b.value().data() + i * n2;
+      float* po = out.data() + i * (n1 + n2);
+      std::copy(pa, pa + n1, po);
+      std::copy(pb, pb + n2, po + n1);
+    }
+  };
   Tensor out = Tensor::Empty({m, n1 + n2});
-  for (int64_t i = 0; i < m; ++i) {
-    const float* pa = a.value().data() + i * n1;
-    const float* pb = b.value().data() + i * n2;
-    float* po = out.data() + i * (n1 + n2);
-    std::copy(pa, pa + n1, po);
-    std::copy(pb, pb + n2, po + n1);
-  }
+  compute(out);
   return MakeOpVariable(
       std::move(out), {a, b},
       [a, b, m, n1, n2](VarNode& node) {
@@ -225,7 +286,7 @@ Variable ConcatCols(const Variable& a, const Variable& b) {
         a.node()->AccumulateGrad(std::move(ga));
         b.node()->AccumulateGrad(std::move(gb));
       },
-      "ConcatCols");
+      "ConcatCols", detail::RecordedForward(compute));
 }
 
 Variable ConcatRows(const Variable& a, const Variable& b) {
@@ -259,15 +320,18 @@ Variable ConcatRowsN(const std::vector<Variable>& parts) {
         << "ConcatRowsN";
     rows += p.dim(0);
   }
-  Tensor out = Tensor::Empty({rows, n});
-  int64_t offset = 0;
-  for (const auto& p : parts) {
-    const int64_t cnt = p.dim(0) * n;
-    std::copy(p.value().data(), p.value().data() + cnt,
-              out.data() + offset);
-    offset += cnt;
-  }
   std::vector<Variable> inputs = parts;
+  auto compute = [inputs, n](Tensor& out) {
+    int64_t offset = 0;
+    for (const auto& p : inputs) {
+      const int64_t cnt = p.dim(0) * n;
+      std::copy(p.value().data(), p.value().data() + cnt,
+                out.data() + offset);
+      offset += cnt;
+    }
+  };
+  Tensor out = Tensor::Empty({rows, n});
+  compute(out);
   return MakeOpVariable(
       std::move(out), inputs,
       [inputs, n](VarNode& node) {
@@ -281,12 +345,15 @@ Variable ConcatRowsN(const std::vector<Variable>& parts) {
           offset += cnt;
         }
       },
-      "ConcatRowsN");
+      "ConcatRowsN", detail::RecordedForward(compute));
 }
 
 Variable MatMul(const Variable& a, const Variable& b, bool trans_a,
                 bool trans_b) {
   Tensor out = unimatch::MatMul(a.value(), b.value(), trans_a, trans_b);
+  auto compute = [a, b, trans_a, trans_b](Tensor& out) {
+    unimatch::MatMulInto(a.value(), b.value(), trans_a, trans_b, &out);
+  };
   return MakeOpVariable(
       std::move(out), {a, b},
       [a, b, trans_a, trans_b](VarNode& node) {
@@ -309,23 +376,27 @@ Variable MatMul(const Variable& a, const Variable& b, bool trans_a,
         a.node()->AccumulateGrad(std::move(ga));
         b.node()->AccumulateGrad(std::move(gb));
       },
-      "MatMul");
+      "MatMul", detail::RecordedForward(compute));
 }
 
 Variable AddRowVector(const Variable& x, const Variable& v) {
   UM_CHECK_SHAPE(x.rank() == 2 && v.numel() == x.dim(1), x, v)
       << "AddRowVector";
   const int64_t m = x.dim(0), n = x.dim(1);
-  Tensor out = x.value().Clone();
-  RegionParallelFor(
-      0, m,
-      [&](int64_t i) {
-        float* row = out.data() + i * n;
-        const float* pv = v.value().data();
-        for (int64_t j = 0; j < n; ++j) row[j] += pv[j];
-      },
-      /*min_shard=*/32);
-  return MakeOpVariable(
+  auto compute = [x, v, m, n](Tensor& out) {
+    out.CopyFrom(x.value());
+    RegionParallelFor(
+        0, m,
+        [&](int64_t i) {
+          float* row = out.data() + i * n;
+          const float* pv = v.value().data();
+          for (int64_t j = 0; j < n; ++j) row[j] += pv[j];
+        },
+        /*min_shard=*/32);
+  };
+  Tensor out = Tensor::Empty(x.shape());
+  compute(out);
+  Variable result = MakeOpVariable(
       std::move(out), {x, v},
       [x, v, m, n](VarNode& node) {
         x.node()->AccumulateGrad(node.grad);
@@ -336,22 +407,30 @@ Variable AddRowVector(const Variable& x, const Variable& v) {
         ReduceSumCols(flat, &col_sums);
         v.node()->AccumulateGrad(col_sums.Reshaped(v.shape()));
       },
-      "AddRowVector");
+      "AddRowVector", detail::RecordedForward(compute));
+  detail::AnnotateOp(result,
+                     ProgramOpInfo{ProgramOpKind::kAddRowVector, 0.0f, nullptr,
+                                   {x.node(), v.node()}});
+  return result;
 }
 
 Variable AddColVector(const Variable& x, const Variable& v) {
   UM_CHECK_SHAPE(x.rank() == 2 && v.numel() == x.dim(0), x, v)
       << "AddColVector";
   const int64_t m = x.dim(0), n = x.dim(1);
-  Tensor out = x.value().Clone();
-  RegionParallelFor(
-      0, m,
-      [&](int64_t i) {
-        float* row = out.data() + i * n;
-        const float add = v.value().data()[i];
-        for (int64_t j = 0; j < n; ++j) row[j] += add;
-      },
-      /*min_shard=*/32);
+  auto compute = [x, v, m, n](Tensor& out) {
+    out.CopyFrom(x.value());
+    RegionParallelFor(
+        0, m,
+        [&](int64_t i) {
+          float* row = out.data() + i * n;
+          const float add = v.value().data()[i];
+          for (int64_t j = 0; j < n; ++j) row[j] += add;
+        },
+        /*min_shard=*/32);
+  };
+  Tensor out = Tensor::Empty(x.shape());
+  compute(out);
   return MakeOpVariable(
       std::move(out), {x, v},
       [x, v, m, n](VarNode& node) {
@@ -361,15 +440,18 @@ Variable AddColVector(const Variable& x, const Variable& v) {
         ReduceSumRows(flat, &row_sums);
         v.node()->AccumulateGrad(row_sums.Reshaped(v.shape()));
       },
-      "AddColVector");
+      "AddColVector", detail::RecordedForward(compute));
 }
 
 Variable TakeDiagonal(const Variable& a) {
   UM_CHECK_EQ(a.rank(), 2);
   UM_CHECK_EQ(a.dim(0), a.dim(1));
   const int64_t n = a.dim(0);
+  auto compute = [a, n](Tensor& out) {
+    for (int64_t i = 0; i < n; ++i) out.at(i) = a.value().at(i, i);
+  };
   Tensor out = Tensor::Empty({n});
-  for (int64_t i = 0; i < n; ++i) out.at(i) = a.value().at(i, i);
+  compute(out);
   return MakeOpVariable(
       std::move(out), {a},
       [a, n](VarNode& node) {
@@ -377,15 +459,18 @@ Variable TakeDiagonal(const Variable& a) {
         for (int64_t i = 0; i < n; ++i) g.at(i, i) = node.grad.at(i);
         a.node()->AccumulateGrad(std::move(g));
       },
-      "TakeDiagonal");
+      "TakeDiagonal", detail::RecordedForward(compute));
 }
 
 Variable TakeColumn(const Variable& a, int64_t j) {
   UM_CHECK_EQ(a.rank(), 2);
   UM_CHECK_LT(j, a.dim(1));
   const int64_t m = a.dim(0);
+  auto compute = [a, j, m](Tensor& out) {
+    for (int64_t i = 0; i < m; ++i) out.at(i) = a.value().at(i, j);
+  };
   Tensor out = Tensor::Empty({m});
-  for (int64_t i = 0; i < m; ++i) out.at(i) = a.value().at(i, j);
+  compute(out);
   return MakeOpVariable(
       std::move(out), {a},
       [a, j, m](VarNode& node) {
@@ -393,7 +478,7 @@ Variable TakeColumn(const Variable& a, int64_t j) {
         for (int64_t i = 0; i < m; ++i) g.at(i, j) = node.grad.at(i);
         a.node()->AccumulateGrad(std::move(g));
       },
-      "TakeColumn");
+      "TakeColumn", detail::RecordedForward(compute));
 }
 
 Variable RowwiseDot(const Variable& a, const Variable& b) {
@@ -401,12 +486,15 @@ Variable RowwiseDot(const Variable& a, const Variable& b) {
                              << contract::ShapeOf(a);
   UM_CHECK_SHAPE(a.value().same_shape(b.value()), a, b) << "RowwiseDot";
   const int64_t m = a.dim(0), d = a.dim(1);
+  auto compute = [a, b, m, d](Tensor& out) {
+    RegionParallelFor(0, m, [&](int64_t i) {
+      out.at(i) = kernels::DotF32(a.value().data() + i * d,
+                                  b.value().data() + i * d, d);
+    });
+  };
   Tensor out = Tensor::Empty({m});
-  RegionParallelFor(0, m, [&](int64_t i) {
-    out.at(i) = kernels::DotF32(a.value().data() + i * d,
-                                b.value().data() + i * d, d);
-  });
-  return MakeOpVariable(
+  compute(out);
+  Variable v = MakeOpVariable(
       std::move(out), {a, b},
       [a, b, m, d](VarNode& node) {
         // Fresh Tensors are zero-filled, so the axpy accumulate is exact.
@@ -419,17 +507,25 @@ Variable RowwiseDot(const Variable& a, const Variable& b) {
         a.node()->AccumulateGrad(std::move(ga));
         b.node()->AccumulateGrad(std::move(gb));
       },
-      "RowwiseDot");
+      "RowwiseDot", detail::RecordedForward(compute));
+  detail::AnnotateOp(v, ProgramOpInfo{ProgramOpKind::kRowwiseDot, 0.0f,
+                                      nullptr, {a.node(), b.node()}});
+  return v;
 }
 
 Variable L2NormalizeRows(const Variable& a, float eps) {
   UM_CHECK_EQ(a.rank(), 2);
   const int64_t m = a.dim(0), d = a.dim(1);
-  Tensor out = Tensor::Empty(a.shape());
   Tensor norms = Tensor::Empty({m});
-  unimatch::L2NormalizeRows(a.value(), &out, &norms, eps);
+  // `mutable` so the closure can hand the captured norms handle (shared
+  // storage with the backward's capture) to the kernel for in-place refresh.
+  auto compute = [a, norms, eps](Tensor& out) mutable {
+    unimatch::L2NormalizeRows(a.value(), &out, &norms, eps);
+  };
+  Tensor out = Tensor::Empty(a.shape());
+  compute(out);
   Tensor y = out;  // share storage: y is the normalized output
-  return MakeOpVariable(
+  Variable v = MakeOpVariable(
       std::move(out), {a},
       [a, y, norms, m, d](VarNode& node) {
         // dx = (g - y * <y, g>) / ||x||  row-wise.
@@ -446,7 +542,10 @@ Variable L2NormalizeRows(const Variable& a, float eps) {
         });
         a.node()->AccumulateGrad(std::move(gin));
       },
-      "L2NormalizeRows");
+      "L2NormalizeRows", detail::RecordedForward(compute));
+  detail::AnnotateOp(v, ProgramOpInfo{ProgramOpKind::kL2NormalizeRows, eps,
+                                      nullptr, {a.node()}});
+  return v;
 }
 
 namespace {
@@ -454,35 +553,37 @@ namespace {
 Variable SoftmaxImpl(const Variable& a, int dim, bool log_space) {
   UM_CHECK_EQ(a.rank(), 2);
   UM_CHECK(dim == 0 || dim == 1);
-  // Implement dim=0 by transposing, computing row softmax, transposing back,
-  // all inside the kernel (cheap for the [B, B] logit matrices involved).
-  const Tensor& x = a.value();
-  const int64_t m = x.dim(0), n = x.dim(1);
-  Tensor out = Tensor::Empty(a.shape());
-  auto row_view = [&](const Tensor& t, Tensor* tmp) -> Tensor {
-    if (dim == 1) return t;
+  const int64_t m = a.value().dim(0), n = a.value().dim(1);
+  // dim=1 runs the row kernel straight into the output (in place, so replay
+  // refills the retained buffer); dim=0 transposes into per-call scratch,
+  // runs the row kernel, and transposes back (cheap for the [B, B] logit
+  // matrices involved).
+  auto compute = [a, dim, log_space, m, n](Tensor& out) {
+    const Tensor& x = a.value();
+    if (dim == 1) {
+      if (log_space) {
+        LogSoftmaxRows(x, &out);
+      } else {
+        SoftmaxRows(x, &out);
+      }
+      return;
+    }
     Tensor tr = Tensor::Empty({n, m});
     for (int64_t i = 0; i < m; ++i) {
-      for (int64_t j = 0; j < n; ++j) tr.at(j, i) = t.at(i, j);
+      for (int64_t j = 0; j < n; ++j) tr.at(j, i) = x.at(i, j);
     }
-    *tmp = tr;
-    return tr;
-  };
-  Tensor tmp_in;
-  Tensor in_rows = row_view(x, &tmp_in);
-  Tensor out_rows = Tensor::Empty(in_rows.shape());
-  if (log_space) {
-    LogSoftmaxRows(in_rows, &out_rows);
-  } else {
-    SoftmaxRows(in_rows, &out_rows);
-  }
-  if (dim == 1) {
-    out = out_rows;
-  } else {
+    Tensor out_rows = Tensor::Empty({n, m});
+    if (log_space) {
+      LogSoftmaxRows(tr, &out_rows);
+    } else {
+      SoftmaxRows(tr, &out_rows);
+    }
     for (int64_t i = 0; i < m; ++i) {
       for (int64_t j = 0; j < n; ++j) out.at(i, j) = out_rows.at(j, i);
     }
-  }
+  };
+  Tensor out = Tensor::Empty(a.shape());
+  compute(out);
 
   Tensor y = out;
   auto backward = [a, y, dim, m, n, log_space](VarNode& node) {
@@ -527,7 +628,8 @@ Variable SoftmaxImpl(const Variable& a, int dim, bool log_space) {
     a.node()->AccumulateGrad(std::move(gin));
   };
   return MakeOpVariable(std::move(out), {a}, backward,
-                        log_space ? "LogSoftmax" : "Softmax");
+                        log_space ? "LogSoftmax" : "Softmax",
+                        detail::RecordedForward(compute));
 }
 
 }  // namespace
@@ -639,16 +741,22 @@ Variable BCEWithLogits(const Variable& logits, const Tensor& labels) {
       << "BCEWithLogits";
   const int64_t n = logits.numel();
   UM_CHECK_GT(n, 0);
-  // loss_i = max(x,0) - x*y + log(1 + exp(-|x|)).
-  const float* x = logits.value().data();
-  const float* yl = labels.data();
-  double total = 0.0;
-  for (int64_t i = 0; i < n; ++i) {
-    const float xi = x[i];
-    total += std::max(xi, 0.0f) - xi * yl[i] +
-             std::log1p(std::exp(-std::fabs(xi)));
-  }
-  Tensor out = Tensor::Scalar(static_cast<float>(total / n));
+  // loss_i = max(x,0) - x*y + log(1 + exp(-|x|)). The labels handle shares
+  // its caller's storage, so a program-bound labels tensor refreshes both
+  // this closure and the backward on replay.
+  auto compute = [logits, labels, n](Tensor& out) {
+    const float* x = logits.value().data();
+    const float* yl = labels.data();
+    double total = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      const float xi = x[i];
+      total += std::max(xi, 0.0f) - xi * yl[i] +
+               std::log1p(std::exp(-std::fabs(xi)));
+    }
+    out.data()[0] = static_cast<float>(total / n);
+  };
+  Tensor out = Tensor::Scalar(0.0f);
+  compute(out);
   return MakeOpVariable(
       std::move(out), {logits},
       [logits, labels, n](VarNode& node) {
@@ -665,7 +773,7 @@ Variable BCEWithLogits(const Variable& logits, const Tensor& labels) {
         }
         logits.node()->AccumulateGrad(std::move(gin));
       },
-      "BCEWithLogits");
+      "BCEWithLogits", detail::RecordedForward(compute));
 }
 
 }  // namespace unimatch::nn

@@ -1,0 +1,537 @@
+#include "src/nn/program.h"
+
+#if !defined(UNIMATCH_PROGRAM_CACHE_DISABLED)
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "src/nn/seq_ops.h"
+#include "src/obs/obs.h"
+#include "src/tensor/kernels.h"
+#include "src/util/logging.h"
+
+namespace unimatch::nn {
+
+namespace {
+
+// Recorder stack for the current thread. A vector (not a single pointer)
+// because the sharded training step records each shard's subgraph into its
+// own nested program while the outer step program is still open.
+thread_local std::vector<ProgramRecorder*> t_recorders;
+
+uint64_t Fnv1a(const void* bytes, size_t n, uint64_t h) {
+  const auto* p = static_cast<const unsigned char*>(bytes);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+ProgramKey ProgramKey::Make(std::string tag, std::vector<int64_t> fields) {
+  ProgramKey key;
+  key.tag = std::move(tag);
+  key.fields = std::move(fields);
+  uint64_t h = 1469598103934665603ull;
+  h = Fnv1a(key.tag.data(), key.tag.size(), h);
+  if (!key.fields.empty()) {
+    h = Fnv1a(key.fields.data(), key.fields.size() * sizeof(int64_t), h);
+  }
+  key.hash = h;
+  return key;
+}
+
+// ---------------------------------------------------------------------------
+// Program
+// ---------------------------------------------------------------------------
+
+void Program::BindInput(const std::string& name, const Tensor& src) {
+  for (auto& [slot_name, slot] : tensor_slots_) {
+    if (slot_name == name) {
+      slot.CopyFrom(src);  // shape-checked; storage shared with the graph
+      return;
+    }
+  }
+  UM_CHECK(false) << "Program::BindInput: no slot named '" << name << "'";
+}
+
+void Program::BindIds(const std::string& name,
+                      const std::vector<int64_t>& src) {
+  for (auto& [slot_name, slot] : id_slots_) {
+    if (slot_name == name) {
+      UM_CHECK_EQ(static_cast<int64_t>(slot->size()),
+                  static_cast<int64_t>(src.size()))
+          << "Program::BindIds '" << name << "': size is part of the cache "
+          << "key, a mismatch means the key fields are incomplete";
+      *slot = src;
+      return;
+    }
+  }
+  UM_CHECK(false) << "Program::BindIds: no slot named '" << name << "'";
+}
+
+void Program::ReplayForward() {
+  UM_CHECK(replayable_) << "replaying a fallback program (" << fallback_reason_
+                        << ")";
+  for (Step& step : steps_) {
+    if (step.fused_away) continue;
+    if (step.external) {
+      step.external();
+    } else {
+      step.forward(*step.node);
+    }
+  }
+}
+
+void Program::ResetGrads() {
+  for (Step& step : steps_) {
+    if (step.node) step.node->grad_defined = false;
+  }
+  for (auto& node : tracked_) node->grad_defined = false;
+}
+
+void Program::RunRecordedBackward() {
+  // The exact reverse walk RunBackward does, over the order captured at
+  // record time. The closures are the recorded nodes' own backward
+  // closures, so gradient arithmetic is bitwise identical to the tape.
+  for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
+    VarNode* node = *it;
+    if (node->backward && node->grad_defined) {
+      node->backward(*node);
+    }
+  }
+}
+
+void Program::ReplayStep() {
+  UM_CHECK(has_backward_) << "ReplayStep on a forward-only program";
+  ReplayForward();
+  ResetGrads();
+  if (root_->requires_grad) {
+    root_->AccumulateGrad(Tensor::Ones(root_->value.shape()));
+    RunRecordedBackward();
+  }
+  for (auto& fn : finish_backward_) fn();
+}
+
+void Program::ReplayBackwardFrom(const Tensor& seed) {
+  UM_CHECK(has_backward_) << "ReplayBackwardFrom on a forward-only program";
+  UM_CHECK(seed.same_shape(root_->value));
+  ResetGrads();
+  if (root_->requires_grad) {
+    // Handle copy shares the caller's storage, so AccumulateGrad takes the
+    // copying path and the caller's seed stays untouched (same as
+    // BackwardFrom).
+    root_->AccumulateGrad(Tensor(seed));
+    RunRecordedBackward();
+  }
+}
+
+int Program::FuseForInference() {
+  if (!replayable_ || has_backward_ || !finish_backward_.empty()) return 0;
+  for (const Step& step : steps_) {
+    if (step.external) return 0;
+    // A step with no visible edges could consume a chain node without the
+    // consumer counts seeing it; refuse to fuse rather than guess.
+    if (step.info.srcs.empty() && step.node->inputs.empty()) return 0;
+  }
+
+  std::unordered_map<const VarNode*, size_t> index;
+  for (size_t i = 0; i < steps_.size(); ++i) index[steps_[i].node.get()] = i;
+
+  std::unordered_map<const VarNode*, int> consumers;
+  for (const Step& step : steps_) {
+    if (!step.info.srcs.empty()) {
+      for (const auto& src : step.info.srcs) ++consumers[src.get()];
+    } else {
+      for (const auto& in : step.node->inputs) ++consumers[in.get()];
+    }
+  }
+
+  auto step_of = [&](const std::shared_ptr<VarNode>& n) -> Step* {
+    auto it = index.find(n.get());
+    return it == index.end() ? nullptr : &steps_[it->second];
+  };
+  auto single_consumer = [&](const std::shared_ptr<VarNode>& n) {
+    auto it = consumers.find(n.get());
+    return it != consumers.end() && it->second == 1;
+  };
+
+  int fused_steps = 0;
+
+  // Rule B: L2NormalizeRows(u) + L2NormalizeRows(i) -> RowwiseDot ->
+  // ScalarMul (the pair-scoring chain) becomes one per-row loop that
+  // normalizes both rows, takes the dot, then applies the original
+  // ScalarMul over the output — identical kernels in identical order, with
+  // one pass over the rows instead of four.
+  for (Step& step : steps_) {
+    if (step.fused_away || step.info.kind != ProgramOpKind::kScalarMul ||
+        step.info.srcs.size() != 1) {
+      continue;
+    }
+    Step* dot = step_of(step.info.srcs[0]);
+    if (!dot || dot->fused_away || dot->info.kind != ProgramOpKind::kRowwiseDot ||
+        dot->info.srcs.size() != 2 || !single_consumer(step.info.srcs[0])) {
+      continue;
+    }
+    Step* na = step_of(dot->info.srcs[0]);
+    Step* nb = step_of(dot->info.srcs[1]);
+    if (!na || !nb || na == nb || na->fused_away || nb->fused_away ||
+        na->info.kind != ProgramOpKind::kL2NormalizeRows ||
+        nb->info.kind != ProgramOpKind::kL2NormalizeRows ||
+        na->info.srcs.size() != 1 || nb->info.srcs.size() != 1 ||
+        !single_consumer(dot->info.srcs[0]) ||
+        !single_consumer(dot->info.srcs[1])) {
+      continue;
+    }
+    auto xa = na->info.srcs[0], xb = nb->info.srcs[0];
+    auto va = na->node, vb = nb->node;
+    const float eps_a = na->info.scalar, eps_b = nb->info.scalar;
+    const float scale = step.info.scalar;
+    step.forward = [xa, xb, va, vb, eps_a, eps_b, scale](VarNode& out) {
+      const int64_t m = va->value.dim(0), d = va->value.dim(1);
+      float* pa = va->value.data();
+      float* pb = vb->value.data();
+      const float* sa = xa->value.data();
+      const float* sb = xb->value.data();
+      float* po = out.value.data();
+      for (int64_t r = 0; r < m; ++r) {
+        kernels::L2NormalizeF32(d, sa + r * d, pa + r * d, eps_a);
+        kernels::L2NormalizeF32(d, sb + r * d, pb + r * d, eps_b);
+        po[r] = kernels::DotF32(pa + r * d, pb + r * d, d);
+      }
+      out.value.ScaleInPlace(scale);  // the original ScalarMul, verbatim
+    };
+    na->fused_away = nb->fused_away = dot->fused_away = true;
+    fused_steps += 3;
+  }
+
+  // Rule A: EmbeddingLookup -> L2NormalizeRows (the item-tower encode)
+  // normalizes straight out of the table row, skipping the gather copy.
+  // Pad rows: the lookup leaves them zero and a zero row normalizes to
+  // zero (norm clamps to eps, 0 * 1/eps == 0), so writing zeros directly
+  // is bitwise identical.
+  for (Step& step : steps_) {
+    if (step.fused_away ||
+        step.info.kind != ProgramOpKind::kL2NormalizeRows ||
+        step.info.srcs.size() != 1) {
+      continue;
+    }
+    Step* lookup = step_of(step.info.srcs[0]);
+    if (!lookup || lookup->fused_away ||
+        lookup->info.kind != ProgramOpKind::kEmbeddingLookup ||
+        !lookup->info.ids || lookup->info.srcs.size() != 1 ||
+        !single_consumer(step.info.srcs[0])) {
+      continue;
+    }
+    auto table = lookup->info.srcs[0];
+    auto ids = lookup->info.ids;
+    const float eps = step.info.scalar;
+    step.forward = [table, ids, eps](VarNode& out) {
+      const int64_t d = out.value.dim(1);
+      const int64_t v = table->value.dim(0);
+      const float* src = table->value.data();
+      float* dst = out.value.data();
+      const int64_t n = static_cast<int64_t>(ids->size());
+      for (int64_t r = 0; r < n; ++r) {
+        const int64_t id = (*ids)[r];
+        if (id == kPadId) {
+          std::fill(dst + r * d, dst + (r + 1) * d, 0.0f);
+          continue;
+        }
+        UM_CHECK_GE(id, 0);
+        UM_CHECK_LT(id, v);
+        kernels::L2NormalizeF32(d, src + id * d, dst + r * d, eps);
+      }
+    };
+    lookup->fused_away = true;
+    fused_steps += 1;
+  }
+
+  // Rule C: AddRowVector -> activation (the FFN bias + nonlinearity)
+  // becomes one elementwise pass. The sum is rounded to float before the
+  // activation in both forms, so the arithmetic is unchanged.
+  for (Step& step : steps_) {
+    const ProgramOpKind k = step.info.kind;
+    if (step.fused_away ||
+        (k != ProgramOpKind::kSigmoid && k != ProgramOpKind::kTanh &&
+         k != ProgramOpKind::kRelu) ||
+        step.info.srcs.size() != 1) {
+      continue;
+    }
+    Step* add = step_of(step.info.srcs[0]);
+    if (!add || add->fused_away ||
+        add->info.kind != ProgramOpKind::kAddRowVector ||
+        add->info.srcs.size() != 2 || !single_consumer(step.info.srcs[0])) {
+      continue;
+    }
+    auto x = add->info.srcs[0], v = add->info.srcs[1];
+    step.forward = [x, v, k](VarNode& out) {
+      const int64_t m = x->value.dim(0), n = x->value.dim(1);
+      const float* px = x->value.data();
+      const float* pv = v->value.data();
+      float* py = out.value.data();
+      for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+          const float t = px[i * n + j] + pv[j];
+          float y;
+          switch (k) {
+            case ProgramOpKind::kSigmoid:
+              y = t >= 0.0f ? 1.0f / (1.0f + std::exp(-t))
+                            : std::exp(t) / (1.0f + std::exp(t));
+              break;
+            case ProgramOpKind::kTanh:
+              y = std::tanh(t);
+              break;
+            default:
+              y = t > 0.0f ? t : 0.0f;
+              break;
+          }
+          py[i * n + j] = y;
+        }
+      }
+    };
+    add->fused_away = true;
+    fused_steps += 1;
+  }
+
+  fused_ += fused_steps;
+  return fused_steps;
+}
+
+// ---------------------------------------------------------------------------
+// ProgramRecorder
+// ---------------------------------------------------------------------------
+
+ProgramRecorder::ProgramRecorder() { t_recorders.push_back(this); }
+
+ProgramRecorder::~ProgramRecorder() {
+  UM_CHECK(!t_recorders.empty() && t_recorders.back() == this)
+      << "ProgramRecorder scopes must nest";
+  t_recorders.pop_back();
+}
+
+ProgramRecorder* ProgramRecorder::Active() {
+  return t_recorders.empty() ? nullptr : t_recorders.back();
+}
+
+const Tensor& ProgramRecorder::BindInput(const std::string& name,
+                                         const Tensor& src) {
+  program_->tensor_slots_.emplace_back(name, src.Clone());
+  return program_->tensor_slots_.back().second;
+}
+
+const std::vector<int64_t>& ProgramRecorder::BindIds(
+    const std::string& name, const std::vector<int64_t>& src) {
+  auto vec = std::make_shared<std::vector<int64_t>>(src);
+  program_->id_slots_.emplace_back(name, vec);
+  return *vec;
+}
+
+void ProgramRecorder::RegisterIdsAlias(
+    std::shared_ptr<std::vector<int64_t>> vec) {
+  id_aliases_.push_back(std::move(vec));
+}
+
+void ProgramRecorder::RecordExternalForward(std::function<void()> fn) {
+  if (!program_->replayable_) return;
+  Program::Step step;
+  step.external = std::move(fn);
+  program_->steps_.push_back(std::move(step));
+}
+
+void ProgramRecorder::RecordFinishBackward(std::function<void()> fn) {
+  if (!program_->replayable_) return;
+  program_->finish_backward_.push_back(std::move(fn));
+}
+
+void ProgramRecorder::TrackNode(std::shared_ptr<VarNode> node) {
+  program_->tracked_.push_back(std::move(node));
+}
+
+void ProgramRecorder::MarkFallback(const char* why) {
+  if (!program_->replayable_) return;  // first reason wins
+  program_->replayable_ = false;
+  program_->fallback_reason_ = why;
+  program_->steps_.clear();  // a tombstone never replays; drop the closures
+  program_->finish_backward_.clear();
+  UM_COUNTER_INC("exec.program.fallbacks");
+}
+
+std::shared_ptr<Program> ProgramRecorder::Finish(const Variable& root) {
+  UM_CHECK(!finished_);
+  finished_ = true;
+  UM_CHECK(root.defined());
+  program_->root_ = root.node();
+  program_->has_backward_ = true;
+  if (program_->replayable_ && root.node()->requires_grad) {
+    detail::TopoSort(root.node().get(), &program_->topo_);
+  }
+  return program_;
+}
+
+std::shared_ptr<Program> ProgramRecorder::FinishForward(const Variable& root) {
+  UM_CHECK(!finished_);
+  finished_ = true;
+  UM_CHECK(root.defined());
+  program_->root_ = root.node();
+  program_->has_backward_ = false;
+  return program_;
+}
+
+void ProgramRecorder::RecordOp(std::shared_ptr<VarNode> node,
+                               std::function<void(VarNode&)> forward) {
+  if (!program_->replayable_) return;
+  if (!forward) {
+    MarkFallback("op without replay closure");
+    return;
+  }
+  Program::Step step;
+  step.node = std::move(node);
+  step.forward = std::move(forward);
+  program_->steps_.push_back(std::move(step));
+}
+
+void ProgramRecorder::RecordOpaque(const char* op_name) { MarkFallback(op_name); }
+
+void ProgramRecorder::Annotate(const VarNode* node, ProgramOpInfo info) {
+  if (!program_->replayable_) return;
+  // The annotated op is the one just recorded; search from the back.
+  for (auto it = program_->steps_.rbegin(); it != program_->steps_.rend();
+       ++it) {
+    if (it->node.get() == node) {
+      it->info = std::move(info);
+      return;
+    }
+  }
+}
+
+std::shared_ptr<const std::vector<int64_t>> ProgramRecorder::LookupIdsSlot(
+    const std::vector<int64_t>& v) const {
+  for (const auto& [name, slot] : program_->id_slots_) {
+    if (slot.get() == &v) return slot;
+  }
+  for (const auto& alias : id_aliases_) {
+    if (alias.get() == &v) return alias;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// ProgramCache
+// ---------------------------------------------------------------------------
+
+ProgramCache::ProgramCache(size_t capacity) : capacity_(capacity) {
+  UM_CHECK_GT(capacity_, 0u);
+}
+
+std::shared_ptr<Program> ProgramCache::Lookup(const ProgramKey& key) {
+  std::shared_ptr<Program> found;
+  {
+    MutexLock lock(&mu_);
+    ++tick_;
+    for (Entry& entry : entries_) {
+      if (entry.key == key) {
+        entry.tick = tick_;
+        found = entry.program;
+        break;
+      }
+    }
+    if (found) {
+      ++stats_.hits;
+    } else {
+      ++stats_.misses;
+    }
+  }
+  // Counters outside the lock: kProgramCache ranks above kObsMetrics, so
+  // the registry must not be touched while mu_ is held.
+  if (found) {
+    UM_COUNTER_INC("exec.program.hits");
+  } else {
+    UM_COUNTER_INC("exec.program.misses");
+  }
+  return found;
+}
+
+void ProgramCache::Insert(const ProgramKey& key,
+                          std::shared_ptr<Program> program) {
+  UM_CHECK(program != nullptr);
+  bool evicted = false;
+  // Displaced programs are destroyed strictly after mu_ is released: tearing
+  // one down returns its tensors to the BufferPool, whose lock ranks below
+  // kProgramCache.
+  std::shared_ptr<Program> displaced;
+  {
+    MutexLock lock(&mu_);
+    ++tick_;
+    ++stats_.inserts;
+    bool replaced = false;
+    for (Entry& entry : entries_) {
+      if (entry.key == key) {
+        displaced = std::move(entry.program);
+        entry.program = std::move(program);
+        entry.tick = tick_;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) {
+      if (entries_.size() >= capacity_) {
+        size_t lru = 0;
+        for (size_t i = 1; i < entries_.size(); ++i) {
+          if (entries_[i].tick < entries_[lru].tick) lru = i;
+        }
+        displaced = std::move(entries_[lru].program);
+        entries_.erase(entries_.begin() + static_cast<int64_t>(lru));
+        ++stats_.evictions;
+        evicted = true;
+      }
+      entries_.push_back(Entry{key, std::move(program), tick_});
+    }
+  }
+  UM_COUNTER_INC("exec.program.inserts");
+  if (evicted) UM_COUNTER_INC("exec.program.evictions");
+}
+
+ProgramCache::Stats ProgramCache::stats() const {
+  MutexLock lock(&mu_);
+  return stats_;
+}
+
+size_t ProgramCache::size() const {
+  MutexLock lock(&mu_);
+  return entries_.size();
+}
+
+// ---------------------------------------------------------------------------
+// detail
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+bool RecordingActive() { return !t_recorders.empty(); }
+
+std::shared_ptr<const std::vector<int64_t>> CaptureIds(
+    const std::vector<int64_t>& ids) {
+  if (ProgramRecorder* rec = ProgramRecorder::Active()) {
+    if (auto slot = rec->LookupIdsSlot(ids)) return slot;
+    // An id vector the program cannot refresh on replay: the recording
+    // would replay with stale indices, so it must stay on the tape.
+    rec->MarkFallback("unbound ids");
+  }
+  return std::make_shared<const std::vector<int64_t>>(ids);
+}
+
+void AnnotateOp(const Variable& v, ProgramOpInfo info) {
+  if (ProgramRecorder* rec = ProgramRecorder::Active()) {
+    rec->Annotate(v.node().get(), std::move(info));
+  }
+}
+
+}  // namespace detail
+
+}  // namespace unimatch::nn
+
+#endif  // UNIMATCH_PROGRAM_CACHE_DISABLED

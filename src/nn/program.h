@@ -1,0 +1,389 @@
+// Recorded-graph executor: capture one tape pass into an immutable Program
+// and replay it for every later step with the same shape key.
+//
+// The dynamic tape in variable.cc stays the single source of truth for
+// semantics: recording IS a tape step. While a ProgramRecorder is active on
+// the current thread, every converted op (ops.cc / seq_ops.cc) hands
+// MakeOpVariable a forward closure that recomputes the op's value in place
+// into the retained VarNode, and the recorder collects (node, closure)
+// pairs in creation order plus the tape's own topological order at Finish.
+// Replaying a Program then means:
+//
+//   forward:  run the forward closures in creation order (values are
+//             rewritten in place; input slots were refreshed by Bind*);
+//   backward: reset grad_defined on the recorded nodes, seed the root with
+//             ones and run the *recorded* backward closures in the recorded
+//             reverse-topological order — the exact walk RunBackward would
+//             do, minus the re-sort, minus any node allocation.
+//
+// Because replay runs the same closures over the same buffers in the same
+// order, a replayed step is bitwise identical to the tape step that
+// recorded it. Anything the recorder cannot prove replayable (an op without
+// a forward closure — dropout's RNG, the RNN/attention stack — or an id
+// vector that was never bound through the recorder) marks the program
+// non-replayable; the cache keeps it as a tombstone and callers stay on the
+// tape. See DESIGN.md §11 for the lifecycle, key definition and fusion
+// legality rules.
+//
+// Compiled out with -DUNIMATCH_PROGRAM_CACHE_DISABLED (the
+// UNIMATCH_PROGRAM_CACHE=OFF CMake option): the classes below collapse to
+// inert stubs, RecordingActive() is constexpr false, and every call site
+// dead-code-eliminates back to the plain tape path.
+
+#ifndef UNIMATCH_NN_PROGRAM_H_
+#define UNIMATCH_NN_PROGRAM_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/nn/variable.h"
+#include "src/util/mutex.h"
+
+namespace unimatch::nn {
+
+#if defined(UNIMATCH_PROGRAM_CACHE_DISABLED)
+inline constexpr bool kProgramCacheEnabled = false;
+#else
+inline constexpr bool kProgramCacheEnabled = true;
+#endif
+
+/// Cache key: a tag naming the recorded region plus the integer fields that
+/// determine the op sequence and every shape in it (loss kind, batch size,
+/// sequence length, negative count, ...). Lookup compares the 64-bit hash
+/// first and falls back to full field equality, so hash collisions can
+/// never alias two different programs.
+struct ProgramKey {
+  std::string tag;
+  std::vector<int64_t> fields;
+  uint64_t hash = 0;
+
+  static ProgramKey Make(std::string tag, std::vector<int64_t> fields);
+  bool operator==(const ProgramKey& other) const {
+    return hash == other.hash && tag == other.tag && fields == other.fields;
+  }
+};
+
+/// Which fusable op a recorded step is, plus the operands the fused kernels
+/// need. Ops annotate themselves at record time (detail::AnnotateOp); the
+/// fusion pass matches chains on these instead of node->inputs so graph
+/// pruning below non-differentiable ops cannot hide an edge.
+enum class ProgramOpKind {
+  kOther = 0,
+  kEmbeddingLookup,
+  kL2NormalizeRows,
+  kRowwiseDot,
+  kScalarMul,
+  kAddRowVector,
+  kSigmoid,
+  kTanh,
+  kRelu,
+};
+
+struct ProgramOpInfo {
+  ProgramOpKind kind = ProgramOpKind::kOther;
+  /// ScalarMul's multiplier / L2NormalizeRows' eps.
+  float scalar = 0.0f;
+  /// EmbeddingLookup's (program-owned) id vector.
+  std::shared_ptr<const std::vector<int64_t>> ids;
+  /// The op's operand nodes, in op-argument order.
+  std::vector<std::shared_ptr<VarNode>> srcs;
+};
+
+#if !defined(UNIMATCH_PROGRAM_CACHE_DISABLED)
+
+/// An immutable recorded forward(/backward) pass. Owns its nodes, its input
+/// slots and (for sharded steps) the external stage closures; the model
+/// whose parameter nodes the closures read must outlive the program.
+/// Not thread-safe: replay mutates the retained node buffers, so a given
+/// Program must only be replayed by one thread at a time.
+class Program {
+ public:
+  bool replayable() const { return replayable_; }
+  const std::string& fallback_reason() const { return fallback_reason_; }
+
+  /// Refreshes a tensor input slot created by ProgramRecorder::BindInput
+  /// (copies `src` into the program-owned storage every closure reads).
+  void BindInput(const std::string& name, const Tensor& src);
+  /// Refreshes an id input slot created by ProgramRecorder::BindIds.
+  void BindIds(const std::string& name, const std::vector<int64_t>& src);
+
+  const Tensor& root_value() const { return root_->value; }
+
+  /// Runs the forward closures (and external forward stages) in recorded
+  /// order, rewriting every node value in place.
+  void ReplayForward();
+  /// Full training step: forward, grad reset, seed the scalar root with
+  /// ones, recorded-order backward, then the finish-backward hooks.
+  void ReplayStep();
+  /// Backward-only continuation for shard programs: resets grads, seeds the
+  /// (non-scalar) root with `seed` and replays the recorded backward walk.
+  void ReplayBackwardFrom(const Tensor& seed);
+
+  /// Rewrites the known hot chains (lookup->l2norm, l2norm x2 ->
+  /// rowwise-dot -> scale, bias -> activation) into single fused closures.
+  /// Legal only for inference programs — training replay needs every
+  /// intermediate value for the backward closures — so this refuses (and
+  /// stays exact) when the program has a backward walk or external stages.
+  /// Returns the number of steps fused away.
+  int FuseForInference();
+
+  int64_t num_ops() const { return static_cast<int64_t>(steps_.size()); }
+  int64_t num_fused() const { return fused_; }
+
+ private:
+  friend class ProgramRecorder;
+
+  struct Step {
+    std::shared_ptr<VarNode> node;              // null for external stages
+    std::function<void(VarNode&)> forward;      // op replay closure
+    std::function<void()> external;             // external stage closure
+    ProgramOpInfo info;
+    bool fused_away = false;
+  };
+
+  void ResetGrads();
+  void RunRecordedBackward();
+
+  std::vector<Step> steps_;                       // creation order
+  std::vector<std::shared_ptr<VarNode>> tracked_; // extra leaves to grad-reset
+  std::vector<VarNode*> topo_;                    // recorded backward order
+  std::vector<std::function<void()>> finish_backward_;
+  std::shared_ptr<VarNode> root_;
+  // Named input slots. The deque gives the Tensor handles stable addresses
+  // across BindInput calls at record time; the id vectors live behind
+  // shared_ptrs for the same reason (CaptureIds resolves them by address).
+  std::deque<std::pair<std::string, Tensor>> tensor_slots_;
+  std::vector<std::pair<std::string, std::shared_ptr<std::vector<int64_t>>>>
+      id_slots_;
+  bool replayable_ = true;
+  bool has_backward_ = false;
+  std::string fallback_reason_;
+  int64_t fused_ = 0;
+};
+
+/// RAII recorder. Constructing one pushes it onto a thread-local stack (the
+/// top is what MakeOpVariable notifies), so a sharded step can record each
+/// shard subgraph into its own nested Program. Destruction pops.
+class ProgramRecorder {
+ public:
+  ProgramRecorder();
+  ~ProgramRecorder();
+  ProgramRecorder(const ProgramRecorder&) = delete;
+  ProgramRecorder& operator=(const ProgramRecorder&) = delete;
+
+  /// The recorder ops on the current thread should report to (stack top),
+  /// or nullptr when nothing is recording.
+  static ProgramRecorder* Active();
+
+  /// Creates a program-owned clone of `src` and returns it; pass the
+  /// returned reference into the recorded ops so their closures read the
+  /// slot that Program::BindInput refreshes on replay.
+  const Tensor& BindInput(const std::string& name, const Tensor& src);
+  /// Same for id/length vectors (consumed via detail::CaptureIds).
+  const std::vector<int64_t>& BindIds(const std::string& name,
+                                      const std::vector<int64_t>& src);
+  /// Registers an externally-owned stable vector (e.g. a shard's length
+  /// slice refreshed by an external stage) so CaptureIds resolves it
+  /// instead of declaring the program non-replayable.
+  void RegisterIdsAlias(std::shared_ptr<std::vector<int64_t>> vec);
+
+  /// Records a closure that replays a stage the op layer cannot express
+  /// (the sharded gather + per-shard forward), in order with the op steps.
+  void RecordExternalForward(std::function<void()> fn);
+  /// Records a hook ReplayStep runs after the backward walk (per-shard
+  /// backward + embedding scatter).
+  void RecordFinishBackward(std::function<void()> fn);
+  /// Tracks a leaf created during recording (shard head/seq) whose
+  /// gradient must be reset before each backward replay.
+  void TrackNode(std::shared_ptr<VarNode> node);
+
+  /// Declares the recording non-replayable (dropout, unconverted op,
+  /// unbound ids). Recording continues — the step is still a correct tape
+  /// step — but Finish returns a tombstone.
+  void MarkFallback(const char* why);
+
+  /// Seals the recording rooted at `root`. Captures the tape's topological
+  /// order for backward replay (training programs).
+  std::shared_ptr<Program> Finish(const Variable& root);
+  /// Seals a forward-only (inference) recording.
+  std::shared_ptr<Program> FinishForward(const Variable& root);
+
+  // ----- called from the op layer (via MakeOpVariable / detail) -----
+  void RecordOp(std::shared_ptr<VarNode> node,
+                std::function<void(VarNode&)> forward);
+  void RecordOpaque(const char* op_name);
+  void Annotate(const VarNode* node, ProgramOpInfo info);
+  /// The program-owned vector registered at `&v`, or null when `v` was
+  /// never bound through this recorder.
+  std::shared_ptr<const std::vector<int64_t>> LookupIdsSlot(
+      const std::vector<int64_t>& v) const;
+
+ private:
+  std::shared_ptr<Program> program_ = std::make_shared<Program>();
+  // Record-time only: externally-owned vectors CaptureIds may resolve.
+  std::vector<std::shared_ptr<std::vector<int64_t>>> id_aliases_;
+  bool finished_ = false;
+};
+
+/// Shape-keyed LRU cache of recorded programs. Lookup/Insert are guarded by
+/// an annotated mutex (lockrank::kProgramCache — above the obs ranks, which
+/// is why the exec.program.* counters are emitted strictly outside the
+/// critical section). Replaying a returned program is NOT covered by this
+/// lock; callers serialize replay themselves (the trainer is
+/// single-threaded, the model holds its inference-exec mutex).
+class ProgramCache {
+ public:
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t inserts = 0;
+    int64_t evictions = 0;
+  };
+
+  explicit ProgramCache(size_t capacity = 32);
+
+  /// The cached program for `key` (hit) or nullptr (miss). A non-replayable
+  /// tombstone counts as a hit — it is the cache remembering "use the tape".
+  std::shared_ptr<Program> Lookup(const ProgramKey& key);
+  void Insert(const ProgramKey& key, std::shared_ptr<Program> program);
+
+  Stats stats() const;
+  size_t size() const;
+
+ private:
+  struct Entry {
+    ProgramKey key;
+    std::shared_ptr<Program> program;
+    uint64_t tick = 0;
+  };
+
+  mutable Mutex mu_{lockrank::kProgramCache, "nn.program_cache"};
+  std::vector<Entry> entries_ UM_GUARDED_BY(mu_);
+  size_t capacity_;
+  uint64_t tick_ UM_GUARDED_BY(mu_) = 0;
+  Stats stats_ UM_GUARDED_BY(mu_);
+};
+
+namespace detail {
+
+bool RecordingActive();
+
+/// Wraps an op's compute lambda into the forward-replay closure, or returns
+/// an empty function when nothing is recording — the pure tape path never
+/// pays the std::function allocation.
+template <typename F>
+std::function<void(VarNode&)> RecordedForward(F&& compute) {
+  if (!RecordingActive()) return {};
+  // `mutable` so compute lambdas that refresh captured aux tensors (e.g.
+  // L2NormalizeRows' norms) are invocable.
+  return [c = std::forward<F>(compute)](VarNode& node) mutable {
+    c(node.value);
+  };
+}
+
+/// How ops capture id/length vectors: resolves `ids` against the active
+/// recorder's bound slots (so replay sees refreshed values) or, with no
+/// recorder, snapshots a private copy (the old capture-by-value behavior).
+/// A recorder that cannot resolve `ids` marks the program non-replayable.
+std::shared_ptr<const std::vector<int64_t>> CaptureIds(
+    const std::vector<int64_t>& ids);
+
+/// Annotates the op node backing `v` for the fusion pass (no-op unless
+/// recording).
+void AnnotateOp(const Variable& v, ProgramOpInfo info);
+
+}  // namespace detail
+
+#else  // UNIMATCH_PROGRAM_CACHE_DISABLED
+
+// Inert stubs: same API surface, no recording machinery. Call sites guard
+// with kProgramCacheEnabled, so none of these ever run in a configured-off
+// build — they only need to compile.
+class Program {
+ public:
+  bool replayable() const { return false; }
+  const std::string& fallback_reason() const { return reason_; }
+  void BindInput(const std::string&, const Tensor&) {}
+  void BindIds(const std::string&, const std::vector<int64_t>&) {}
+  const Tensor& root_value() const { return none_; }
+  void ReplayForward() {}
+  void ReplayStep() {}
+  void ReplayBackwardFrom(const Tensor&) {}
+  int FuseForInference() { return 0; }
+  int64_t num_ops() const { return 0; }
+  int64_t num_fused() const { return 0; }
+
+ private:
+  std::string reason_ = "program cache compiled out";
+  Tensor none_;
+};
+
+class ProgramRecorder {
+ public:
+  static ProgramRecorder* Active() { return nullptr; }
+  const Tensor& BindInput(const std::string&, const Tensor& src) {
+    return src;
+  }
+  const std::vector<int64_t>& BindIds(const std::string&,
+                                      const std::vector<int64_t>& src) {
+    return src;
+  }
+  void RegisterIdsAlias(std::shared_ptr<std::vector<int64_t>>) {}
+  void RecordExternalForward(std::function<void()>) {}
+  void RecordFinishBackward(std::function<void()>) {}
+  void TrackNode(std::shared_ptr<VarNode>) {}
+  void MarkFallback(const char*) {}
+  std::shared_ptr<Program> Finish(const Variable&) { return nullptr; }
+  std::shared_ptr<Program> FinishForward(const Variable&) { return nullptr; }
+  void RecordOp(std::shared_ptr<VarNode>, std::function<void(VarNode&)>) {}
+  void RecordOpaque(const char*) {}
+  void Annotate(const VarNode*, ProgramOpInfo) {}
+  std::shared_ptr<const std::vector<int64_t>> LookupIdsSlot(
+      const std::vector<int64_t>&) const {
+    return nullptr;
+  }
+};
+
+class ProgramCache {
+ public:
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t inserts = 0;
+    int64_t evictions = 0;
+  };
+  explicit ProgramCache(size_t = 32) {}
+  std::shared_ptr<Program> Lookup(const ProgramKey&) { return nullptr; }
+  void Insert(const ProgramKey&, std::shared_ptr<Program>) {}
+  Stats stats() const { return {}; }
+  size_t size() const { return 0; }
+};
+
+namespace detail {
+
+inline constexpr bool RecordingActive() { return false; }
+
+template <typename F>
+std::function<void(VarNode&)> RecordedForward(F&&) {
+  return {};
+}
+
+inline std::shared_ptr<const std::vector<int64_t>> CaptureIds(
+    const std::vector<int64_t>& ids) {
+  return std::make_shared<const std::vector<int64_t>>(ids);
+}
+
+inline void AnnotateOp(const Variable&, ProgramOpInfo) {}
+
+}  // namespace detail
+
+#endif  // UNIMATCH_PROGRAM_CACHE_DISABLED
+
+}  // namespace unimatch::nn
+
+#endif  // UNIMATCH_NN_PROGRAM_H_

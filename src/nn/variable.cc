@@ -1,6 +1,9 @@
 #include "src/nn/variable.h"
 
 #include <unordered_set>
+#include <utility>
+
+#include "src/nn/program.h"
 
 namespace unimatch::nn {
 
@@ -48,9 +51,11 @@ void Variable::ZeroGrad() {
   node_->backward = nullptr;
 }
 
-Variable MakeOpVariable(Tensor value, std::vector<Variable> inputs,
-                        std::function<void(VarNode&)> backward,
-                        const char* op_name) {
+namespace {
+
+Variable MakeOpVariableImpl(Tensor value, std::vector<Variable>& inputs,
+                            std::function<void(VarNode&)>& backward,
+                            const char* op_name) {
   auto node = std::make_shared<VarNode>();
   node->value = std::move(value);
   node->op = op_name;
@@ -70,7 +75,37 @@ Variable MakeOpVariable(Tensor value, std::vector<Variable> inputs,
   return Variable(std::move(node));
 }
 
-namespace {
+}  // namespace
+
+Variable MakeOpVariable(Tensor value, std::vector<Variable> inputs,
+                        std::function<void(VarNode&)> backward,
+                        const char* op_name) {
+  Variable v = MakeOpVariableImpl(std::move(value), inputs, backward, op_name);
+  if (kProgramCacheEnabled) {
+    if (ProgramRecorder* rec = ProgramRecorder::Active()) {
+      // No replay closure: this op only exists on the tape, so any
+      // recording that reaches it must keep using the tape.
+      rec->RecordOpaque(op_name);
+      rec->RecordOp(v.node(), nullptr);
+    }
+  }
+  return v;
+}
+
+Variable MakeOpVariable(Tensor value, std::vector<Variable> inputs,
+                        std::function<void(VarNode&)> backward,
+                        const char* op_name,
+                        std::function<void(VarNode&)> forward) {
+  Variable v = MakeOpVariableImpl(std::move(value), inputs, backward, op_name);
+  if (kProgramCacheEnabled) {
+    if (ProgramRecorder* rec = ProgramRecorder::Active()) {
+      rec->RecordOp(v.node(), std::move(forward));
+    }
+  }
+  return v;
+}
+
+namespace detail {
 
 // Iterative post-order DFS (avoids stack overflow on deep RNN graphs).
 void TopoSort(VarNode* root, std::vector<VarNode*>* order) {
@@ -97,13 +132,13 @@ void TopoSort(VarNode* root, std::vector<VarNode*>* order) {
   }
 }
 
-}  // namespace
+}  // namespace detail
 
 namespace {
 
 void RunBackward(VarNode* root_node, Tensor&& seed) {
   std::vector<VarNode*> order;
-  TopoSort(root_node, &order);
+  detail::TopoSort(root_node, &order);
 
   root_node->AccumulateGrad(std::move(seed));
 

@@ -22,21 +22,29 @@
 // a lock may only acquire strictly-higher ranks, and equal ranks only with
 // an ascending per-mutex order token — the HNSW per-node locks):
 //
-//   rank | constant               | mutex
-//   -----+------------------------+-------------------------------------
-//    10  | lockrank::kThreadPool  | util/threadpool queue mutex
-//    20  | lockrank::kBufferPool  | tensor/storage free-list mutex
-//    30  | lockrank::kPrefetcher  | data/prefetcher staging mutex
-//    40  | lockrank::kHnswEntry   | ann/hnsw entry-point mutex
-//    41  | lockrank::kHnswNode    | ann/hnsw per-node locks (order = node)
-//    50  | lockrank::kFrontend    | serving/frontend admission queue
-//    60  | lockrank::kObsTrace    | obs/trace event ring
-//    61  | lockrank::kObsMetrics  | obs/metrics registry
+//   rank | constant                | mutex
+//   -----+-------------------------+------------------------------------
+//     5  | lockrank::kProgramExec  | model inference program execution
+//    10  | lockrank::kThreadPool   | util/threadpool queue mutex
+//    20  | lockrank::kBufferPool   | tensor/storage free-list mutex
+//    30  | lockrank::kPrefetcher   | data/prefetcher staging mutex
+//    40  | lockrank::kHnswEntry    | ann/hnsw entry-point mutex
+//    41  | lockrank::kHnswNode     | ann/hnsw per-node locks (order = node)
+//    50  | lockrank::kFrontend     | serving/frontend admission queue
+//    60  | lockrank::kObsTrace     | obs/trace event ring
+//    61  | lockrank::kObsMetrics   | obs/metrics registry
+//    70  | lockrank::kProgramCache | nn/program cache map
 //
 // The order follows the dependency layering (DESIGN.md §7): lower layers
 // never call back up into higher ones while holding their lock, and any
-// layer may emit obs metrics while locked (obs ranks highest). How to pick
-// a rank for a new lock: docs/STATIC_ANALYSIS.md §Thread-safety analysis.
+// layer may emit obs metrics while locked (obs ranks highest, except the
+// program-cache map lock, whose critical sections touch nothing but the
+// entry vector — exec.program.* counters are emitted after release).
+// kProgramExec ranks *lowest* because replaying a recorded program does
+// everything a model forward does — submits thread-pool work, allocates
+// through the buffer pool, emits metrics — so the exec lock must be
+// acquirable before all of those. How to pick a rank for a new lock:
+// docs/STATIC_ANALYSIS.md §Thread-safety analysis.
 
 #ifndef UNIMATCH_UTIL_MUTEX_H_
 #define UNIMATCH_UTIL_MUTEX_H_
@@ -54,6 +62,7 @@ namespace lockrank {
 
 // Keep this list in sync with the table above and the one in
 // docs/STATIC_ANALYSIS.md. Gaps are deliberate headroom for new locks.
+inline constexpr int kProgramExec = 5;
 inline constexpr int kThreadPool = 10;
 inline constexpr int kBufferPool = 20;
 inline constexpr int kPrefetcher = 30;
@@ -62,6 +71,7 @@ inline constexpr int kHnswNode = 41;
 inline constexpr int kFrontend = 50;
 inline constexpr int kObsTrace = 60;
 inline constexpr int kObsMetrics = 61;
+inline constexpr int kProgramCache = 70;
 
 }  // namespace lockrank
 

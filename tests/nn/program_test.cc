@@ -1,0 +1,258 @@
+// Unit tests for the recorded-graph executor (src/nn/program.h): cache key
+// semantics, LRU eviction, tombstone behavior, record/replay bitwise parity
+// for forward and full training steps, and the inference fusion pass.
+
+#include "src/nn/program.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/nn/ops.h"
+#include "src/nn/seq_ops.h"
+#include "src/nn/variable.h"
+
+namespace unimatch::nn {
+namespace {
+
+bool BitwiseEqual(const Tensor& a, const Tensor& b) {
+  if (!a.same_shape(b)) return false;
+  return std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+TEST(ProgramKeyTest, EqualFieldsCompareEqual) {
+  const ProgramKey a = ProgramKey::Make("train.step", {1, 64, 20});
+  const ProgramKey b = ProgramKey::Make("train.step", {1, 64, 20});
+  EXPECT_EQ(a.hash, b.hash);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(ProgramKeyTest, DifferentFieldsOrTagCompareUnequal) {
+  const ProgramKey a = ProgramKey::Make("train.step", {1, 64, 20});
+  EXPECT_FALSE(a == ProgramKey::Make("train.step", {1, 32, 20}));
+  EXPECT_FALSE(a == ProgramKey::Make("infer.user", {1, 64, 20}));
+}
+
+TEST(ProgramKeyTest, HashCollisionCannotAliasPrograms) {
+  // Equality compares the full key, not just the hash, so even a forged
+  // collision keeps the entries distinct.
+  ProgramKey a = ProgramKey::Make("t", {1});
+  ProgramKey b = ProgramKey::Make("t", {2});
+  b.hash = a.hash;
+  EXPECT_FALSE(a == b);
+}
+
+std::shared_ptr<Program> RecordTinyForward(float x0) {
+  ProgramRecorder rec;
+  const Tensor& slot = rec.BindInput("x", Tensor::Full({2, 3}, x0));
+  Variable x = Constant(slot);
+  Variable y = Sigmoid(ScalarMul(x, 2.0f));
+  return rec.FinishForward(y);
+}
+
+TEST(ProgramCacheTest, LookupMissThenHit) {
+  ProgramCache cache(4);
+  const ProgramKey key = ProgramKey::Make("t", {1});
+  EXPECT_EQ(cache.Lookup(key), nullptr);
+  cache.Insert(key, RecordTinyForward(0.5f));
+  EXPECT_NE(cache.Lookup(key), nullptr);
+  const ProgramCache::Stats s = cache.stats();
+  EXPECT_EQ(s.misses, 1);
+  EXPECT_EQ(s.hits, 1);
+  EXPECT_EQ(s.inserts, 1);
+  EXPECT_EQ(s.evictions, 0);
+}
+
+TEST(ProgramCacheTest, EvictsLeastRecentlyUsed) {
+  ProgramCache cache(2);
+  const ProgramKey k1 = ProgramKey::Make("t", {1});
+  const ProgramKey k2 = ProgramKey::Make("t", {2});
+  const ProgramKey k3 = ProgramKey::Make("t", {3});
+  cache.Insert(k1, RecordTinyForward(0.1f));
+  cache.Insert(k2, RecordTinyForward(0.2f));
+  // Touch k1 so k2 becomes the LRU entry, then overflow.
+  EXPECT_NE(cache.Lookup(k1), nullptr);
+  cache.Insert(k3, RecordTinyForward(0.3f));
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.Lookup(k1), nullptr);
+  EXPECT_EQ(cache.Lookup(k2), nullptr);
+  EXPECT_NE(cache.Lookup(k3), nullptr);
+}
+
+TEST(ProgramCacheTest, TombstoneCountsAsHit) {
+  ProgramCache cache(4);
+  const ProgramKey key = ProgramKey::Make("t", {7});
+  std::shared_ptr<Program> tomb;
+  {
+    ProgramRecorder rec;
+    Variable x(Tensor::Full({2, 2}, 1.0f), true);
+    Rng rng(3);
+    Variable y = Sum(Dropout(x, 0.5f, &rng));  // opaque: marks fallback
+    tomb = rec.Finish(y);
+  }
+  ASSERT_NE(tomb, nullptr);
+  EXPECT_FALSE(tomb->replayable());
+  EXPECT_FALSE(tomb->fallback_reason().empty());
+  cache.Insert(key, tomb);
+  std::shared_ptr<Program> got = cache.Lookup(key);
+  ASSERT_NE(got, nullptr);
+  EXPECT_FALSE(got->replayable());
+  EXPECT_EQ(cache.stats().hits, 1);
+}
+
+TEST(ProgramTest, ForwardReplayIsBitwiseIdenticalToTape) {
+  std::shared_ptr<Program> program;
+  {
+    ProgramRecorder rec;
+    const Tensor& slot = rec.BindInput("x", Tensor::Full({3, 4}, 0.25f));
+    Variable x = Constant(slot);
+    Variable y = L2NormalizeRows(Tanh(ScalarMul(x, 3.0f)));
+    program = rec.FinishForward(y);
+  }
+  ASSERT_TRUE(program->replayable()) << program->fallback_reason();
+  Rng rng(11);
+  for (int step = 0; step < 3; ++step) {
+    const Tensor input = Tensor::Randn({3, 4}, 1.0f, &rng);
+    const Variable expected =
+        L2NormalizeRows(Tanh(ScalarMul(Constant(input.Clone()), 3.0f)));
+    program->BindInput("x", input);
+    program->ReplayForward();
+    EXPECT_TRUE(BitwiseEqual(program->root_value(), expected.value()))
+        << "replay " << step << " diverged from the tape";
+  }
+}
+
+// A full training step: same parameter initialization on two arms, one pure
+// tape, one record-then-replay. Losses, gradients, and updated weights must
+// match bitwise on every step.
+TEST(ProgramTest, TrainingReplayMatchesTapeBitwise) {
+  const int64_t v = 12, d = 6;
+  Rng init(5);
+  const Tensor w0 = Tensor::Randn({v, d}, 0.5f, &init);
+  Variable w_tape(w0.Clone(), true);
+  Variable w_prog(w0.Clone(), true);
+
+  auto tape_step = [&](Variable& table, const std::vector<int64_t>& ids) {
+    Variable emb = EmbeddingLookup(table, ids);
+    return Mean(Sigmoid(L2NormalizeRows(emb)));
+  };
+
+  std::shared_ptr<Program> program;
+  Rng rng(21);
+  for (int step = 0; step < 4; ++step) {
+    std::vector<int64_t> ids(8);
+    for (auto& id : ids) id = static_cast<int64_t>(rng.Uniform(v));
+    Tensor loss_tape;
+    {  // reference arm
+      Variable loss = tape_step(w_tape, ids);
+      Backward(loss);
+      loss_tape = loss.value().Clone();
+    }
+    if (program == nullptr) {  // record step (also a tape step)
+      ProgramRecorder rec;
+      const std::vector<int64_t>& slot = rec.BindIds("ids", ids);
+      Variable loss = tape_step(w_prog, slot);
+      program = rec.Finish(loss);
+      ASSERT_TRUE(program->replayable()) << program->fallback_reason();
+      Backward(loss);
+    } else {  // replay
+      program->BindIds("ids", ids);
+      program->ReplayStep();
+    }
+    EXPECT_TRUE(BitwiseEqual(program->root_value(), loss_tape))
+        << "loss diverged at step " << step;
+    ASSERT_TRUE(w_tape.grad_defined());
+    ASSERT_TRUE(w_prog.grad_defined());
+    EXPECT_TRUE(BitwiseEqual(w_tape.grad(), w_prog.grad()))
+        << "gradient diverged at step " << step;
+    // Hand-rolled SGD apply, then param reset, as the trainer would do.
+    w_tape.mutable_value().AddInPlace(w_tape.grad(), -0.1f);
+    w_prog.mutable_value().AddInPlace(w_prog.grad(), -0.1f);
+    w_tape.ZeroGrad();
+    w_prog.ZeroGrad();
+    EXPECT_TRUE(BitwiseEqual(w_tape.value(), w_prog.value()))
+        << "weights diverged at step " << step;
+  }
+}
+
+TEST(ProgramTest, DropoutRecordingFallsBackToTape) {
+  ProgramRecorder rec;
+  Variable x(Tensor::Full({4, 4}, 1.0f), true);
+  Rng rng(9);
+  Variable y = Sum(Dropout(x, 0.3f, &rng));
+  std::shared_ptr<Program> program = rec.Finish(y);
+  EXPECT_FALSE(program->replayable());
+  EXPECT_FALSE(program->fallback_reason().empty());
+  // The step itself is still a correct tape step.
+  Backward(y);
+  EXPECT_TRUE(x.grad_defined());
+}
+
+TEST(ProgramTest, UnboundIdsMarkFallback) {
+  ProgramRecorder rec;
+  Variable table(Tensor::Full({5, 3}, 0.5f), true);
+  std::vector<int64_t> ids = {0, 2, 4};  // never bound through the recorder
+  Variable emb = EmbeddingLookup(table, ids);
+  std::shared_ptr<Program> program = rec.Finish(Mean(emb));
+  EXPECT_FALSE(program->replayable());
+}
+
+// The inference fusion pass must rewrite the scoring chain and stay bitwise
+// exact: lookup -> l2norm (x2) -> rowwise-dot -> scale.
+TEST(ProgramTest, FusedInferenceReplayIsBitwiseExact) {
+  const int64_t v = 16, d = 8;
+  Rng init(13);
+  Variable table(Tensor::Randn({v, d}, 0.7f, &init), true);
+  std::vector<int64_t> u0 = {1, 3, 5, 7};
+  std::vector<int64_t> i0 = {0, 2, 4, 6};
+
+  std::shared_ptr<Program> program;
+  {
+    ProgramRecorder rec;
+    const std::vector<int64_t>& us = rec.BindIds("u", u0);
+    const std::vector<int64_t>& is = rec.BindIds("i", i0);
+    Variable u = L2NormalizeRows(EmbeddingLookup(table, us));
+    Variable i = L2NormalizeRows(EmbeddingLookup(table, is));
+    Variable s = ScalarMul(RowwiseDot(u, i), 5.0f);
+    program = rec.FinishForward(s);
+  }
+  ASSERT_TRUE(program->replayable()) << program->fallback_reason();
+  const int64_t ops_before = program->num_ops();
+  EXPECT_GT(program->FuseForInference(), 0);
+  EXPECT_GT(program->num_fused(), 0);
+  EXPECT_EQ(program->num_ops(), ops_before);  // steps are marked, not erased
+
+  Rng rng(31);
+  for (int step = 0; step < 3; ++step) {
+    std::vector<int64_t> us(4), is(4);
+    for (auto& id : us) id = static_cast<int64_t>(rng.Uniform(v));
+    for (auto& id : is) id = static_cast<int64_t>(rng.Uniform(v));
+    const Variable expected = ScalarMul(
+        RowwiseDot(L2NormalizeRows(EmbeddingLookup(table, us)),
+                   L2NormalizeRows(EmbeddingLookup(table, is))),
+        5.0f);
+    program->BindIds("u", us);
+    program->BindIds("i", is);
+    program->ReplayForward();
+    EXPECT_TRUE(BitwiseEqual(program->root_value(), expected.value()))
+        << "fused replay " << step << " diverged";
+  }
+}
+
+// Training programs must refuse to fuse (backward closures read the
+// intermediates) and keep replaying exactly.
+TEST(ProgramTest, FusionRefusesTrainingPrograms) {
+  ProgramRecorder rec;
+  Variable table(Tensor::Full({6, 4}, 0.5f), true);
+  const std::vector<int64_t>& ids = rec.BindIds("ids", {0, 1, 2});
+  Variable loss = Mean(L2NormalizeRows(EmbeddingLookup(table, ids)));
+  std::shared_ptr<Program> program = rec.Finish(loss);
+  ASSERT_TRUE(program->replayable()) << program->fallback_reason();
+  EXPECT_EQ(program->FuseForInference(), 0);
+}
+
+}  // namespace
+}  // namespace unimatch::nn

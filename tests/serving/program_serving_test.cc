@@ -1,0 +1,140 @@
+// Serving-side parity for the recorded-graph executor: the inference entry
+// points (InferUserEmbeddings / InferItemEmbeddings) replay cached programs
+// — optionally with the fusion pass — and must stay bitwise identical to
+// the tape, so a snapshot built from replayed embeddings serves the same
+// scores as one built from tape embeddings.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/data/synthetic.h"
+#include "src/serving/snapshot.h"
+#include "src/train/trainer.h"
+
+namespace unimatch::serving {
+namespace {
+
+bool BitwiseEqual(const Tensor& a, const Tensor& b) {
+  if (!a.same_shape(b)) return false;
+  return std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+struct Fixture {
+  model::TwoTowerModel model;
+  std::vector<std::vector<int64_t>> histories;
+
+  Fixture() : model(MakeConfig()) {
+    // A briefly trained model so the embeddings are non-trivial.
+    data::SyntheticConfig cfg;
+    cfg.num_users = 200;
+    cfg.num_items = 60;
+    cfg.num_months = 3;
+    cfg.target_interactions = 2500;
+    cfg.seed = 31;
+    const data::InteractionLog log = data::GenerateSynthetic(cfg);
+    const data::DatasetSplits splits =
+        data::MakeSplits(log, data::SplitConfig{});
+    train::TrainConfig tc;
+    tc.batch_size = 64;
+    tc.seed = 12;
+    train::Trainer trainer(&model, &splits, tc);
+    UM_CHECK(trainer.TrainIndices(splits.train.AllIndices(), 1).ok());
+    // Mixed-length histories (plus an empty one) exercise padding, the
+    // per-slice shape keys, and the zero-row path.
+    Rng rng(5);
+    histories.resize(40);
+    for (size_t u = 1; u < histories.size(); ++u) {
+      const int64_t len = 1 + static_cast<int64_t>(rng.Uniform(9));
+      for (int64_t t = 0; t < len; ++t) {
+        histories[u].push_back(static_cast<int64_t>(rng.Uniform(60)));
+      }
+    }
+  }
+
+  static model::TwoTowerConfig MakeConfig() {
+    model::TwoTowerConfig mc;
+    mc.num_items = 60;
+    mc.embedding_dim = 8;
+    return mc;
+  }
+};
+
+Fixture& fixture() {
+  static Fixture* f = new Fixture();
+  return *f;
+}
+
+TEST(ProgramServingTest, InferenceReplayMatchesTapeBitwise) {
+  auto& f = fixture();
+  f.model.SetInferenceProgramMode(false, false);
+  const Tensor users_tape = f.model.InferUserEmbeddings(f.histories);
+  const Tensor items_tape = f.model.InferItemEmbeddings();
+
+  f.model.SetInferenceProgramMode(true, true);
+  // First pass records, second replays; both must match the tape.
+  for (int pass = 0; pass < 2; ++pass) {
+    const Tensor users = f.model.InferUserEmbeddings(f.histories);
+    const Tensor items = f.model.InferItemEmbeddings();
+    EXPECT_TRUE(BitwiseEqual(users, users_tape))
+        << "user embeddings diverged on pass " << pass;
+    EXPECT_TRUE(BitwiseEqual(items, items_tape))
+        << "item embeddings diverged on pass " << pass;
+  }
+  if (nn::kProgramCacheEnabled) {
+    EXPECT_GT(f.model.infer_program_stats().hits, 0);
+  }
+
+  // The unfused program arm is its own cache entry and must agree too.
+  f.model.SetInferenceProgramMode(true, false);
+  EXPECT_TRUE(BitwiseEqual(f.model.InferUserEmbeddings(f.histories),
+                           users_tape));
+  EXPECT_TRUE(BitwiseEqual(f.model.InferItemEmbeddings(), items_tape));
+}
+
+TEST(ProgramServingTest, SnapshotFromReplayedEmbeddingsServesSameScores) {
+  auto& f = fixture();
+  f.model.SetInferenceProgramMode(false, false);
+  const Tensor users_tape = f.model.InferUserEmbeddings(f.histories);
+  const Tensor items_tape = f.model.InferItemEmbeddings();
+  f.model.SetInferenceProgramMode(true, true);
+  f.model.InferUserEmbeddings(f.histories);  // record
+  const Tensor users_prog = f.model.InferUserEmbeddings(f.histories);
+  f.model.InferItemEmbeddings();
+  const Tensor items_prog = f.model.InferItemEmbeddings();
+
+  auto snap_tape = EngineSnapshot::FromEmbeddings(users_tape.Clone(),
+                                                  items_tape.Clone(), 1);
+  auto snap_prog = EngineSnapshot::FromEmbeddings(users_prog.Clone(),
+                                                  items_prog.Clone(), 1);
+  ASSERT_TRUE(snap_tape.ok()) << snap_tape.status().ToString();
+  ASSERT_TRUE(snap_prog.ok()) << snap_prog.status().ToString();
+
+  for (data::UserId u : {1, 7, 20}) {
+    auto a = (*snap_tape)->RecommendItems(u, 5);
+    auto b = (*snap_prog)->RecommendItems(u, 5);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    ASSERT_EQ(a->size(), b->size());
+    for (size_t k = 0; k < a->size(); ++k) {
+      EXPECT_EQ((*a)[k].id, (*b)[k].id) << "user " << u << " rank " << k;
+      EXPECT_EQ((*a)[k].score, (*b)[k].score) << "user " << u << " rank " << k;
+    }
+  }
+  for (data::ItemId i : {0, 3, 11}) {
+    auto a = (*snap_tape)->TargetUsers(i, 5);
+    auto b = (*snap_prog)->TargetUsers(i, 5);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    ASSERT_EQ(a->size(), b->size());
+    for (size_t k = 0; k < a->size(); ++k) {
+      EXPECT_EQ((*a)[k].id, (*b)[k].id) << "item " << i << " rank " << k;
+      EXPECT_EQ((*a)[k].score, (*b)[k].score) << "item " << i << " rank " << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace unimatch::serving

@@ -1,0 +1,194 @@
+// Record/replay equivalence for whole training runs: with the program cache
+// on, the first step of each batch shape records the tape pass and every
+// later same-shape step replays it — so a cached run must be bitwise
+// identical to a tape-only run (use_program_cache = false) for every loss
+// and thread count, while actually replaying nearly all of its steps.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/data/synthetic.h"
+#include "src/train/trainer.h"
+
+namespace unimatch::train {
+namespace {
+
+struct Env {
+  data::InteractionLog log;
+  data::DatasetSplits splits;
+
+  Env() {
+    data::SyntheticConfig cfg;
+    cfg.num_users = 300;
+    cfg.num_items = 80;
+    cfg.num_months = 4;
+    cfg.target_interactions = 4000;
+    cfg.seed = 47;
+    log = data::GenerateSynthetic(cfg);
+    splits = data::MakeSplits(log, data::SplitConfig{});
+  }
+};
+
+const Env& env() {
+  static const Env* e = new Env();
+  return *e;
+}
+
+model::TwoTowerConfig BaseModel() {
+  model::TwoTowerConfig mc;
+  mc.num_items = 80;
+  mc.embedding_dim = 8;
+  mc.temperature = 0.2f;
+  return mc;
+}
+
+struct RunOutput {
+  std::vector<double> epoch_losses;
+  Tensor item_embeddings;
+  int64_t total_steps = 0;
+  int64_t replay_steps = 0;
+  int64_t record_steps = 0;
+};
+
+RunOutput RunTraining(const model::TwoTowerConfig& mc, loss::LossKind loss,
+                      int num_threads, int epochs, bool use_programs) {
+  model::TwoTowerModel model(mc);
+  // The tape arm is the parity reference end to end, so its inference
+  // entry points must bypass the program cache too.
+  model.SetInferenceProgramMode(use_programs, use_programs);
+  TrainConfig tc;
+  tc.loss = loss;
+  tc.batch_size = 64;
+  tc.seed = 12;
+  tc.num_threads = num_threads;
+  tc.use_program_cache = use_programs;
+  Trainer trainer(&model, &env().splits, tc);
+  const auto all = env().splits.train.AllIndices();
+  RunOutput out;
+  for (int e = 0; e < epochs; ++e) {
+    UM_CHECK(trainer.TrainIndices(all, 1).ok());
+    out.epoch_losses.push_back(trainer.last_epoch_loss());
+  }
+  out.item_embeddings = model.InferItemEmbeddings();
+  out.total_steps = trainer.total_steps();
+  out.replay_steps = trainer.replay_steps();
+  out.record_steps = trainer.record_steps();
+  return out;
+}
+
+bool BitwiseEqual(const Tensor& a, const Tensor& b) {
+  if (!a.same_shape(b)) return false;
+  return std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+struct Case {
+  loss::LossKind loss;
+  int num_threads;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<Case>& info) {
+  std::string name = loss::LossKindToString(info.param.loss);
+  for (auto& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name + "_t" + std::to_string(info.param.num_threads);
+}
+
+class ProgramReplayParityTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ProgramReplayParityTest, ReplayedRunMatchesTapeBitwise) {
+  const Case c = GetParam();
+  const model::TwoTowerConfig mc = BaseModel();
+  const RunOutput tape = RunTraining(mc, c.loss, c.num_threads, 2, false);
+  const RunOutput prog = RunTraining(mc, c.loss, c.num_threads, 2, true);
+
+  EXPECT_EQ(tape.replay_steps, 0);
+  EXPECT_EQ(tape.record_steps, 0);
+  // The whole run has at most a handful of batch shapes (full batches plus
+  // one remainder); everything else must replay.
+  if (nn::kProgramCacheEnabled) {
+    EXPECT_GT(prog.replay_steps, 0);
+    EXPECT_GT(prog.record_steps, 0);
+    EXPECT_LE(prog.record_steps, 4);
+    EXPECT_EQ(prog.replay_steps + prog.record_steps, prog.total_steps);
+  }
+
+  ASSERT_EQ(tape.epoch_losses.size(), prog.epoch_losses.size());
+  for (size_t e = 0; e < tape.epoch_losses.size(); ++e) {
+    EXPECT_EQ(tape.epoch_losses[e], prog.epoch_losses[e])
+        << "epoch " << e << " loss diverged";
+  }
+  EXPECT_TRUE(BitwiseEqual(tape.item_embeddings, prog.item_embeddings))
+      << "item embeddings diverged";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLossesAndThreads, ProgramReplayParityTest,
+    ::testing::Values(Case{loss::LossKind::kBce, 1},
+                      Case{loss::LossKind::kBce, 2},
+                      Case{loss::LossKind::kBce, 4},
+                      Case{loss::LossKind::kSsm, 1},
+                      Case{loss::LossKind::kSsm, 2},
+                      Case{loss::LossKind::kSsm, 4},
+                      Case{loss::LossKind::kInfoNce, 1},
+                      Case{loss::LossKind::kInfoNce, 2},
+                      Case{loss::LossKind::kInfoNce, 4},
+                      Case{loss::LossKind::kBbcNce, 1},
+                      Case{loss::LossKind::kBbcNce, 2},
+                      Case{loss::LossKind::kBbcNce, 4}),
+    CaseName);
+
+// A shape change (the remainder batch) is a different key: it records its
+// own program instead of replaying the wrong one, and both shapes replay
+// from the second epoch on.
+TEST(ProgramReplayTest, ShapeChangeRecordsSeparateProgram) {
+  if (!nn::kProgramCacheEnabled) GTEST_SKIP();
+  const model::TwoTowerConfig mc = BaseModel();
+  const RunOutput prog =
+      RunTraining(mc, loss::LossKind::kBbcNce, 1, 2, true);
+  // 2661 train samples at batch 64 -> full batches plus a remainder, so
+  // exactly one extra recording beyond the steady-state shape.
+  EXPECT_GE(prog.record_steps, 2);
+  EXPECT_EQ(prog.replay_steps + prog.record_steps, prog.total_steps);
+  EXPECT_GT(prog.replay_steps, prog.record_steps);
+}
+
+// Dropout draws per-element RNG inside the step, so its recording is a
+// tombstone: every step stays on the tape (no replays, no re-record storms)
+// and the run matches the cache-off run bitwise.
+TEST(ProgramReplayTest, DropoutFallsBackToTape) {
+  model::TwoTowerConfig mc = BaseModel();
+  mc.dropout = 0.3f;
+  const RunOutput tape = RunTraining(mc, loss::LossKind::kBbcNce, 1, 2, false);
+  const RunOutput prog = RunTraining(mc, loss::LossKind::kBbcNce, 1, 2, true);
+  EXPECT_EQ(prog.replay_steps, 0);
+  if (nn::kProgramCacheEnabled) {
+    // One tombstone per batch shape; tombstone hits must not re-record.
+    EXPECT_GE(prog.record_steps, 1);
+    EXPECT_LE(prog.record_steps, 4);
+  }
+  ASSERT_EQ(tape.epoch_losses.size(), prog.epoch_losses.size());
+  for (size_t e = 0; e < tape.epoch_losses.size(); ++e) {
+    EXPECT_EQ(tape.epoch_losses[e], prog.epoch_losses[e]);
+  }
+  EXPECT_TRUE(BitwiseEqual(tape.item_embeddings, prog.item_embeddings));
+}
+
+// Extractor towers (GRU/attention ops are opaque to the recorder) must also
+// fall back cleanly rather than diverge.
+TEST(ProgramReplayTest, OpaqueExtractorFallsBackToTape) {
+  model::TwoTowerConfig mc = BaseModel();
+  mc.extractor = model::ContextExtractor::kGru;
+  const RunOutput tape = RunTraining(mc, loss::LossKind::kBbcNce, 1, 1, false);
+  const RunOutput prog = RunTraining(mc, loss::LossKind::kBbcNce, 1, 1, true);
+  ASSERT_EQ(tape.epoch_losses.size(), prog.epoch_losses.size());
+  for (size_t e = 0; e < tape.epoch_losses.size(); ++e) {
+    EXPECT_EQ(tape.epoch_losses[e], prog.epoch_losses[e]);
+  }
+  EXPECT_TRUE(BitwiseEqual(tape.item_embeddings, prog.item_embeddings));
+}
+
+}  // namespace
+}  // namespace unimatch::train
