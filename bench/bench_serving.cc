@@ -17,7 +17,9 @@
 //   "sweep": [
 //     {"offered_qps": 2000, "achieved_qps": 1998.2, "requests": 4000,
 //      "shed": 0, "errors": 0, "p50_ms": 0.21, "p99_ms": 0.73,
-//      "p999_ms": 1.9, "mean_batch": 3.1, "saturated": false},
+//      "p999_ms": 1.9, "mean_batch": 3.1, "saturated": false,
+//      "by_kind": {"ir": {"requests": 2400, "p50_ms": ..., "p99_ms": ...},
+//                  "ut": {...}, "audience": {...}}},
 //     ...
 //   ],
 //   "saturation_qps": 48211.0,      // highest achieved across the sweep
@@ -66,6 +68,12 @@ double Percentile(std::vector<double>& sorted, double q) {
   return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
 }
 
+struct KindStats {
+  int64_t requests = 0;  // answered (non-shed, non-error) requests
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
 struct SweepPoint {
   double offered_qps = 0.0;
   double achieved_qps = 0.0;
@@ -77,7 +85,18 @@ struct SweepPoint {
   double p999_ms = 0.0;
   double mean_batch = 0.0;
   bool saturated = false;
+  /// Latency split by request kind (IR / UT / audience): the three kinds
+  /// hit different indexes and top_k sizes, so one aggregate percentile
+  /// hides which traffic class saturates first.
+  KindStats by_kind[3];
 };
+
+/// MixedRequest's kind for sequence number `i` as an index into
+/// SweepPoint::by_kind (0 = IR, 1 = UT, 2 = audience).
+int KindSlot(int64_t i) {
+  const int64_t slot = i % 10;
+  return slot < 6 ? 0 : (slot < 9 ? 1 : 2);
+}
 
 struct SwapReport {
   bool performed = false;
@@ -153,6 +172,7 @@ SweepPoint RunLevel(serving::ServingFrontend* frontend,
   point.offered_qps = offered_qps;
   point.requests = total;
   std::vector<double> latencies;
+  std::vector<double> kind_latencies[3];
   latencies.reserve(total);
   for (int64_t i = 0; i < total; ++i) {
     serving::Response response = futures[i].get();
@@ -165,9 +185,18 @@ SweepPoint RunLevel(serving::ServingFrontend* frontend,
       if (swap != nullptr && swap->performed) ++swap->failed_requests;
       continue;
     }
-    latencies.push_back(submit_lag_ms[i] + response.latency_ms);
+    const double latency_ms = submit_lag_ms[i] + response.latency_ms;
+    latencies.push_back(latency_ms);
+    kind_latencies[KindSlot(i)].push_back(latency_ms);
   }
   std::sort(latencies.begin(), latencies.end());
+  for (int kind = 0; kind < 3; ++kind) {
+    std::vector<double>& kl = kind_latencies[kind];
+    std::sort(kl.begin(), kl.end());
+    point.by_kind[kind].requests = static_cast<int64_t>(kl.size());
+    point.by_kind[kind].p50_ms = Percentile(kl, 0.50);
+    point.by_kind[kind].p99_ms = Percentile(kl, 0.99);
+  }
   point.achieved_qps =
       elapsed_s > 0.0
           ? static_cast<double>(latencies.size()) / elapsed_s
@@ -239,8 +268,10 @@ int Main(int argc, char** argv) {
     UM_LOG(INFO) << "offered=" << point.offered_qps
                  << " achieved=" << point.achieved_qps
                  << " p50=" << point.p50_ms << "ms p99=" << point.p99_ms
-                 << "ms p999=" << point.p999_ms << "ms shed=" << point.shed
-                 << " errors=" << point.errors
+                 << "ms p999=" << point.p999_ms
+                 << "ms p99[ir/ut/aud]=" << point.by_kind[0].p99_ms << "/"
+                 << point.by_kind[1].p99_ms << "/" << point.by_kind[2].p99_ms
+                 << "ms shed=" << point.shed << " errors=" << point.errors
                  << (point.saturated ? " [saturated]" : "");
     sweep.push_back(point);
   }
@@ -281,8 +312,17 @@ int Main(int argc, char** argv) {
         << ", \"errors\": " << p.errors << ", \"p50_ms\": " << p.p50_ms
         << ", \"p99_ms\": " << p.p99_ms << ", \"p999_ms\": " << p.p999_ms
         << ", \"mean_batch\": " << p.mean_batch
-        << ", \"saturated\": " << (p.saturated ? "true" : "false") << "}"
-        << (i + 1 < sweep.size() ? "," : "") << "\n";
+        << ", \"saturated\": " << (p.saturated ? "true" : "false")
+        << ",\n     \"by_kind\": {";
+    static const char* kKindNames[3] = {"ir", "ut", "audience"};
+    for (int kind = 0; kind < 3; ++kind) {
+      const KindStats& ks = p.by_kind[kind];
+      out << "\"" << kKindNames[kind]
+          << "\": {\"requests\": " << ks.requests
+          << ", \"p50_ms\": " << ks.p50_ms << ", \"p99_ms\": " << ks.p99_ms
+          << "}" << (kind + 1 < 3 ? ", " : "");
+    }
+    out << "}}" << (i + 1 < sweep.size() ? "," : "") << "\n";
   }
   out << "  ],\n"
       << "  \"saturation_qps\": " << saturation_qps << ",\n"

@@ -3,8 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
-#include <queue>
-#include <unordered_set>
+#include <functional>
 
 #include "src/obs/obs.h"
 #include "src/tensor/kernels.h"
@@ -116,6 +115,10 @@ Status HnswIndex::Build(const Tensor& vectors) {
 void HnswIndex::InsertNode(int64_t i, int* entry_level, BuildSync* sync) {
   const int level = node_level_[i];
   const float* q = vectors_.data() + i * dim();
+  // Build-path searches run on the inserting thread's workspace: a parallel
+  // build's workers each reuse their own visited stamps and beam heaps
+  // across every insertion they perform.
+  SearchWorkspace& ws = ThreadLocalSearchWorkspace();
   int64_t entry;
   int elevel;
   if (sync != nullptr) {
@@ -128,11 +131,12 @@ void HnswIndex::InsertNode(int64_t i, int* entry_level, BuildSync* sync) {
   }
   // Greedy descent through layers above this node's level.
   for (int l = elevel; l > level; --l) {
-    entry = GreedyStep(q, entry, l, sync);
+    entry = GreedyStep(q, entry, l, ws, sync);
   }
   // Insert with beam search on each layer from min(level, elevel) down to 0.
   for (int l = std::min(level, elevel); l >= 0; --l) {
-    auto candidates = SearchLayer(q, entry, config_.ef_construction, l, sync);
+    const auto& candidates =
+        SearchLayer(q, entry, config_.ef_construction, l, ws, sync);
     Connect(i, l, candidates, sync);
     entry = candidates.empty() ? entry : candidates.front().second;
   }
@@ -152,10 +156,10 @@ void HnswIndex::InsertNode(int64_t i, int* entry_level, BuildSync* sync) {
 }
 
 int64_t HnswIndex::GreedyStep(const float* query, int64_t entry, int layer,
-                              BuildSync* sync) const {
+                              SearchWorkspace& ws, BuildSync* sync) const {
   int64_t current = entry;
   float best = Score(query, current);
-  std::vector<int64_t> snapshot;
+  std::vector<int64_t>& snapshot = ws.neighbor_snapshot();
   bool improved = true;
   while (improved) {
     improved = false;
@@ -178,25 +182,33 @@ int64_t HnswIndex::GreedyStep(const float* query, int64_t entry, int layer,
   return current;
 }
 
-std::vector<std::pair<float, int64_t>> HnswIndex::SearchLayer(
-    const float* query, int64_t entry, int ef, int layer,
+const std::vector<std::pair<float, int64_t>>& HnswIndex::SearchLayer(
+    const float* query, int64_t entry, int ef, int layer, SearchWorkspace& ws,
     BuildSync* sync) const {
-  // Max-heap of candidates to expand; min-heap of current best `ef`.
+  // Max-heap of candidates to expand; min-heap of current best `ef`. Both
+  // live in workspace vectors driven by std::push_heap/pop_heap — the
+  // algorithms std::priority_queue is specified over, so the expansion and
+  // extraction order is exactly the pre-workspace behavior, but the
+  // storage (and the epoch-stamped visited set replacing the per-call
+  // unordered_set) is reused across searches.
   using Entry = std::pair<float, int64_t>;
-  std::priority_queue<Entry> candidates;                 // best first
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> best;
-  std::unordered_set<int64_t> visited;
-  std::vector<int64_t> snapshot;
+  std::vector<Entry>& candidates = ws.candidates();  // best first
+  std::vector<Entry>& best = ws.best();
+  candidates.clear();
+  best.clear();
+  ws.BeginVisitEpoch(n_);
+  std::vector<int64_t>& snapshot = ws.neighbor_snapshot();
 
   const float es = Score(query, entry);
-  candidates.push({es, entry});
-  best.push({es, entry});
-  visited.insert(entry);
+  candidates.push_back({es, entry});
+  best.push_back({es, entry});
+  ws.Visit(entry);
 
   while (!candidates.empty()) {
-    const auto [cs, cn] = candidates.top();
-    candidates.pop();
-    if (static_cast<int>(best.size()) >= ef && cs < best.top().first) break;
+    const auto [cs, cn] = candidates.front();
+    std::pop_heap(candidates.begin(), candidates.end());
+    candidates.pop_back();
+    if (static_cast<int>(best.size()) >= ef && cs < best.front().first) break;
     const std::vector<int64_t>* nbrs = &layers_[layer][cn];
     if (sync != nullptr) {
       MutexLock lk(&sync->node_locks[cn]);
@@ -204,22 +216,27 @@ std::vector<std::pair<float, int64_t>> HnswIndex::SearchLayer(
       nbrs = &snapshot;
     }
     for (int64_t nb : *nbrs) {
-      if (!visited.insert(nb).second) continue;
+      if (!ws.Visit(nb)) continue;
       const float s = Score(query, nb);
-      if (static_cast<int>(best.size()) < ef || s > best.top().first) {
-        candidates.push({s, nb});
-        best.push({s, nb});
-        if (static_cast<int>(best.size()) > ef) best.pop();
+      if (static_cast<int>(best.size()) < ef || s > best.front().first) {
+        candidates.push_back({s, nb});
+        std::push_heap(candidates.begin(), candidates.end());
+        best.push_back({s, nb});
+        std::push_heap(best.begin(), best.end(), std::greater<>());
+        if (static_cast<int>(best.size()) > ef) {
+          std::pop_heap(best.begin(), best.end(), std::greater<>());
+          best.pop_back();
+        }
       }
     }
   }
-  UM_COUNTER_ADD("ann.hnsw.nodes_visited",
-                 static_cast<int64_t>(visited.size()));
-  std::vector<Entry> out;
-  out.reserve(best.size());
+  UM_COUNTER_ADD("ann.hnsw.nodes_visited", ws.visits_this_epoch());
+  std::vector<Entry>& out = ws.layer_results();
+  out.clear();
   while (!best.empty()) {
-    out.push_back(best.top());
-    best.pop();
+    out.push_back(best.front());
+    std::pop_heap(best.begin(), best.end(), std::greater<>());
+    best.pop_back();
   }
   std::reverse(out.begin(), out.end());  // best first
   return out;
@@ -266,24 +283,27 @@ void HnswIndex::Prune(int64_t node, int layer) {
   if (static_cast<int>(links.size()) > max_links) links.resize(max_links);
 }
 
-std::vector<SearchResult> HnswIndex::Search(const float* query, int k) const {
+void HnswIndex::MultiSearchImpl(const float* queries, int64_t nq, int k,
+                                SearchWorkspace& ws,
+                                SearchResult* out) const {
   UM_SCOPED_TIMER("ann.hnsw.search.ms");
-  UM_COUNTER_INC("ann.hnsw.searches");
-  UM_CHECK_GT(k, 0);
+  UM_COUNTER_ADD("ann.hnsw.searches", nq);
   UM_CHECK_GE(entry_point_, 0);
-  int64_t entry = entry_point_;
-  for (int l = static_cast<int>(layers_.size()) - 1; l > 0; --l) {
-    entry = GreedyStep(query, entry, l);
-  }
   const int ef = std::max(config_.ef_search, k);
-  auto found = SearchLayer(query, entry, ef, 0);
-  std::vector<SearchResult> out;
-  out.reserve(std::min<size_t>(k, found.size()));
-  for (const auto& [score, id] : found) {
-    if (static_cast<int>(out.size()) >= k) break;
-    out.push_back({id, score});
+  for (int64_t q = 0; q < nq; ++q) {
+    const float* qv = queries + q * d_;
+    int64_t entry = entry_point_;
+    for (int l = static_cast<int>(layers_.size()) - 1; l > 0; --l) {
+      entry = GreedyStep(qv, entry, l, ws);
+    }
+    const auto& found = SearchLayer(qv, entry, ef, 0, ws);
+    SearchResult* o = out + q * k;
+    const int take = std::min<int>(k, static_cast<int>(found.size()));
+    for (int r = 0; r < take; ++r) {
+      o[r] = {found[r].second, found[r].first};
+    }
+    for (int r = take; r < k; ++r) o[r] = {-1, 0.0f};
   }
-  return out;
 }
 
 }  // namespace unimatch::ann

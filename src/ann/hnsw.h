@@ -54,7 +54,6 @@ class HnswIndex : public Index {
   explicit HnswIndex(HnswConfig config = {}) : config_(config) {}
 
   Status Build(const Tensor& vectors) override;
-  std::vector<SearchResult> Search(const float* query, int k) const override;
   int64_t size() const override { return n_; }
   int64_t dim() const override { return d_; }
 
@@ -63,6 +62,10 @@ class HnswIndex : public Index {
   int num_layers() const { return static_cast<int>(layers_.size()); }
   /// The (possibly quantized) stored table — bytes accounting and tests.
   const QuantizedMatrix& table() const { return quant_; }
+
+ protected:
+  void MultiSearchImpl(const float* queries, int64_t nq, int k,
+                       SearchWorkspace& ws, SearchResult* out) const override;
 
  private:
   // layers_[l][node] = adjacency list of `node` on layer l. Nodes absent
@@ -75,14 +78,17 @@ class HnswIndex : public Index {
   struct BuildSync;
 
   float Score(const float* query, int64_t node) const;
-  // Greedy single-entry descent on one layer.
+  // Greedy single-entry descent on one layer. `ws` provides the locked
+  // adjacency snapshot buffer for concurrent builds.
   int64_t GreedyStep(const float* query, int64_t entry, int layer,
-                     BuildSync* sync = nullptr) const;
+                     SearchWorkspace& ws, BuildSync* sync = nullptr) const;
   // Beam search on one layer; returns up to `ef` best (score, node) pairs,
-  // best first.
-  std::vector<std::pair<float, int64_t>> SearchLayer(
+  // best first, in ws.layer_results() (valid until the next SearchLayer on
+  // the same workspace). All scratch — the epoch-stamped visited set and
+  // both beam heaps — lives in `ws`; no per-call allocation.
+  const std::vector<std::pair<float, int64_t>>& SearchLayer(
       const float* query, int64_t entry, int ef, int layer,
-      BuildSync* sync = nullptr) const;
+      SearchWorkspace& ws, BuildSync* sync = nullptr) const;
   void Connect(int64_t node, int layer,
                const std::vector<std::pair<float, int64_t>>& candidates,
                BuildSync* sync = nullptr);

@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <queue>
-#include <unordered_set>
 
 #include "src/obs/obs.h"
 #include "src/tensor/kernels.h"
@@ -19,6 +17,13 @@ namespace {
 float Dot(const float* a, const float* b, int64_t d) {
   return kernels::DotF32(a, b, d);
 }
+
+// Catalog rows per scoring block in the flat scans. A block stays
+// cache-resident while every query in the micro-batch scores against it.
+// Fixed (never a function of nq), and a multiple of the gemm kernel's
+// 4-row j-grouping, so a given catalog row reduces identically at every
+// batch size — the bitwise Search/MultiSearch parity contract.
+constexpr int64_t kScanBlockRows = 256;
 
 }  // namespace
 
@@ -75,6 +80,25 @@ Tensor TrainSphericalKMeans(const Tensor& vectors, int64_t nlist, int iters,
   return centroids;
 }
 
+void Index::MultiSearch(const float* queries, int64_t nq, int k,
+                        SearchWorkspace& ws, SearchResult* out) const {
+  UM_CHECK_GT(nq, 0);
+  UM_CHECK_GT(k, 0);
+  UM_CHECK(queries != nullptr);
+  UM_CHECK(out != nullptr);
+  UM_COUNTER_INC("ann.batch.multi_searches");
+  UM_COUNTER_ADD("ann.batch.queries", nq);
+  MultiSearchImpl(queries, nq, k, ws, out);
+}
+
+std::vector<SearchResult> Index::Search(const float* query, int k) const {
+  std::vector<SearchResult> out(static_cast<size_t>(std::max(k, 0)));
+  MultiSearch(query, 1, k, ThreadLocalSearchWorkspace(), out.data());
+  // Trim padding: ids are row indices, so id < 0 only marks absent rows.
+  while (!out.empty() && out.back().id < 0) out.pop_back();
+  return out;
+}
+
 Status BruteForceIndex::Build(const Tensor& vectors) {
   if (vectors.rank() != 2) {
     return Status::InvalidArgument("index expects a [N, d] matrix");
@@ -84,17 +108,27 @@ Status BruteForceIndex::Build(const Tensor& vectors) {
   return Status::OK();
 }
 
-std::vector<SearchResult> BruteForceIndex::Search(const float* query,
-                                                  int k) const {
+void BruteForceIndex::MultiSearchImpl(const float* queries, int64_t nq, int k,
+                                      SearchWorkspace& ws,
+                                      SearchResult* out) const {
   UM_SCOPED_TIMER("ann.brute.search.ms");
-  UM_COUNTER_INC("ann.brute.searches");
-  UM_CHECK_GT(k, 0);
+  UM_COUNTER_ADD("ann.brute.searches", nq);
   const int64_t n = size(), d = dim();
-  TopK top(k);
-  for (int64_t i = 0; i < n; ++i) {
-    top.Offer(i, Dot(query, vectors_.data() + i * d, d));
+  BatchTopK& top = ws.batch_topk();
+  top.Reset(nq, k);
+  float* scores = ws.Scores(nq * std::min(n, kScanBlockRows));
+  for (int64_t b0 = 0; b0 < n; b0 += kScanBlockRows) {
+    const int64_t bn = std::min(kScanBlockRows, n - b0);
+    // scores[q * bn + j] = dot(queries[q], row b0 + j) — one blocked sweep
+    // for the whole micro-batch instead of nq strided passes.
+    kernels::GemmRowsDot(0, nq, bn, d, 1.0f, queries, d, 1,
+                         vectors_.data() + b0 * d, 0.0f, scores);
+    for (int64_t q = 0; q < nq; ++q) {
+      const float* row = scores + q * bn;
+      for (int64_t j = 0; j < bn; ++j) top.Offer(q, b0 + j, row[j]);
+    }
   }
-  return top.Take();
+  top.TakeInto(out);
 }
 
 Status IvfIndex::Build(const Tensor& vectors) {
@@ -125,25 +159,32 @@ Status IvfIndex::Build(const Tensor& vectors) {
   return Status::OK();
 }
 
-std::vector<SearchResult> IvfIndex::Search(const float* query, int k) const {
+void IvfIndex::MultiSearchImpl(const float* queries, int64_t nq, int k,
+                               SearchWorkspace& ws, SearchResult* out) const {
   UM_SCOPED_TIMER("ann.ivf.search.ms");
-  UM_COUNTER_INC("ann.ivf.searches");
-  UM_CHECK_GT(k, 0);
+  UM_COUNTER_ADD("ann.ivf.searches", nq);
   UM_CHECK(!lists_.empty());
   const int64_t d = dim();
   const int64_t nlist = centroids_.dim(0);
+  const int nprobe = static_cast<int>(config_.nprobe);
 
-  TopK coarse(static_cast<int>(config_.nprobe));
-  for (int64_t c = 0; c < nlist; ++c) {
-    coarse.Offer(c, Dot(query, centroids_.data() + c * d, d));
-  }
-  TopK top(k);
-  for (const auto& cr : coarse.Take()) {
-    for (int64_t i : lists_[cr.id]) {
-      top.Offer(i, Dot(query, vectors_.data() + i * d, d));
+  for (int64_t q = 0; q < nq; ++q) {
+    const float* qv = queries + q * d;
+    TopK& coarse = ws.coarse_topk(nprobe);
+    for (int64_t c = 0; c < nlist; ++c) {
+      coarse.Offer(c, Dot(qv, centroids_.data() + c * d, d));
     }
+    SearchResult* probes = ws.ProbeScratch(nprobe);
+    coarse.TakeInto(probes, nprobe);
+    TopK& top = ws.result_topk(k);
+    for (int p = 0; p < nprobe; ++p) {
+      if (probes[p].id < 0) continue;
+      for (int64_t i : lists_[probes[p].id]) {
+        top.Offer(i, Dot(qv, vectors_.data() + i * d, d));
+      }
+    }
+    top.TakeInto(out + q * k, k);
   }
-  return top.Take();
 }
 
 double MeasureRecallAtK(const Index& index, const BruteForceIndex& exact,
@@ -152,14 +193,18 @@ double MeasureRecallAtK(const Index& index, const BruteForceIndex& exact,
   const int64_t nq = queries.dim(0), d = queries.dim(1);
   UM_CHECK_EQ(d, index.dim());
   double hits = 0.0;
+  std::vector<int64_t> truth_ids;
   for (int64_t q = 0; q < nq; ++q) {
     const float* qv = queries.data() + q * d;
     auto approx = index.Search(qv, k);
     auto truth = exact.Search(qv, k);
-    std::unordered_set<int64_t> truth_ids;
-    for (const auto& r : truth) truth_ids.insert(r.id);
+    truth_ids.clear();
+    for (const auto& r : truth) truth_ids.push_back(r.id);
+    std::sort(truth_ids.begin(), truth_ids.end());
     for (const auto& r : approx) {
-      if (truth_ids.count(r.id)) hits += 1.0;
+      if (std::binary_search(truth_ids.begin(), truth_ids.end(), r.id)) {
+        hits += 1.0;
+      }
     }
   }
   return hits / (static_cast<double>(nq) * k);

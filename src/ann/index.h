@@ -4,61 +4,28 @@
 // and served with (approximate) nearest-neighbor search (Sec. III-B1). Both
 // indexes score by inner product, which on l2-normalized embeddings equals
 // cosine similarity.
+//
+// Execution model: the primitive operation is MultiSearch — nq queries
+// answered in one call against a caller-provided SearchWorkspace
+// (src/ann/workspace.h), so batched serving amortizes scratch state and the
+// flat scans run query-major blocked kernel sweeps. Single-query Search is
+// a thin nq=1 wrapper over the same path (thread-local workspace), and is
+// guaranteed to return exactly what MultiSearch returns for that query at
+// any batch size: the blocked scans tile the catalog rows independently of
+// nq, so every (query, row) score is bitwise identical either way.
 
 #ifndef UNIMATCH_ANN_INDEX_H_
 #define UNIMATCH_ANN_INDEX_H_
 
 #include <memory>
-#include <queue>
 #include <utility>
 #include <vector>
 
+#include "src/ann/workspace.h"
 #include "src/tensor/tensor.h"
 #include "src/util/status.h"
 
 namespace unimatch::ann {
-
-struct SearchResult {
-  int64_t id = -1;
-  float score = 0.0f;
-};
-
-/// Keeps the k largest (score, id) pairs using a min-heap, then returns
-/// them sorted descending (ties broken toward smaller ids). Shared by the
-/// index implementations (brute force, IVF, IVF-PQ, quantized flat).
-class TopK {
- public:
-  explicit TopK(int k) : k_(k) {}
-
-  void Offer(int64_t id, float score) {
-    if (static_cast<int>(heap_.size()) < k_) {
-      heap_.push({score, id});
-    } else if (score > heap_.top().first) {
-      heap_.pop();
-      heap_.push({score, id});
-    }
-  }
-
-  std::vector<SearchResult> Take() {
-    std::vector<SearchResult> out(heap_.size());
-    for (int64_t i = static_cast<int64_t>(heap_.size()) - 1; i >= 0; --i) {
-      out[i] = {heap_.top().second, heap_.top().first};
-      heap_.pop();
-    }
-    return out;
-  }
-
- private:
-  using Entry = std::pair<float, int64_t>;
-  struct Cmp {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.first != b.first) return a.first > b.first;
-      return a.second < b.second;  // larger id evicted first on ties
-    }
-  };
-  int k_;
-  std::priority_queue<Entry, std::vector<Entry>, Cmp> heap_;
-};
 
 /// Spherical k-means by inner product over the rows of `vectors` ([N, d]):
 /// centroids start from `nlist` random distinct rows (seeded, deterministic)
@@ -77,21 +44,40 @@ class Index {
   /// Indexes the rows of `vectors` ([N, d]); row index = id.
   virtual Status Build(const Tensor& vectors) = 0;
 
-  /// Top-k ids by inner product with `query` ([d]), descending.
-  virtual std::vector<SearchResult> Search(const float* query,
-                                           int k) const = 0;
+  /// Batched top-k: answers `nq` queries (row-major [nq, d]) in one call,
+  /// writing nq * k results query-major into `out` (out[q * k + r] is
+  /// query q's rank-r result, descending score, ties toward smaller ids;
+  /// padded with {id=-1, score=0} when fewer than k rows exist). All
+  /// scratch comes from `ws`; a steady-state call allocates nothing.
+  void MultiSearch(const float* queries, int64_t nq, int k,
+                   SearchWorkspace& ws, SearchResult* out) const;
+
+  /// Top-k ids by inner product with `query` ([d]), descending. An nq=1
+  /// MultiSearch over the calling thread's workspace; returns min(k, size)
+  /// results.
+  std::vector<SearchResult> Search(const float* query, int k) const;
 
   virtual int64_t size() const = 0;
   virtual int64_t dim() const = 0;
+
+ protected:
+  /// Backend hook behind MultiSearch (which owns the shared contracts and
+  /// the ann.batch.* counters). Same output contract as MultiSearch.
+  virtual void MultiSearchImpl(const float* queries, int64_t nq, int k,
+                               SearchWorkspace& ws,
+                               SearchResult* out) const = 0;
 };
 
-/// Exact scan; multi-threaded over rows for large catalogs.
+/// Exact scan; query-major blocked through the gemm kernels.
 class BruteForceIndex : public Index {
  public:
   Status Build(const Tensor& vectors) override;
-  std::vector<SearchResult> Search(const float* query, int k) const override;
   int64_t size() const override { return vectors_.rank() == 2 ? vectors_.dim(0) : 0; }
   int64_t dim() const override { return vectors_.rank() == 2 ? vectors_.dim(1) : 0; }
+
+ protected:
+  void MultiSearchImpl(const float* queries, int64_t nq, int k,
+                       SearchWorkspace& ws, SearchResult* out) const override;
 
  private:
   Tensor vectors_;
@@ -113,11 +99,14 @@ class IvfIndex : public Index {
   explicit IvfIndex(IvfConfig config = {}) : config_(config) {}
 
   Status Build(const Tensor& vectors) override;
-  std::vector<SearchResult> Search(const float* query, int k) const override;
   int64_t size() const override { return vectors_.rank() == 2 ? vectors_.dim(0) : 0; }
   int64_t dim() const override { return vectors_.rank() == 2 ? vectors_.dim(1) : 0; }
 
   const IvfConfig& config() const { return config_; }
+
+ protected:
+  void MultiSearchImpl(const float* queries, int64_t nq, int k,
+                       SearchWorkspace& ws, SearchResult* out) const override;
 
  private:
   IvfConfig config_;

@@ -32,6 +32,11 @@ float L2DistanceSquared(const float* a, const float* b, int64_t n) {
   return acc;
 }
 
+// Catalog rows per scoring block; fixed (never a function of nq) and a
+// multiple of the gemm kernel's 4-row j-grouping, so every row's score is
+// bitwise identical at any batch size (see src/ann/index.cc).
+constexpr int64_t kScanBlockRows = 256;
+
 }  // namespace
 
 Status QuantizedFlatIndex::Build(const Tensor& vectors) {
@@ -44,18 +49,42 @@ Status QuantizedFlatIndex::Build(const Tensor& vectors) {
   return Status::OK();
 }
 
-std::vector<SearchResult> QuantizedFlatIndex::Search(const float* query,
-                                                     int k) const {
+void QuantizedFlatIndex::MultiSearchImpl(const float* queries, int64_t nq,
+                                         int k, SearchWorkspace& ws,
+                                         SearchResult* out) const {
   UM_SCOPED_TIMER("ann.qflat.search.ms");
-  UM_COUNTER_INC("ann.qflat.searches");
-  UM_CHECK_GT(k, 0);
+  UM_COUNTER_ADD("ann.qflat.searches", nq);
   UM_CHECK(table_.valid()) << "Search before Build";
-  const int64_t n = table_.rows();
-  std::vector<float> scores(n);
-  table_.ScoreAllRows(query, scores.data());
-  TopK top(k);
-  for (int64_t i = 0; i < n; ++i) top.Offer(i, scores[i]);
-  return top.Take();
+  const int64_t n = table_.rows(), d = table_.cols();
+  BatchTopK& top = ws.batch_topk();
+  top.Reset(nq, k);
+  const int64_t block = std::min(n, kScanBlockRows);
+  float* scores = ws.Scores(nq * block);
+  float* decoded = table_.type() == ScalarType::kF32
+                       ? nullptr
+                       : ws.DequantBlock(block * d);
+  for (int64_t b0 = 0; b0 < n; b0 += kScanBlockRows) {
+    const int64_t bn = std::min(kScanBlockRows, n - b0);
+    if (table_.type() == ScalarType::kF32) {
+      // f32 passthrough tables score through the same blocked gemm sweep
+      // as BruteForceIndex.
+      kernels::GemmRowsDot(0, nq, bn, d, 1.0f, queries, d, 1,
+                           table_.f32_row(b0), 0.0f, scores);
+    } else {
+      // Quantized codes: decode the block once — the decode cost amortizes
+      // over the whole batch — then score every query through the same
+      // blocked gemm as the f32 path. The block extent never depends on
+      // nq, so scores stay batch-size invariant (Search parity).
+      table_.DequantizeRows(b0, b0 + bn, decoded);
+      kernels::GemmRowsDot(0, nq, bn, d, 1.0f, queries, d, 1, decoded, 0.0f,
+                           scores);
+    }
+    for (int64_t q = 0; q < nq; ++q) {
+      const float* row = scores + q * bn;
+      for (int64_t j = 0; j < bn; ++j) top.Offer(q, b0 + j, row[j]);
+    }
+  }
+  top.TakeInto(out);
 }
 
 Status IvfPqIndex::Build(const Tensor& vectors) {
@@ -159,42 +188,55 @@ Status IvfPqIndex::Build(const Tensor& vectors) {
   return Status::OK();
 }
 
-std::vector<SearchResult> IvfPqIndex::Search(const float* query,
-                                             int k) const {
+void IvfPqIndex::MultiSearchImpl(const float* queries, int64_t nq, int k,
+                                 SearchWorkspace& ws,
+                                 SearchResult* out) const {
   UM_SCOPED_TIMER("ann.pq.search.ms");
-  UM_COUNTER_INC("ann.pq.searches");
-  UM_CHECK_GT(k, 0);
+  UM_COUNTER_ADD("ann.pq.searches", nq);
   UM_CHECK(!lists_.empty()) << "Search before Build";
   const int64_t nlist = centroids_.dim(0);
+  const int nprobe = static_cast<int>(config_.nprobe);
 
-  TopK coarse(static_cast<int>(config_.nprobe));
-  for (int64_t c = 0; c < nlist; ++c) {
-    coarse.Offer(c, kernels::DotF32(query, centroids_.data() + c * d_, d_));
-  }
-
-  // ADC table: adc[s * ks + c] = dot(query_s, codeword(s, c)). One build
-  // per query, then each candidate costs m lookups + adds.
-  std::vector<float> adc(static_cast<size_t>(m_) * ks_);
+  // Batched ADC slab: adc[(s * nq + q) * ks + c] = dot(query_q's subvector
+  // s, codeword(s, c)). Built once per micro-batch with the codeword loop
+  // outside the query loop, so each codeword row is read once per batch
+  // instead of once per query. Each entry is the same single DotF32 the
+  // per-query table used — batching reorders the loops, not the math — so
+  // Search scores stay exactly AdcScore (tests/ann/pq_test.cc).
+  float* adc = ws.Adc(m_ * nq * ks_);
   for (int64_t s = 0; s < m_; ++s) {
-    const float* qs = query + s * ds_;
     const float* book = codebooks_.data() + s * ks_ * ds_;
     for (int64_t c = 0; c < ks_; ++c) {
-      adc[s * ks_ + c] = kernels::DotF32(qs, book + c * ds_, ds_);
+      const float* word = book + c * ds_;
+      for (int64_t q = 0; q < nq; ++q) {
+        adc[(s * nq + q) * ks_ + c] =
+            kernels::DotF32(queries + q * d_ + s * ds_, word, ds_);
+      }
     }
   }
 
-  TopK top(k);
-  for (const auto& cr : coarse.Take()) {
-    for (int64_t i : lists_[cr.id]) {
-      const uint8_t* code = codes_.data() + static_cast<size_t>(i) * m_;
-      float score = 0.0f;
-      for (int64_t s = 0; s < m_; ++s) {
-        score += adc[s * ks_ + code[s]];
-      }
-      top.Offer(i, score);
+  for (int64_t q = 0; q < nq; ++q) {
+    const float* qv = queries + q * d_;
+    TopK& coarse = ws.coarse_topk(nprobe);
+    for (int64_t c = 0; c < nlist; ++c) {
+      coarse.Offer(c, kernels::DotF32(qv, centroids_.data() + c * d_, d_));
     }
+    SearchResult* probes = ws.ProbeScratch(nprobe);
+    coarse.TakeInto(probes, nprobe);
+    TopK& top = ws.result_topk(k);
+    for (int p = 0; p < nprobe; ++p) {
+      if (probes[p].id < 0) continue;
+      for (int64_t i : lists_[probes[p].id]) {
+        const uint8_t* code = codes_.data() + static_cast<size_t>(i) * m_;
+        float score = 0.0f;
+        for (int64_t s = 0; s < m_; ++s) {
+          score += adc[(s * nq + q) * ks_ + code[s]];
+        }
+        top.Offer(i, score);
+      }
+    }
+    top.TakeInto(out + q * k, k);
   }
-  return top.Take();
 }
 
 float IvfPqIndex::AdcScore(const float* query, int64_t id) const {

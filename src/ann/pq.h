@@ -46,13 +46,16 @@ class QuantizedFlatIndex : public Index {
       : type_(type) {}
 
   Status Build(const Tensor& vectors) override;
-  std::vector<SearchResult> Search(const float* query, int k) const override;
   int64_t size() const override { return table_.rows(); }
   int64_t dim() const override { return table_.cols(); }
 
   ScalarType storage() const { return type_; }
   const QuantizedMatrix& table() const { return table_; }
   int64_t payload_bytes() const { return table_.payload_bytes(); }
+
+ protected:
+  void MultiSearchImpl(const float* queries, int64_t nq, int k,
+                       SearchWorkspace& ws, SearchResult* out) const override;
 
  private:
   ScalarType type_;
@@ -81,7 +84,6 @@ class IvfPqIndex : public Index {
   explicit IvfPqIndex(IvfPqConfig config = {}) : config_(config) {}
 
   Status Build(const Tensor& vectors) override;
-  std::vector<SearchResult> Search(const float* query, int k) const override;
   int64_t size() const override { return n_; }
   int64_t dim() const override { return d_; }
 
@@ -102,6 +104,10 @@ class IvfPqIndex : public Index {
   /// id + the amortized centroid/codebook share.
   int64_t payload_bytes() const;
   double bytes_per_row() const;
+
+ protected:
+  void MultiSearchImpl(const float* queries, int64_t nq, int k,
+                       SearchWorkspace& ws, SearchResult* out) const override;
 
  private:
   IvfPqConfig config_;

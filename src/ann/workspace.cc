@@ -1,0 +1,13 @@
+#include "src/ann/workspace.h"
+
+namespace unimatch::ann {
+
+SearchWorkspace& ThreadLocalSearchWorkspace() {
+  // One workspace per thread, constructed on first search and alive until
+  // thread exit. Its pooled Storage buffers return to the global BufferPool
+  // (never destroyed) when the thread goes away.
+  thread_local SearchWorkspace workspace;
+  return workspace;
+}
+
+}  // namespace unimatch::ann

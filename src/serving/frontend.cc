@@ -1,6 +1,8 @@
 #include "src/serving/frontend.h"
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
 #include <utility>
 
 #include "src/obs/obs.h"
@@ -16,6 +18,25 @@ double MillisSince(Clock::time_point start, Clock::time_point end) {
 }
 
 }  // namespace
+
+// One (kind-family, top_k) slice of a micro-batch, executed as a single
+// batched MultiSearch. IR requests query the item index; UT and audience
+// requests both query the user index, so they share a group when their
+// top_k matches. Held by shared_ptr: help-first shard helpers may wake
+// after the group has completed and must still find the claim counters
+// alive.
+struct ServingFrontend::GroupExec {
+  std::shared_ptr<std::vector<Pending>> batch;
+  std::shared_ptr<const EngineSnapshot> snapshot;
+  bool ir = false;  // true: item index (IR); false: user index (UT/audience)
+  int top_k = 0;
+  std::vector<size_t> slots;  // batch positions, in arrival order
+  std::vector<int64_t> ids;   // query ids, parallel to slots
+  int64_t shard_size = 0;
+  int64_t num_shards = 0;
+  std::atomic<int64_t> next_shard{0};   // claim counter
+  std::atomic<int64_t> shards_done{0};  // completion counter
+};
 
 const char* RequestKindToString(RequestKind kind) {
   switch (kind) {
@@ -41,9 +62,14 @@ ServingFrontend::ServingFrontend(FrontendConfig config,
   UM_CHECK_GE(config_.batch_window_us, 0);
   UM_CHECK_GT(config_.max_inflight_batches, 0);
   auto* registry = obs::MetricRegistry::Global();
+  UM_CHECK_GT(config_.min_group_shard, 0);
   batch_occupancy_ = registry->GetHistogram(
       "serving.frontend.batch.occupancy", "requests",
       "requests coalesced per micro-batch",
+      {1, 2, 4, 8, 16, 32, 64, 128, 256, 512});
+  exec_group_size_ = registry->GetHistogram(
+      "serving.frontend.batch.exec_group.size", "requests",
+      "requests answered by one grouped MultiSearch",
       {1, 2, 4, 8, 16, 32, 64, 128, 256, 512});
   queue_wait_ms_ = registry->GetHistogram(
       "serving.frontend.stage.queue.ms", "ms",
@@ -185,20 +211,47 @@ void ServingFrontend::ExecuteBatch(
     std::shared_ptr<std::vector<Pending>> batch,
     std::shared_ptr<const EngineSnapshot> snapshot) {
   const auto start = Clock::now();
-  for (Pending& pending : *batch) {
-    if (obs::MetricsEnabled()) {
+  if (obs::MetricsEnabled()) {
+    for (const Pending& pending : *batch) {
       queue_wait_ms_->Observe(MillisSince(pending.enqueued_at, start));
     }
-    Response response = ExecuteOne(snapshot.get(), pending.request);
-    if (!response.status.ok()) {
-      UM_COUNTER_INC("serving.frontend.errors");
+  }
+  if (snapshot == nullptr) {
+    for (Pending& pending : *batch) {
+      Response response;
+      response.status =
+          Status::FailedPrecondition("no engine snapshot published");
+      FinishRequest(&pending, std::move(response));
     }
-    response.latency_ms = MillisSince(pending.enqueued_at, Clock::now());
-    if (obs::MetricsEnabled()) {
-      request_ms_->Observe(response.latency_ms);
+  } else {
+    // Group the batch by (kind-family, top_k): every request in a group is
+    // answered by one batched MultiSearch against the same index with the
+    // same k. A linear scan suffices — batches hold at most max_batch
+    // requests and real traffic concentrates on a handful of (kind, k)
+    // shapes.
+    std::vector<std::shared_ptr<GroupExec>> groups;
+    for (size_t i = 0; i < batch->size(); ++i) {
+      const Request& r = (*batch)[i].request;
+      const bool ir = r.kind == RequestKind::kRecommendItems;
+      GroupExec* group = nullptr;
+      for (const auto& candidate : groups) {
+        if (candidate->ir == ir && candidate->top_k == r.top_k) {
+          group = candidate.get();
+          break;
+        }
+      }
+      if (group == nullptr) {
+        groups.push_back(std::make_shared<GroupExec>());
+        group = groups.back().get();
+        group->batch = batch;
+        group->snapshot = snapshot;
+        group->ir = ir;
+        group->top_k = r.top_k;
+      }
+      group->slots.push_back(i);
+      group->ids.push_back(r.id);
     }
-    UM_COUNTER_INC("serving.frontend.completed");
-    pending.promise.set_value(std::move(response));
+    for (auto& group : groups) ExecuteGroup(std::move(group));
   }
   if (obs::MetricsEnabled()) {
     execute_ms_->Observe(MillisSince(start, Clock::now()));
@@ -211,36 +264,98 @@ void ServingFrontend::ExecuteBatch(
   state_cv_.NotifyAll();
 }
 
-Response ServingFrontend::ExecuteOne(const EngineSnapshot* snapshot,
-                                     const Request& request) {
-  Response response;
-  if (snapshot == nullptr) {
-    response.status =
-        Status::FailedPrecondition("no engine snapshot published");
-    return response;
+void ServingFrontend::ExecuteGroup(std::shared_ptr<GroupExec> group) {
+  const int64_t nq = static_cast<int64_t>(group->slots.size());
+  UM_COUNTER_INC("serving.frontend.batch.exec_groups");
+  if (obs::MetricsEnabled()) {
+    exec_group_size_->Observe(static_cast<double>(nq));
   }
-  response.snapshot_version = snapshot->version();
-  Result<std::vector<core::Scored>> result = [&] {
-    switch (request.kind) {
+  // Shard sizing: split only when every shard gets at least
+  // min_group_shard queries, and never into more shards than pool
+  // threads.
+  const int threads = exec_pool_.num_threads();
+  int64_t shard_size = nq;
+  if (threads > 1) {
+    shard_size = std::max<int64_t>(config_.min_group_shard,
+                                   (nq + threads - 1) / threads);
+  }
+  group->shard_size = shard_size;
+  group->num_shards = (nq + shard_size - 1) / shard_size;
+  UM_COUNTER_ADD("serving.frontend.batch.exec_group_shards",
+                 group->num_shards);
+  // Help-first execution: this thread (already a pool worker) claims
+  // shards in a loop, and scheduled helpers race it for the rest. A helper
+  // stuck behind other queued batches simply never claims a shard, so
+  // completion never depends on free pool capacity — no deadlock when
+  // every worker is itself a batch executor.
+  const int64_t helpers =
+      std::min<int64_t>(group->num_shards - 1, threads - 1);
+  auto run_shards = [this, group] {
+    for (;;) {
+      const int64_t shard = group->next_shard.fetch_add(1);
+      if (shard >= group->num_shards) return;
+      RunGroupShard(*group, shard);
+      group->shards_done.fetch_add(1, std::memory_order_release);
+    }
+  };
+  for (int64_t h = 0; h < helpers; ++h) exec_pool_.Schedule(run_shards);
+  run_shards();
+  // Late-claimed shards run on helpers; their promise fulfillment happens
+  // before shards_done reaches num_shards, so returning here means the
+  // whole group has answered.
+  while (group->shards_done.load(std::memory_order_acquire) !=
+         group->num_shards) {
+    std::this_thread::yield();
+  }
+}
+
+void ServingFrontend::RunGroupShard(GroupExec& group, int64_t shard) {
+  const int64_t nq = static_cast<int64_t>(group.slots.size());
+  const int64_t q0 = shard * group.shard_size;
+  const int64_t q1 = std::min(q0 + group.shard_size, nq);
+  std::vector<Result<std::vector<core::Scored>>> results;
+  if (group.ir) {
+    group.snapshot->MultiRecommendItems(group.ids.data() + q0, q1 - q0,
+                                        group.top_k, &results);
+  } else {
+    group.snapshot->MultiTargetUsers(group.ids.data() + q0, q1 - q0,
+                                     group.top_k, &results);
+  }
+  for (int64_t j = q0; j < q1; ++j) {
+    Pending& pending = (*group.batch)[group.slots[j]];
+    switch (pending.request.kind) {
       case RequestKind::kRecommendItems:
         UM_COUNTER_INC("serving.frontend.requests.ir");
-        return snapshot->RecommendItems(request.id, request.top_k);
+        break;
       case RequestKind::kTargetUsers:
         UM_COUNTER_INC("serving.frontend.requests.ut");
-        return snapshot->TargetUsers(request.id, request.top_k);
+        break;
       case RequestKind::kBuildAudience:
         UM_COUNTER_INC("serving.frontend.requests.audience");
-        return snapshot->TargetUsers(request.id, request.top_k);
+        break;
     }
-    return Result<std::vector<core::Scored>>(
-        Status::InvalidArgument("unknown request kind"));
-  }();
-  if (result.ok()) {
-    response.results = std::move(result).value();
-  } else {
-    response.status = result.status();
+    Response response;
+    response.snapshot_version = group.snapshot->version();
+    Result<std::vector<core::Scored>>& result = results[j - q0];
+    if (result.ok()) {
+      response.results = std::move(result).value();
+    } else {
+      response.status = result.status();
+    }
+    FinishRequest(&pending, std::move(response));
   }
-  return response;
+}
+
+void ServingFrontend::FinishRequest(Pending* pending, Response response) {
+  if (!response.status.ok()) {
+    UM_COUNTER_INC("serving.frontend.errors");
+  }
+  response.latency_ms = MillisSince(pending->enqueued_at, Clock::now());
+  if (obs::MetricsEnabled()) {
+    request_ms_->Observe(response.latency_ms);
+  }
+  UM_COUNTER_INC("serving.frontend.completed");
+  pending->promise.set_value(std::move(response));
 }
 
 }  // namespace unimatch::serving

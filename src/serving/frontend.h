@@ -16,7 +16,11 @@
 //   either max_batch lookups are waiting or the oldest has waited
 //   batch_window_us — the classic throughput/latency dial.
 // * Execution: batches run on an internal ThreadPool, with at most
-//   max_inflight_batches in flight. When executors fall behind, the
+//   max_inflight_batches in flight. Within a batch, requests are grouped
+//   by (kind-family, top_k) and each group is answered by one batched
+//   MultiSearch (src/ann/index.h) instead of per-request scans; groups
+//   larger than min_group_shard split into contiguous query shards that
+//   help-first workers race through. When executors fall behind, the
 //   batcher stops draining the queue, the queue fills, and admission
 //   starts shedding: backpressure propagates to the edge instead of
 //   accumulating latency.
@@ -86,6 +90,11 @@ struct FrontendConfig {
   /// Bounded in-flight depth: the batcher stalls (and the queue absorbs /
   /// sheds load) when this many batches are executing.
   int max_inflight_batches = 4;
+  /// Minimum queries per intra-batch shard: a (kind, top_k) execution
+  /// group splits across the pool only when it can hand every shard at
+  /// least this many queries; smaller groups run inline on the batch
+  /// worker.
+  int min_group_shard = 32;
 };
 
 /// Concurrent request frontend over a SnapshotPublisher. Thread-safe: all
@@ -128,12 +137,25 @@ class ServingFrontend {
     std::chrono::steady_clock::time_point enqueued_at;
   };
 
+  /// One (kind-family, top_k) slice of a batch plus its sharding state;
+  /// defined in frontend.cc.
+  struct GroupExec;
+
   void BatcherLoop() UM_EXCLUDES(mu_);
   void ExecuteBatch(std::shared_ptr<std::vector<Pending>> batch,
                     std::shared_ptr<const EngineSnapshot> snapshot)
       UM_EXCLUDES(mu_);
-  static Response ExecuteOne(const EngineSnapshot* snapshot,
-                             const Request& request);
+  /// Runs one execution group: shards it over the pool (help-first — the
+  /// calling batch worker claims shards too, so completion never depends
+  /// on free pool capacity) and returns once every shard has answered.
+  void ExecuteGroup(std::shared_ptr<GroupExec> group);
+  /// Answers queries [shard * shard_size, ...) of `group` with one
+  /// MultiRecommendItems / MultiTargetUsers call and fulfills their
+  /// promises.
+  void RunGroupShard(GroupExec& group, int64_t shard);
+  /// Error accounting + latency stamp + promise fulfillment for one
+  /// request.
+  void FinishRequest(Pending* pending, Response response);
 
   const FrontendConfig config_;
   SnapshotPublisher* const publisher_;
@@ -152,6 +174,7 @@ class ServingFrontend {
   // are relaxed atomics). The occupancy histogram needs custom bounds, so
   // it bypasses the UM_* macros.
   obs::Histogram* batch_occupancy_;
+  obs::Histogram* exec_group_size_;
   obs::Histogram* queue_wait_ms_;
   obs::Histogram* execute_ms_;
   obs::Histogram* request_ms_;

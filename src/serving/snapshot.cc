@@ -30,6 +30,56 @@ const float* QueryRow(const QuantizedMatrix& table, int64_t row,
   return out;
 }
 
+// Shared batched-query path behind MultiRecommendItems / MultiTargetUsers:
+// validates every id, compacts the valid query rows into one [nv, d]
+// workspace buffer, runs a single MultiSearch, and fans the query-major
+// results back to per-slot Results in input order. `validate` must return
+// exactly the Status the single-query API reports for that id, so batched
+// and unbatched callers observe identical errors.
+template <typename Validate>
+void MultiQuery(const QuantizedMatrix& table, const ann::Index& index,
+                const int64_t* ids, int64_t nq, int n, Validate validate,
+                std::vector<Result<std::vector<core::Scored>>>* out) {
+  UM_CHECK(out != nullptr);
+  UM_CHECK_GT(nq, 0) << "MultiQuery requires at least one id";
+  out->clear();
+  out->reserve(static_cast<size_t>(nq));
+  ann::SearchWorkspace& ws = ann::ThreadLocalSearchWorkspace();
+  const int64_t d = table.cols();
+  std::vector<int64_t>& slots = ws.gather_slots();
+  slots.assign(static_cast<size_t>(nq), -1);
+  float* qbuf = ws.Queries(nq * d);
+  int64_t nv = 0;
+  for (int64_t i = 0; i < nq; ++i) {
+    if (!validate(ids[i]).ok()) continue;
+    // DequantizeRow writes the same floats QueryRow hands the single-query
+    // path (a copy instead of an alias for kF32), so scores match bitwise.
+    table.DequantizeRow(ids[i], qbuf + nv * d);
+    slots[i] = nv++;
+  }
+  ann::SearchResult* results = nullptr;
+  if (nv > 0) {
+    // The backends use disjoint workspace scratch (scores/ADC/heaps), so
+    // handing them the same `ws` that holds our query buffer is safe.
+    results = ws.ResultScratch(nv * n);
+    index.MultiSearch(qbuf, nv, n, ws, results);
+  }
+  for (int64_t i = 0; i < nq; ++i) {
+    if (slots[i] < 0) {
+      out->emplace_back(validate(ids[i]));
+      continue;
+    }
+    const ann::SearchResult* r = results + slots[i] * n;
+    std::vector<core::Scored> scored;
+    scored.reserve(static_cast<size_t>(n));
+    for (int j = 0; j < n; ++j) {
+      if (r[j].id < 0) break;  // padding: fewer than n rows indexed
+      scored.push_back({r[j].id, r[j].score});
+    }
+    out->emplace_back(std::move(scored));
+  }
+}
+
 }  // namespace
 
 Result<std::shared_ptr<const EngineSnapshot>> EngineSnapshot::FromEngine(
@@ -147,6 +197,35 @@ Result<std::vector<core::Scored>> EngineSnapshot::TargetUsers(
     out.push_back({r.id, r.score});
   }
   return out;
+}
+
+void EngineSnapshot::MultiRecommendItems(
+    const data::UserId* users, int64_t nq, int n,
+    std::vector<Result<std::vector<core::Scored>>>* out) const {
+  auto validate = [this, n](int64_t user) {
+    if (n <= 0) return Status::InvalidArgument("n must be positive");
+    if (user < 0 || user >= num_users()) {
+      return Status::NotFound("unknown user id");
+    }
+    if (!servable_.empty() && servable_[user] == 0) {
+      return Status::NotFound("user has no interaction history");
+    }
+    return Status::OK();
+  };
+  MultiQuery(user_table_, *item_index_, users, nq, n, validate, out);
+}
+
+void EngineSnapshot::MultiTargetUsers(
+    const data::ItemId* items, int64_t nq, int n,
+    std::vector<Result<std::vector<core::Scored>>>* out) const {
+  auto validate = [this, n](int64_t item) {
+    if (n <= 0) return Status::InvalidArgument("n must be positive");
+    if (item < 0 || item >= num_items()) {
+      return Status::NotFound("unknown item id");
+    }
+    return Status::OK();
+  };
+  MultiQuery(item_table_, *user_index_, items, nq, n, validate, out);
 }
 
 void SnapshotPublisher::Publish(

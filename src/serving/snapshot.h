@@ -76,6 +76,21 @@ class EngineSnapshot {
   Result<std::vector<core::Scored>> TargetUsers(data::ItemId item,
                                                 int n) const;
 
+  /// Batched IR: answers `users[0..nq)` with one grouped MultiSearch
+  /// against the item index instead of nq independent scans. Appends
+  /// exactly nq Results to *out in input order; slot i carries the same
+  /// value or error RecommendItems(users[i], n) returns (bitwise — the
+  /// batched index path is score-exact, see src/ann/index.h). Invalid ids
+  /// cost no query slot: valid rows are compacted into one [nv, d]
+  /// workspace buffer and searched together.
+  void MultiRecommendItems(
+      const data::UserId* users, int64_t nq, int n,
+      std::vector<Result<std::vector<core::Scored>>>* out) const;
+  /// Batched UT against the user index; per-slot contract as TargetUsers.
+  void MultiTargetUsers(
+      const data::ItemId* items, int64_t nq, int n,
+      std::vector<Result<std::vector<core::Scored>>>* out) const;
+
   int64_t version() const { return version_; }
   int64_t num_users() const { return num_users_; }
   int64_t num_items() const { return num_items_; }

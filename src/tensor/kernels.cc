@@ -546,6 +546,34 @@ __attribute__((target("avx2,fma,f16c"))) void F16ToF32Avx2(int64_t n,
   for (; i < n; ++i) dst[i] = F16ToF32Scalar(src[i]);
 }
 
+__attribute__((target("avx2,fma"))) void DequantRowsI8Avx2(
+    int64_t rows, int64_t d, const int8_t* codes, int64_t row_stride,
+    const float* scales, float* out) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const int8_t* src = codes + r * row_stride;
+    float* dst = out + r * d;
+    const float s = scales[r];
+    const __m256 scale = _mm256_set1_ps(s);
+    int64_t j = 0;
+    for (; j + 16 <= d; j += 16) {
+      const __m128i bytes =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + j));
+      const __m256 lo = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(bytes));
+      const __m256 hi = _mm256_cvtepi32_ps(
+          _mm256_cvtepi8_epi32(_mm_srli_si128(bytes, 8)));
+      _mm256_storeu_ps(dst + j, _mm256_mul_ps(scale, lo));
+      _mm256_storeu_ps(dst + j + 8, _mm256_mul_ps(scale, hi));
+    }
+    for (; j + 8 <= d; j += 8) {
+      const __m128i bytes =
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(src + j));
+      const __m256 v = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(bytes));
+      _mm256_storeu_ps(dst + j, _mm256_mul_ps(scale, v));
+    }
+    for (; j < d; ++j) dst[j] = s * static_cast<float>(src[j]);
+  }
+}
+
 bool CpuHasAvx2Fma() {
   // F16C is folded into the one backend decision: every AVX2+FMA part since
   // Haswell also has F16C, and a single cut keeps dispatch two-way.
@@ -793,6 +821,28 @@ void ScoreRowsF16(int64_t rows, int64_t d, const float* query,
       << "ScoreRowsF16 got null operand";
   for (int64_t r = 0; r < rows; ++r) {
     out[r] = DotF32F16(query, half + r * row_stride, d);
+  }
+}
+
+void DequantRowsI8(int64_t rows, int64_t d, const int8_t* codes,
+                   int64_t row_stride, const float* scales, float* out) {
+  UM_CONTRACT(rows >= 0 && d >= 0 && row_stride >= d)
+      << "DequantRowsI8 rows=" << rows << " d=" << d
+      << " stride=" << row_stride;
+  UM_CONTRACT(rows == 0 ||
+              (codes != nullptr && scales != nullptr && out != nullptr))
+      << "DequantRowsI8 got null operand";
+#if defined(UNIMATCH_KERNELS_X86)
+  if (ActiveBackend() == Backend::kAvx2) {
+    DequantRowsI8Avx2(rows, d, codes, row_stride, scales, out);
+    return;
+  }
+#endif
+  for (int64_t r = 0; r < rows; ++r) {
+    const float s = scales[r];
+    const int8_t* src = codes + r * row_stride;
+    float* dst = out + r * d;
+    for (int64_t j = 0; j < d; ++j) dst[j] = s * static_cast<float>(src[j]);
   }
 }
 

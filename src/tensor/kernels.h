@@ -126,6 +126,14 @@ void ScoreRowsI8(int64_t rows, int64_t d, const float* query,
 void ScoreRowsF16(int64_t rows, int64_t d, const float* query,
                   const uint16_t* half, int64_t row_stride, float* out);
 
+/// out[r * d + j] = scales[r] * float(codes[r * row_stride + j]) for rows
+/// [0, rows), packed output — block dequantization behind the batched
+/// quantized scans, where one decoded block is scored against a whole query
+/// batch. The widening int8 convert is exact and the scale multiply rounds
+/// once per lane, so both backends decode bitwise-identical blocks.
+void DequantRowsI8(int64_t rows, int64_t d, const int8_t* codes,
+                   int64_t row_stride, const float* scales, float* out);
+
 /// Frozen scalar reference paths for the quantized primitives — the
 /// equivalence baseline for tests and the "before" side of BENCH_quant.json,
 /// never dispatched. Like GemmReference: do not "improve" these.

@@ -133,6 +133,32 @@ void QuantizedMatrix::DequantizeRow(int64_t row, float* out) const {
   }
 }
 
+void QuantizedMatrix::DequantizeRows(int64_t r0, int64_t r1,
+                                     float* out) const {
+  UM_CHECK(valid()) << "DequantizeRows on an empty QuantizedMatrix";
+  UM_CHECK_GE(r0, 0);
+  UM_CHECK_LE(r0, r1);
+  UM_CHECK_LE(r1, rows_);
+  const int64_t rows = r1 - r0;
+  if (rows == 0) return;
+  UM_COUNTER_ADD("tensor.quant.rows_dequantized", rows);
+  switch (type_) {
+    case ScalarType::kF32: {
+      const float* src = f32_.data() + r0 * cols_;
+      std::copy(src, src + rows * cols_, out);
+      return;
+    }
+    case ScalarType::kF16:
+      // Rows are packed, so the block is one contiguous run of halves.
+      kernels::F16ToF32(rows * cols_, f16_row(r0), out);
+      return;
+    case ScalarType::kI8:
+      kernels::DequantRowsI8(rows, cols_, i8_row(r0), cols_,
+                             scales_.data() + r0, out);
+      return;
+  }
+}
+
 float QuantizedMatrix::Score(int64_t row, const float* query) const {
   UM_CHECK_GE(row, 0);
   UM_CHECK_LT(row, rows_);
@@ -150,18 +176,30 @@ float QuantizedMatrix::Score(int64_t row, const float* query) const {
 
 void QuantizedMatrix::ScoreAllRows(const float* query, float* out) const {
   UM_CHECK(valid()) << "ScoreAllRows on an empty QuantizedMatrix";
+  ScoreRows(0, rows_, query, out);
+}
+
+void QuantizedMatrix::ScoreRows(int64_t r0, int64_t r1, const float* query,
+                                float* out) const {
+  UM_CHECK(valid()) << "ScoreRows on an empty QuantizedMatrix";
+  UM_CHECK_GE(r0, 0);
+  UM_CHECK_LE(r0, r1);
+  UM_CHECK_LE(r1, rows_);
+  const int64_t rows = r1 - r0;
+  if (rows == 0) return;
   switch (type_) {
     case ScalarType::kF32:
-      for (int64_t r = 0; r < rows_; ++r) {
-        out[r] = kernels::DotF32(query, f32_.data() + r * cols_, cols_);
+      for (int64_t r = 0; r < rows; ++r) {
+        out[r] = kernels::DotF32(query, f32_.data() + (r0 + r) * cols_,
+                                 cols_);
       }
       return;
     case ScalarType::kF16:
-      kernels::ScoreRowsF16(rows_, cols_, query, f16_row(0), cols_, out);
+      kernels::ScoreRowsF16(rows, cols_, query, f16_row(r0), cols_, out);
       return;
     case ScalarType::kI8:
-      kernels::ScoreRowsI8(rows_, cols_, query, i8_row(0), cols_,
-                           scales_.data(), out);
+      kernels::ScoreRowsI8(rows, cols_, query, i8_row(r0), cols_,
+                           scales_.data() + r0, out);
       return;
   }
 }

@@ -390,6 +390,146 @@ TEST(FrontendTest, SwapToQuantizedGenerationUnderLoadZeroFailedRequests) {
   EXPECT_EQ(frontend.shed(), 0);
 }
 
+// The id MakeToySnapshot guarantees as item k's best user: users point
+// along axis (u % num_items) % d with equal magnitude, so every user on
+// item k's axis ties and the smallest id wins.
+int64_t ExpectedTopUser(int64_t item, int64_t num_users, int64_t num_items) {
+  const int64_t axis = item % 8;
+  for (int64_t u = 0; u < num_users; ++u) {
+    if ((u % num_items) % 8 == axis) return u;
+  }
+  return -1;
+}
+
+TEST(FrontendTest, MixedKindBatchesAnswerEachRequest) {
+  // One micro-batch holding all three kinds and two top_k values: four
+  // execution groups, and every promise must receive exactly its own
+  // request's answer regardless of how grouping reordered execution.
+  const int64_t kUsers = 64, kItems = 8;
+  SnapshotPublisher publisher;
+  publisher.Publish(MakeToySnapshot(kUsers, kItems, 1));
+  FrontendConfig config = SmallConfig();
+  config.max_batch = 64;
+  config.batch_window_us = 5000;  // coalesce the burst into few batches
+  ServingFrontend frontend(config, &publisher);
+
+  struct Expected {
+    Request request;
+    int64_t top_id;
+  };
+  std::vector<Expected> expected;
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 48; ++i) {
+    const int top_k = (i % 2 == 0) ? 3 : 5;
+    Request request;
+    switch (i % 3) {
+      case 0:
+        request = {RequestKind::kRecommendItems, i % kUsers, top_k};
+        expected.push_back({request, ExpectedTopItem(i % kUsers, kItems)});
+        break;
+      case 1:
+        request = {RequestKind::kTargetUsers, i % kItems, top_k};
+        expected.push_back(
+            {request, ExpectedTopUser(i % kItems, kUsers, kItems)});
+        break;
+      default:
+        request = {RequestKind::kBuildAudience, i % kItems, top_k};
+        expected.push_back(
+            {request, ExpectedTopUser(i % kItems, kUsers, kItems)});
+        break;
+    }
+    futures.push_back(frontend.Submit(request));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    Response response = futures[i].get();
+    ASSERT_TRUE(response.status.ok())
+        << "request " << i << ": " << response.status.ToString();
+    ASSERT_EQ(response.results.size(),
+              static_cast<size_t>(expected[i].request.top_k));
+    EXPECT_EQ(response.results[0].id, expected[i].top_id)
+        << "request " << i << " kind "
+        << RequestKindToString(expected[i].request.kind);
+  }
+}
+
+TEST(FrontendTest, GroupedExecutionShedsWithOverloadedButKeepsAcceptedWork) {
+  // Shedding with the grouped/sharded executor: big catalog so grouped
+  // batches execute slowly, min_group_shard low enough that groups really
+  // shard, and a tiny queue that must overflow. The admission contract is
+  // unchanged: accepted work completes, everything else sheds explicitly.
+  SnapshotPublisher publisher;
+  publisher.Publish(MakeToySnapshot(20000, 20000, 1));
+  FrontendConfig config;
+  config.num_threads = 2;
+  config.max_queue_depth = 16;
+  config.max_batch = 16;
+  config.batch_window_us = 0;
+  config.max_inflight_batches = 1;
+  config.min_group_shard = 4;
+  ServingFrontend frontend(config, &publisher);
+
+  const int kRequests = 1500;
+  std::vector<std::future<Response>> futures;
+  futures.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    const RequestKind kind = (i % 2 == 0) ? RequestKind::kRecommendItems
+                                          : RequestKind::kTargetUsers;
+    futures.push_back(frontend.Submit({kind, i % 20000, 100}));
+  }
+  frontend.Drain();
+  int ok = 0, overloaded = 0;
+  for (auto& future : futures) {
+    Response response = future.get();
+    if (response.status.ok()) {
+      ++ok;
+      ASSERT_EQ(response.results.size(), 100u);
+    } else {
+      ASSERT_TRUE(response.status.IsOverloaded())
+          << response.status.ToString();
+      ++overloaded;
+    }
+  }
+  EXPECT_EQ(ok + overloaded, kRequests);
+  EXPECT_EQ(ok, frontend.admitted());
+  EXPECT_EQ(overloaded, frontend.shed());
+  EXPECT_EQ(frontend.completed(), frontend.admitted());
+  EXPECT_GT(overloaded, 0) << "queue of 16 never overflowed under a "
+                           << kRequests << "-request burst";
+}
+
+TEST(FrontendTest, DestructorDrainsMidGroupedBatch) {
+  // Destruction races grouped, sharded execution: a burst of mixed kinds
+  // is in flight (forced to shard via min_group_shard) when the frontend
+  // dies. Every accepted promise must still be fulfilled — the destructor
+  // waits for batch workers AND their shard helpers.
+  SnapshotPublisher publisher;
+  publisher.Publish(MakeToySnapshot(4096, 4096, 1));
+  std::vector<std::future<Response>> futures;
+  {
+    FrontendConfig config;
+    config.num_threads = 4;
+    config.max_queue_depth = 1 << 20;
+    config.max_batch = 256;
+    config.batch_window_us = 0;
+    config.max_inflight_batches = 2;
+    config.min_group_shard = 8;
+    ServingFrontend frontend(config, &publisher);
+    for (int i = 0; i < 1024; ++i) {
+      const RequestKind kind = (i % 3 == 0) ? RequestKind::kTargetUsers
+                                            : RequestKind::kRecommendItems;
+      futures.push_back(frontend.Submit({kind, i % 4096, 10}));
+    }
+  }  // destructor runs while grouped batches are mid-execution
+  int ok = 0;
+  for (auto& future : futures) {
+    Response response = future.get();  // fulfilled, never abandoned
+    EXPECT_TRUE(response.status.ok() || response.status.IsOverloaded())
+        << response.status.ToString();
+    if (response.status.ok()) ++ok;
+  }
+  EXPECT_GT(ok, 0);
+}
+
 TEST(FrontendTest, DestructorDrainsAcceptedWork) {
   SnapshotPublisher publisher;
   publisher.Publish(MakeToySnapshot(32, 8, 1));

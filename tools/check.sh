@@ -20,6 +20,11 @@
 #      mode — hard-gates bitwise tape/replay parity (losses, metrics,
 #      inference embeddings) and a >= 99% steady-state cache hit rate;
 #      step latency and speedup land in BENCH_program.json, never gated
+#   9. batch-exec bench smoke: bench_batch_exec in UNIMATCH_BENCH_SMOKE
+#      mode — hard-gates MultiSearch/Search bitwise parity across all six
+#      ANN backends, zero pool acquires per steady-state query, and a
+#      >= 2x batch-32 speedup for the flat and quantized-flat scans;
+#      graph/IVF speedups are recorded warn-only in BENCH_batch_exec.json
 #
 # Usage: tools/check.sh [--jobs N] [--skip-release] [--skip-tsan]
 #                       [--skip-asan] [--skip-threadsafety] [--skip-bench]
@@ -108,6 +113,13 @@ if [[ "$RUN_BENCH" == 1 ]]; then
   # the tape bitwise, and the steady-state cache hit rate must be >= 0.99.
   # Speedup/dispatch-overhead land in BENCH_program.json, never gated here.
   (cd build/bench && UNIMATCH_BENCH_SMOKE=1 ./bench_program_cache)
+
+  stage "batch-exec bench smoke (bench_batch_exec)"
+  cmake --build --preset release -j "$JOBS" --target bench_batch_exec
+  # Hard gates: bitwise MultiSearch/Search parity on every backend, zero
+  # pool acquires per steady-state query, and >= 2x batch-32 QPS for the
+  # flat + quantized-flat scans. Graph/IVF speedups are warn-only.
+  (cd build/bench && UNIMATCH_BENCH_SMOKE=1 ./bench_batch_exec)
 fi
 
 stage "all checks passed"

@@ -38,6 +38,13 @@ Rules (see docs/STATIC_ANALYSIS.md):
                   program recorder (src/nn/program.h) and produces graphs
                   the recorded executor cannot see. Go through the nn:: op
                   layer (or Variable's constructors) instead.
+  ann-search-container
+                  no std::unordered_set/std::priority_queue in src/ann/
+                  outside workspace.h/.cc — search-path containers belong
+                  in the reusable SearchWorkspace (epoch-stamped visited
+                  array, persistent heap vectors), where they are recycled
+                  per thread instead of re-allocated per query; the
+                  bench_batch_exec allocs/query gate depends on it.
 
 Suppress a finding with a trailing `// NOLINT(<rule>): why` comment on the
 offending line.
@@ -52,7 +59,7 @@ LINT_DIRS = ("src", "tests", "bench", "examples")
 
 RULES = ("include-guard", "include-cc", "naked-new", "cout", "raw-thread",
          "tensor-storage", "naked-mutex", "std-lock", "quant-cast",
-         "graph-node")
+         "graph-node", "ann-search-container")
 
 _NOLINT_RE = re.compile(r"NOLINT\(([a-z-]+)\)")
 _INCLUDE_CC_RE = re.compile(r'^\s*#\s*include\s+["<][^">]*\.cc[">]')
@@ -73,6 +80,7 @@ _QUANT_CAST_RE = re.compile(
 _GRAPH_NODE_RE = re.compile(
     r"\bmake_shared\s*<\s*(?:unimatch::)?(?:nn::)?VarNode\b"
     r"|\bnew\s+(?:unimatch::)?(?:nn::)?VarNode\b")
+_ANN_CONTAINER_RE = re.compile(r"\bstd::(?:unordered_set|priority_queue)\b")
 
 
 def strip_comments_and_strings(text):
@@ -149,6 +157,9 @@ def check_file(relpath, text, errors):
     is_threadpool = relpath in ("src/util/threadpool.h",
                                 "src/util/threadpool.cc")
     is_mutex_wrapper = relpath in ("src/util/mutex.h", "src/util/mutex.cc")
+    in_ann_search = (relpath.startswith("src/ann/") and
+                     relpath not in ("src/ann/workspace.h",
+                                     "src/ann/workspace.cc"))
 
     def report(lineno, rule, message):
         if not suppressed(raw_lines[lineno - 1], rule):
@@ -216,6 +227,12 @@ def check_file(relpath, text, errors):
                 report(lineno, "raw-thread",
                        "direct std::thread outside util/threadpool.*; "
                        "use ThreadPool")
+            if in_ann_search and _ANN_CONTAINER_RE.search(line):
+                report(lineno, "ann-search-container",
+                       "std::unordered_set/std::priority_queue in src/ann/ "
+                       "outside workspace.h/.cc; reuse the SearchWorkspace "
+                       "(epoch-stamped visited array, persistent heaps) "
+                       "instead of per-query containers")
             if not is_mutex_wrapper:
                 if _NAKED_MUTEX_RE.search(line):
                     report(lineno, "naked-mutex",
@@ -282,6 +299,8 @@ def self_test():
                        "(codes.data());\n"),
         "graph-node": ("src/train/p.cc",
                        "auto n = std::make_shared<nn::VarNode>();\n"),
+        "ann-search-container": ("src/ann/h.cc",
+                                 "std::unordered_set<int64_t> visited;\n"),
     }
     failures = []
     for rule, (path, body) in cases.items():
